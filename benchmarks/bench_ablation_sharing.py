@@ -1,0 +1,51 @@
+"""Ablation — where do the savings come from? (dedup vs inner vs outer sharing).
+
+Times the three partial-sums algorithms on the BERKSTAN analogue and records
+the analytic addition counts per sharing level, isolating the contribution of
+set de-duplication, inner sharing and outer sharing to the total win.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments.ablations import run_sharing_levels
+from repro.bench.runner import run_algorithm
+
+from .conftest import BENCH_DAMPING, BENCH_SCALE
+
+ITERATIONS = 8
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "psum-sr", "oip-sr", "oip-dsr"])
+def test_ablation_algorithm_ladder(benchmark, dblp_graphs, algorithm):
+    """The historical ladder: naive -> psum-SR -> OIP-SR -> OIP-DSR."""
+    graph = dblp_graphs["dblp-d02"]
+    benchmark.group = "ablation-ladder-dblp-d02"
+    kwargs: dict[str, object] = {"damping": BENCH_DAMPING, "iterations": ITERATIONS}
+    if algorithm == "oip-dsr":
+        kwargs = {"damping": BENCH_DAMPING, "accuracy": 1e-3}
+    result = benchmark.pedantic(
+        lambda: run_algorithm(algorithm, graph, **kwargs), rounds=1, iterations=1
+    )
+    benchmark.extra_info["additions"] = result.total_additions
+    assert result.total_additions > 0
+
+
+def test_ablation_sharing_levels_table(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_sharing_levels(scale=BENCH_SCALE, quick=False),
+        rounds=1,
+        iterations=1,
+    )
+    totals = [row["total_additions"] for row in report.rows]
+    for row in report.rows:
+        benchmark.extra_info[str(row["level"])] = int(row["total_additions"])
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_ablation_naive_is_strictly_worse(dblp_graphs):
+    graph = dblp_graphs["dblp-d02"]
+    naive = run_algorithm("naive", graph, damping=BENCH_DAMPING, iterations=2)
+    psum = run_algorithm("psum-sr", graph, damping=BENCH_DAMPING, iterations=2)
+    assert naive.total_additions > psum.total_additions

@@ -1,0 +1,65 @@
+"""Fig. 6b — amortised time per phase (Build MST vs Share Sums).
+
+Two benchmark groups per dataset: the ``DMST-Reduce`` build phase in
+isolation and the iterative sharing phase (run on a pre-built plan).  The
+ratio between the two groups is the phase split the paper plots; the
+full-algorithm phase shares are recorded as ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dmst_reduce import dmst_reduce
+from repro.core.oip_dsr import oip_dsr
+from repro.core.oip_sr import oip_sr
+
+from .conftest import BENCH_ACCURACY, BENCH_DAMPING
+
+
+@pytest.mark.parametrize("dataset", ["berkstan", "patent"])
+def test_fig6b_build_mst_phase(benchmark, berkstan_graph, patent_graph, dataset):
+    """Time the DMST-Reduce phase alone."""
+    graph = berkstan_graph if dataset == "berkstan" else patent_graph
+    benchmark.group = f"fig6b-{dataset}"
+    plan = benchmark(lambda: dmst_reduce(graph))
+    benchmark.extra_info["phase"] = "build_mst"
+    benchmark.extra_info["tree_weight"] = plan.total_weight()
+    assert plan.num_sets > 0
+
+
+@pytest.mark.parametrize("algorithm", ["oip-sr", "oip-dsr"])
+@pytest.mark.parametrize("dataset", ["berkstan", "patent"])
+def test_fig6b_share_sums_phase(
+    benchmark, berkstan_graph, patent_graph, dataset, algorithm
+):
+    """Time the iterative sharing phase on a pre-built plan."""
+    graph = berkstan_graph if dataset == "berkstan" else patent_graph
+    plan = dmst_reduce(graph)
+    benchmark.group = f"fig6b-{dataset}"
+    solver = oip_sr if algorithm == "oip-sr" else oip_dsr
+
+    result = benchmark.pedantic(
+        lambda: solver(
+            graph,
+            damping=BENCH_DAMPING,
+            accuracy=BENCH_ACCURACY,
+            plan=plan,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["phase"] = f"share_sums ({algorithm})"
+    benchmark.extra_info["iterations"] = result.iterations
+    assert result.instrumentation.timer.get("share_sums") > 0
+
+
+@pytest.mark.parametrize("dataset", ["berkstan", "patent"])
+def test_fig6b_phase_split_shape(berkstan_graph, patent_graph, dataset):
+    """The paper's observation: the MST share is larger for OIP-DSR."""
+    graph = berkstan_graph if dataset == "berkstan" else patent_graph
+    conventional = oip_sr(graph, damping=BENCH_DAMPING, accuracy=BENCH_ACCURACY)
+    differential = oip_dsr(graph, damping=BENCH_DAMPING, accuracy=BENCH_ACCURACY)
+    share_conventional = conventional.instrumentation.timer.share("build_mst")
+    share_differential = differential.instrumentation.timer.share("build_mst")
+    assert share_differential >= share_conventional

@@ -1,0 +1,50 @@
+"""Fig. 6c — effect of graph density on running time (SYN sweep).
+
+One benchmark per (average degree, algorithm) pair over the R-MAT SYN
+graphs; the recorded ``extra_info`` carries counted additions and the plan's
+share ratio, whose growth with density is the figure's annotation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_algorithm
+from repro.core.dmst_reduce import dmst_reduce
+
+from .conftest import BENCH_ACCURACY, BENCH_DAMPING
+
+DEGREES = (10, 30, 50)
+ALGORITHMS = ("psum-sr", "oip-sr", "oip-dsr")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("degree", DEGREES)
+def test_fig6c_density_sweep(benchmark, syn_graphs, degree, algorithm):
+    graph = syn_graphs[degree]
+    benchmark.group = f"fig6c-degree-{degree}"
+    result = benchmark.pedantic(
+        lambda: run_algorithm(
+            algorithm, graph, damping=BENCH_DAMPING, accuracy=BENCH_ACCURACY
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["additions"] = result.total_additions
+    benchmark.extra_info["avg_degree"] = degree
+    benchmark.extra_info["share_ratio"] = dmst_reduce(graph).share_ratio()
+    assert result.scores.shape[0] == graph.num_vertices
+
+
+def test_fig6c_speedup_grows_with_density(syn_graphs):
+    """The addition ratio psum-SR / OIP-SR grows as the graph gets denser."""
+    ratios = []
+    for degree in DEGREES:
+        graph = syn_graphs[degree]
+        psum = run_algorithm(
+            "psum-sr", graph, damping=BENCH_DAMPING, iterations=5
+        )
+        oip = run_algorithm("oip-sr", graph, damping=BENCH_DAMPING, iterations=5)
+        ratios.append(psum.total_additions / oip.total_additions)
+    assert all(ratio >= 0.99 for ratio in ratios)
+    assert ratios[-1] >= ratios[0]

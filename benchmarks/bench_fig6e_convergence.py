@@ -1,0 +1,48 @@
+"""Fig. 6e — convergence rate: measured iterations to reach each accuracy.
+
+The benchmark times the convergence measurement itself (matrix-form
+iterations against a long-run reference) and records, per accuracy, the
+measured and predicted iteration counts for both models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments.fig6e import ACCURACIES, measure_empirical_iterations
+from repro.core.iteration_bounds import (
+    conventional_iterations,
+    differential_iterations_exact,
+    differential_iterations_lambert,
+)
+
+DAMPING = 0.8
+
+
+def test_fig6e_convergence_measurement(benchmark, dblp_graphs):
+    graph = dblp_graphs["dblp-d11"]
+
+    conventional, differential = benchmark.pedantic(
+        lambda: measure_empirical_iterations(graph, DAMPING), rounds=1, iterations=1
+    )
+    for accuracy in ACCURACIES:
+        benchmark.extra_info[f"conventional@{accuracy:g}"] = conventional[accuracy]
+        benchmark.extra_info[f"differential@{accuracy:g}"] = differential[accuracy]
+        assert differential[accuracy] <= conventional[accuracy]
+
+
+@pytest.mark.parametrize("accuracy", ACCURACIES)
+def test_fig6e_estimates_track_measurement(dblp_graphs, accuracy):
+    graph = dblp_graphs["dblp-d08"]
+    conventional, differential = measure_empirical_iterations(
+        graph, DAMPING, accuracies=(accuracy,)
+    )
+    # The theoretical bounds are upper bounds on the measured counts.
+    assert conventional[accuracy] <= conventional_iterations(accuracy, DAMPING)
+    assert differential[accuracy] <= differential_iterations_exact(accuracy, DAMPING)
+    # The closed-form estimate stays close to the exact differential bound.
+    assert (
+        differential_iterations_lambert(accuracy, DAMPING)
+        - differential_iterations_exact(accuracy, DAMPING)
+        <= 2
+    )

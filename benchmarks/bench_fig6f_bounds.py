@@ -1,0 +1,25 @@
+"""Fig. 6f — the iteration-bound table (exact reproduction check).
+
+The table is analytic, so the benchmark times its computation (microseconds)
+and asserts every cell against the values printed in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.fig6f import PAPER_FIG6F
+from repro.core.iteration_bounds import iteration_bound_table
+
+
+def test_fig6f_bound_table(benchmark):
+    table = benchmark(lambda: iteration_bound_table(damping=0.8))
+    for row in table:
+        paper = PAPER_FIG6F[float(row["epsilon"])]
+        assert row["differential_exact"] == paper["oip_dsr"]
+        assert row["lambert_estimate"] == paper["lambert"]
+        assert row["log_estimate"] == paper["log"]
+        benchmark.extra_info[f"eps={row['epsilon']:g}"] = {
+            "K": row["conventional_K"],
+            "K'": row["differential_exact"],
+            "lambert": row["lambert_estimate"],
+            "log": row["log_estimate"],
+        }

@@ -1,0 +1,37 @@
+"""Fig. 6h — top-30 co-author case study under OIP-SR vs OIP-DSR."""
+
+from __future__ import annotations
+
+from repro.core.oip_dsr import oip_dsr
+from repro.core.oip_sr import oip_sr
+from repro.ranking.correlation import adjacent_inversions, ranking_agreement
+from repro.workloads.queries import prolific_author_queries
+
+DAMPING = 0.8
+ACCURACY = 1e-3
+K = 30
+
+
+def test_fig6h_top30_case_study(benchmark, dblp_graphs):
+    graph = dblp_graphs["dblp-d11"]
+    query = prolific_author_queries(graph, num_queries=1).queries[0]
+
+    def run_case_study():
+        reference = oip_sr(graph, damping=DAMPING, accuracy=ACCURACY)
+        evaluated = oip_dsr(graph, damping=DAMPING, accuracy=ACCURACY)
+        reference_top = [label for label, _ in reference.top_k(query, k=K)]
+        evaluated_top = [label for label, _ in evaluated.top_k(query, k=K)]
+        return reference_top, evaluated_top
+
+    reference_top, evaluated_top = benchmark.pedantic(
+        run_case_study, rounds=1, iterations=1
+    )
+    overlap = ranking_agreement(reference_top, evaluated_top, k=K)
+    inversions = adjacent_inversions(reference_top, evaluated_top)
+    benchmark.extra_info["query"] = str(query)
+    benchmark.extra_info["overlap"] = round(overlap, 3)
+    benchmark.extra_info["inversions"] = inversions
+    benchmark.extra_info["top5_oip_sr"] = [str(label) for label in reference_top[:5]]
+    benchmark.extra_info["top5_oip_dsr"] = [str(label) for label in evaluated_top[:5]]
+    # The two lists must name largely the same co-authors.
+    assert overlap >= 0.7

@@ -1,0 +1,57 @@
+"""Co-author recommendation on a DBLP-style collaboration network.
+
+This is the scenario behind the paper's Fig. 6g/6h: given a prolific author,
+find the researchers most structurally similar to them (people embedded in
+the same collaboration neighbourhoods), and check that the fast differential
+model (OIP-DSR) recommends essentially the same people as conventional
+SimRank — at a fraction of the iterations.
+
+Run with::
+
+    python examples/coauthor_recommendation.py
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset, oip_dsr, oip_sr
+from repro.ranking import compare_top_k
+from repro.workloads import prolific_author_queries
+
+
+def main() -> None:
+    # A simulated DBLP 2000-2011 co-authorship snapshot with named authors.
+    graph = load_dataset("dblp-d11", scale=0.6)
+    print(f"Collaboration network: {graph}\n")
+
+    workload = prolific_author_queries(graph, num_queries=3)
+    print("Query authors (most prolific):", ", ".join(map(str, workload.queries)))
+
+    damping = 0.8  # the paper's setting for the quality experiments
+    reference = oip_sr(graph, damping=damping, accuracy=1e-3)
+    fast = oip_dsr(graph, damping=damping, accuracy=1e-3)
+    print(
+        f"\nOIP-SR ran {reference.iterations} iterations; "
+        f"OIP-DSR only {fast.iterations}."
+    )
+
+    for author in workload.queries:
+        print(f"\nTop-10 recommended collaborators for {author}:")
+        print(f"  {'OIP-SR (conventional)':35s}  {'OIP-DSR (differential)':35s}")
+        reference_top = reference.top_k(author, k=10)
+        fast_top = fast.top_k(author, k=10)
+        for (ref_label, ref_score), (fast_label, fast_score) in zip(
+            reference_top, fast_top
+        ):
+            print(
+                f"  {str(ref_label):28s} {ref_score:.4f}  "
+                f"{str(fast_label):28s} {fast_score:.4f}"
+            )
+        comparison = compare_top_k(reference, fast, author, k=10)
+        print(
+            f"  NDCG@10 = {comparison.ndcg:.3f}, overlap = {comparison.overlap:.2f}, "
+            f"Kendall tau = {comparison.kendall:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: compute SimRank on the paper's running example.
+
+This example rebuilds the 9-vertex paper-citation network of the paper's
+Fig. 1a, runs the two algorithms the paper contributes (OIP-SR and OIP-DSR)
+and prints the similarity scores, the sharing plan and the dendrogram of
+reusable partial sums — everything Section III illustrates.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import from_in_neighbor_sets, oip_dsr, oip_sr
+from repro.core import describe_partitions, dmst_reduce, format_dendrogram
+
+
+def build_paper_example():
+    """Return the paper's Fig. 1a citation network.
+
+    The graph is specified exactly as the paper presents it (Fig. 2a): every
+    vertex is listed with its in-neighbour set; ``f``, ``g`` and ``i`` have
+    no incoming citations.
+    """
+    return from_in_neighbor_sets(
+        {
+            "a": ["b", "g"],
+            "e": ["f", "g"],
+            "h": ["b", "d"],
+            "c": ["b", "d", "g"],
+            "b": ["f", "g", "e", "i"],
+            "d": ["f", "a", "e", "i"],
+            "f": [],
+            "g": [],
+            "i": [],
+        }
+    )
+
+
+def main() -> None:
+    graph = build_paper_example()
+    print(f"Graph: {graph}\n")
+
+    # The sharing plan is the heart of the paper: a minimum spanning tree over
+    # in-neighbour sets that tells us which partial sums to reuse.
+    plan = dmst_reduce(graph)
+    print("Sharing plan:", plan.summary())
+    print("\nPartitions of the in-neighbour sets (the paper's Fig. 3a):")
+    for name, partition in describe_partitions(graph, plan).items():
+        print(f"  P({name}) = {partition}")
+    print("\nPartial-sums dendrogram (the paper's Fig. 3b):")
+    print(format_dendrogram(graph, plan))
+
+    # Conventional SimRank with partial-sums sharing (OIP-SR).
+    conventional = oip_sr(graph, damping=0.6, iterations=10, plan=plan)
+    print("\nOIP-SR similarities involving vertex 'a':")
+    for label, score in conventional.top_k("a", k=5):
+        print(f"  s(a, {label}) = {score:.4f}")
+
+    # Differential SimRank (OIP-DSR): exponential convergence, same ordering.
+    differential = oip_dsr(graph, damping=0.6, accuracy=1e-4, plan=plan)
+    print(
+        f"\nOIP-DSR reached accuracy 1e-4 in {differential.iterations} iterations "
+        f"(conventional SimRank needs {conventional.iterations}+)."
+    )
+    print("OIP-DSR ranking for vertex 'a':")
+    for label, score in differential.top_k("a", k=5):
+        print(f"  s^(a, {label}) = {score:.4f}")
+
+    print(
+        "\nCounted additions — OIP-SR: "
+        f"{conventional.total_additions:,}, OIP-DSR: {differential.total_additions:,}"
+    )
+
+
+if __name__ == "__main__":
+    main()

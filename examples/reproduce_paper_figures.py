@@ -1,0 +1,70 @@
+"""Regenerate every figure and table of the paper's evaluation section.
+
+This is the scripted equivalent of running the ``repro-simrank`` CLI for each
+figure in turn.  By default it uses reduced sizes (``--quick``) so the whole
+sweep finishes in a couple of minutes; pass ``--full`` for the registry's
+default scales.
+
+Run with::
+
+    python examples/reproduce_paper_figures.py            # quick sweep
+    python examples/reproduce_paper_figures.py --full     # full sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.bench.experiments import (
+    ablations,
+    fig5,
+    fig6a,
+    fig6b,
+    fig6c,
+    fig6d,
+    fig6e,
+    fig6f,
+    fig6g,
+    fig6h,
+)
+from repro.bench.results import format_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="run at full registry scale"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None, help="explicit scale override"
+    )
+    args = parser.parse_args()
+
+    quick = not args.full
+    scale = args.scale if args.scale is not None else (0.5 if quick else 1.0)
+
+    experiments = [
+        ("fig5", fig5.run),
+        ("fig6a", fig6a.run),
+        ("fig6b", fig6b.run),
+        ("fig6c", fig6c.run),
+        ("fig6d", fig6d.run),
+        ("fig6e", fig6e.run),
+        ("fig6f", fig6f.run),
+        ("fig6g", fig6g.run),
+        ("fig6h", fig6h.run),
+        ("ablation: candidate strategy", ablations.run_candidate_strategy),
+        ("ablation: candidate budget", ablations.run_candidate_budget),
+        ("ablation: sharing levels", ablations.run_sharing_levels),
+    ]
+    for name, runner in experiments:
+        start = time.perf_counter()
+        report = runner(scale=scale, quick=quick)
+        elapsed = time.perf_counter() - start
+        print(format_report(report))
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

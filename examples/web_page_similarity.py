@@ -1,0 +1,74 @@
+"""Related-page discovery on a host-clustered web graph.
+
+The paper's headline speed-up (4.6x over psum-SR) is measured on the
+BERKSTAN web crawl, where pages of the same host share most of their
+in-links.  This example generates a BERKSTAN-like graph, shows how much
+partial-sums sharing the structure affords (the sharing plan statistics),
+compares the counted work of psum-SR vs OIP-SR vs OIP-DSR, and then answers
+a "find related pages" query with each algorithm.
+
+Run with::
+
+    python examples/web_page_similarity.py
+"""
+
+from __future__ import annotations
+
+from repro import oip_dsr, oip_sr, psum_simrank
+from repro.core import dmst_reduce
+from repro.graph.generators import web_graph
+from repro.graph.properties import overlap_statistics
+
+
+def main() -> None:
+    graph = web_graph(
+        num_pages=600,
+        num_hosts=12,
+        average_degree=11.0,
+        index_pages_per_host=4,
+        seed=5,
+        name="example-webgraph",
+    )
+    print(f"Web graph: {graph}")
+
+    overlap = overlap_statistics(graph)
+    print("In-neighbour-set overlap:", overlap.as_dict())
+
+    plan = dmst_reduce(graph)
+    print("Sharing plan:", plan.summary(), "\n")
+
+    damping, accuracy = 0.6, 1e-3
+    baseline = psum_simrank(graph, damping=damping, accuracy=accuracy)
+    shared = oip_sr(graph, damping=damping, accuracy=accuracy, plan=plan)
+    differential = oip_dsr(graph, damping=damping, accuracy=accuracy, plan=plan)
+
+    print("Algorithm comparison (same accuracy target):")
+    header = f"  {'algorithm':10s} {'iterations':>10s} {'additions':>15s} {'seconds':>9s}"
+    print(header)
+    for result in (baseline, shared, differential):
+        print(
+            f"  {result.algorithm:10s} {result.iterations:>10d} "
+            f"{result.total_additions:>15,d} {result.elapsed_seconds:>9.3f}"
+        )
+    print(
+        f"\n  addition speed-up of OIP-SR over psum-SR: "
+        f"{baseline.total_additions / shared.total_additions:.2f}x"
+    )
+    print(
+        f"  addition speed-up of OIP-DSR over psum-SR: "
+        f"{baseline.total_additions / differential.total_additions:.2f}x"
+    )
+
+    # "Related pages" query: pick an ordinary content page and list the pages
+    # most similar to it — with this generator these are its host siblings.
+    query = max(graph.vertices(), key=graph.in_degree)
+    print(f"\nPages most similar to page {query} (by OIP-SR):")
+    for label, score in shared.top_k(query, k=8):
+        print(f"  page {label}: {score:.4f}")
+    print("\nSame query under OIP-DSR (ordering should match):")
+    for label, score in differential.top_k(query, k=8):
+        print(f"  page {label}: {score:.4f}")
+
+
+if __name__ == "__main__":
+    main()

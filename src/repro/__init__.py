@@ -1,0 +1,102 @@
+"""repro — reproduction of "Towards Efficient SimRank Computation on Large Networks".
+
+The package implements the two contributions of Yu, Lin and Zhang (ICDE
+2013) — OIP-SR (SimRank with inner/outer partial-sums sharing over a
+directed minimum spanning tree of in-neighbour sets) and OIP-DSR (the
+differential, exponential-sum SimRank model) — together with every substrate
+and baseline the paper's evaluation depends on: a graph toolkit with
+generators standing in for the BERKSTAN / PATENT / DBLP datasets, the
+psum-SR / mtx-SR / Monte-Carlo / naive baselines, the P-Rank extension,
+ranking-quality metrics, and a benchmark harness that regenerates every
+figure and table of the paper's Section V.
+
+Quickstart
+----------
+>>> from repro import generators, oip_sr, oip_dsr
+>>> graph = generators.web_graph(num_pages=200, num_hosts=8, seed=1)
+>>> conventional = oip_sr(graph, damping=0.6, accuracy=1e-3)
+>>> fast = oip_dsr(graph, damping=0.6, accuracy=1e-3)
+>>> conventional.top_k(0, k=5)  # doctest: +SKIP
+"""
+
+from ._version import __version__
+from .baselines import (
+    matrix_simrank,
+    monte_carlo_simrank,
+    mtx_svd_simrank,
+    naive_simrank,
+    psum_simrank,
+    single_pair_simrank,
+    single_source_simrank,
+    top_k_from_result,
+    top_k_single_source,
+)
+from .core import (
+    SharingPlan,
+    SimilarityStore,
+    SimRankResult,
+    conventional_iterations,
+    differential_iterations_exact,
+    differential_iterations_lambert,
+    differential_iterations_log,
+    differential_simrank,
+    dmst_reduce,
+    oip_dsr,
+    oip_sr,
+)
+from .exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    GraphBuildError,
+    GraphError,
+    ReproError,
+    VertexNotFoundError,
+)
+from .extensions import prank, prank_shared
+from .graph import DiGraph, GraphBuilder, from_edges, from_in_neighbor_sets
+from .graph import generators
+from .workloads import load_dataset, syn_graph
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "DiGraph",
+    "GraphBuilder",
+    "from_edges",
+    "from_in_neighbor_sets",
+    "generators",
+    # the paper's contribution
+    "oip_sr",
+    "oip_dsr",
+    "dmst_reduce",
+    "SharingPlan",
+    "SimilarityStore",
+    "SimRankResult",
+    "differential_simrank",
+    "conventional_iterations",
+    "differential_iterations_exact",
+    "differential_iterations_lambert",
+    "differential_iterations_log",
+    # baselines and extensions
+    "naive_simrank",
+    "psum_simrank",
+    "matrix_simrank",
+    "mtx_svd_simrank",
+    "monte_carlo_simrank",
+    "single_pair_simrank",
+    "single_source_simrank",
+    "top_k_from_result",
+    "top_k_single_source",
+    "prank",
+    "prank_shared",
+    # workloads
+    "load_dataset",
+    "syn_graph",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "GraphBuildError",
+    "VertexNotFoundError",
+    "ConfigurationError",
+    "ConvergenceError",
+]

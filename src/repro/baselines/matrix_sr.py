@@ -1,0 +1,93 @@
+"""Matrix-form SimRank via sparse linear algebra (Eq. 3 of the paper).
+
+The matrix formulation ``S = C·(Q S Qᵀ) + (1 − C)·Iₙ`` (due to Li et al.)
+is the natural "just use BLAS" baseline: every iteration is two sparse-dense
+products.  Two diagonal conventions are supported:
+
+* ``diagonal="matrix"`` — iterate Eq. 3 literally; diagonal entries end up in
+  ``[1 − C, 1]``.
+* ``diagonal="one"`` (default) — pin the diagonal to 1 after every iteration,
+  which makes the fixed point identical to the iterative form (Eq. 2) and
+  therefore directly comparable with OIP-SR / psum-SR / naive.
+
+This solver is also the package's fast oracle: tests use it to validate the
+shared-sums engine on medium graphs where the naive oracle would be too slow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.instrumentation import Instrumentation
+from ..core.iteration_bounds import conventional_iterations
+from ..core.result import SimRankResult, validate_damping, validate_iterations
+from ..exceptions import ConfigurationError
+from ..graph.digraph import DiGraph
+from ..graph.matrices import backward_transition_matrix
+
+__all__ = ["matrix_simrank"]
+
+_DIAGONAL_MODES = ("one", "matrix")
+
+
+def matrix_simrank(
+    graph: DiGraph,
+    damping: float = 0.6,
+    iterations: Optional[int] = None,
+    accuracy: float = 1e-3,
+    diagonal: str = "one",
+) -> SimRankResult:
+    """Compute all-pairs SimRank by iterating the matrix form (Eq. 3).
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    damping:
+        The damping factor ``C``.
+    iterations:
+        Number of iterations ``K``; derived from ``accuracy`` when ``None``.
+    accuracy:
+        Target accuracy used when ``iterations`` is ``None``.
+    diagonal:
+        ``"one"`` to pin the diagonal to 1 each iteration (iterative-form
+        convention, Eq. 2), ``"matrix"`` for the literal Eq. 3 iteration.
+    """
+    damping = validate_damping(damping)
+    if diagonal not in _DIAGONAL_MODES:
+        raise ConfigurationError(
+            f"diagonal must be one of {_DIAGONAL_MODES}, got {diagonal!r}"
+        )
+    if iterations is None:
+        iterations = conventional_iterations(accuracy, damping)
+    iterations = validate_iterations(iterations)
+
+    instrumentation = Instrumentation()
+    n = graph.num_vertices
+    with instrumentation.timer.phase("iterate"):
+        transition = backward_transition_matrix(graph)
+        transition_t = transition.T.tocsr()
+        scores = np.eye(n, dtype=np.float64)
+        identity_term = (1.0 - damping) * np.eye(n, dtype=np.float64)
+        for _ in range(iterations):
+            propagated = transition @ scores @ transition_t
+            if hasattr(propagated, "todense"):  # pragma: no cover - sparse corner
+                propagated = np.asarray(propagated.todense())
+            if diagonal == "one":
+                scores = damping * propagated
+                np.fill_diagonal(scores, 1.0)
+            else:
+                scores = damping * propagated + identity_term
+            instrumentation.operations.add("matrix", 2 * graph.num_edges * n)
+
+    return SimRankResult(
+        scores=scores,
+        graph=graph,
+        algorithm="matrix-sr",
+        damping=damping,
+        iterations=iterations,
+        instrumentation=instrumentation,
+        extra={"accuracy": accuracy, "diagonal": diagonal},
+    )

@@ -1,0 +1,21 @@
+"""One module per paper figure/table, plus ablations.
+
+Every module exposes ``run(scale=..., quick=...) -> ExperimentReport`` so the
+CLI, the pytest benchmarks and EXPERIMENTS.md can regenerate any figure with
+one call.
+"""
+
+from . import ablations, fig5, fig6a, fig6b, fig6c, fig6d, fig6e, fig6f, fig6g, fig6h
+
+__all__ = [
+    "ablations",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig6d",
+    "fig6e",
+    "fig6f",
+    "fig6g",
+    "fig6h",
+]

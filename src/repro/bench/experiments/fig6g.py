@@ -1,0 +1,68 @@
+"""Fig. 6g — relative order preservation: NDCG of OIP-DSR against OIP-SR.
+
+The paper issues three prolific-author queries against the DBLP D11
+co-authorship graph, treats the conventional (OIP-SR) ranking as ground
+truth and reports NDCG@{10, 30, 50} of the OIP-DSR ranking, finding values
+of 0.96 / 0.92-0.93 / 0.83-0.85 — i.e. near-perfect preservation at the top
+of the ranking.  This experiment reproduces that protocol on the DBLP
+analogue, with the prolific queries picked by co-author count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.oip_dsr import oip_dsr
+from ...core.oip_sr import oip_sr
+from ...ranking.topk_metrics import compare_queries
+from ...workloads.datasets import load_dataset
+from ...workloads.queries import prolific_author_queries
+from ..runner import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = 1.0,
+    quick: bool = False,
+    damping: float = 0.8,
+    accuracy: float = 1e-3,
+    dataset: str = "dblp-d11",
+) -> ExperimentReport:
+    """Regenerate the NDCG comparison of Fig. 6g."""
+    report = ExperimentReport(
+        experiment="fig6g",
+        title=f"Relative order of OIP-DSR vs OIP-SR (NDCG, {dataset} analogue)",
+    )
+    graph = load_dataset(dataset, scale=scale if not quick else min(scale, 0.5))
+    workload = prolific_author_queries(graph, num_queries=3)
+
+    reference = oip_sr(graph, damping=damping, accuracy=accuracy)
+    evaluated = oip_dsr(graph, damping=damping, accuracy=accuracy)
+
+    k_values = (10, 30) if quick else workload.k_values
+    comparisons = compare_queries(
+        reference, evaluated, workload.queries, k_values=k_values
+    )
+    for comparison in comparisons:
+        report.add_row(comparison.as_dict())
+
+    for k in k_values:
+        values = [
+            comparison.ndcg for comparison in comparisons if comparison.k == k
+        ]
+        report.add_row(
+            {
+                "query": "AVERAGE",
+                "k": k,
+                "ndcg": round(float(np.mean(values)), 4),
+                "overlap": None,
+                "kendall": None,
+                "inversions": None,
+            }
+        )
+    report.add_note(
+        "expected shape: NDCG close to 1 at every cut-off, decreasing only "
+        "slightly as k grows (paper: 0.96 / ~0.93 / ~0.84)."
+    )
+    return report

@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment reports (the CLI's output format).
+
+The paper presents its evaluation as figures; a terminal reproduction prints
+the same series as aligned text tables.  These helpers keep the formatting in
+one place so the CLI, the examples and EXPERIMENTS.md all show identical
+tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .runner import ExperimentReport
+
+__all__ = ["format_table", "format_report", "speedup"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Render ``rows`` as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Dictionaries sharing (a superset of) the same keys.
+    columns:
+        Column order; defaults to the keys of the first row.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table: list[list[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        table.append([_format_value(row.get(column, "")) for column in columns])
+    widths = [
+        max(len(table[line][index]) for line in range(len(table)))
+        for index in range(len(columns))
+    ]
+    lines = []
+    for line_number, line in enumerate(table):
+        rendered = "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(line)
+        )
+        lines.append(rendered.rstrip())
+        if line_number == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_report(report: ExperimentReport, columns: Sequence[str] | None = None) -> str:
+    """Render a full :class:`ExperimentReport` (title, table, notes)."""
+    parts = [f"== {report.experiment}: {report.title} =="]
+    parts.append(format_table(report.rows, columns=columns))
+    for note in report.notes:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Return ``baseline / improved`` guarding against division by zero."""
+    if improved <= 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / improved

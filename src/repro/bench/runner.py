@@ -1,0 +1,124 @@
+"""Experiment runner: a uniform way to invoke every solver and collect rows.
+
+The benchmark harness (both the ``benchmarks/`` pytest-benchmark suite and
+the ``repro-simrank`` CLI) needs to run the same four algorithms the paper
+compares — OIP-DSR, OIP-SR, psum-SR, mtx-SR — plus the auxiliary solvers,
+over many graphs and parameter settings, and collect comparable measurement
+rows.  :func:`run_algorithm` is that dispatch point, and
+:class:`ExperimentReport` is the common container every experiment module
+returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..baselines.matrix_sr import matrix_simrank
+from ..baselines.mtx_svd_sr import mtx_svd_simrank
+from ..baselines.naive import naive_simrank
+from ..baselines.psum_sr import psum_simrank
+from ..core.diff_simrank import differential_simrank
+from ..core.oip_dsr import oip_dsr
+from ..core.oip_sr import oip_sr
+from ..core.result import SimRankResult
+from ..exceptions import ConfigurationError
+from ..extensions.prank import prank, prank_shared
+from ..graph.digraph import DiGraph
+
+__all__ = ["ALGORITHMS", "run_algorithm", "ExperimentReport", "measurement_row"]
+
+
+ALGORITHMS: dict[str, Callable[..., SimRankResult]] = {
+    "oip-dsr": oip_dsr,
+    "oip-sr": oip_sr,
+    "psum-sr": psum_simrank,
+    "mtx-sr": mtx_svd_simrank,
+    "matrix-sr": matrix_simrank,
+    "diff-matrix": differential_simrank,
+    "naive": naive_simrank,
+    "p-rank": prank,
+    "p-rank-shared": prank_shared,
+}
+"""Registry of runnable algorithms, keyed by the names used in the paper."""
+
+
+def run_algorithm(name: str, graph: DiGraph, **params) -> SimRankResult:
+    """Run the named algorithm on ``graph`` and return its result.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`ALGORITHMS`.
+    graph:
+        Input graph.
+    **params:
+        Forwarded verbatim to the underlying solver (``damping``,
+        ``iterations``, ``accuracy``, ...).
+    """
+    try:
+        solver = ALGORITHMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {', '.join(sorted(ALGORITHMS))}"
+        ) from None
+    return solver(graph, **params)
+
+
+def measurement_row(result: SimRankResult, **extra: object) -> dict[str, object]:
+    """Flatten one result into a benchmark-table row.
+
+    The row contains the summary statistics every figure needs (algorithm,
+    graph size, iterations, seconds, counted additions, peak intermediate
+    memory) plus the per-phase timing split used by Fig. 6b.
+    """
+    row = result.summary()
+    timer = result.instrumentation.timer
+    row["build_mst_seconds"] = round(timer.get("build_mst"), 6)
+    row["share_sums_seconds"] = round(timer.get("share_sums"), 6)
+    row["build_mst_share"] = round(timer.share("build_mst"), 4)
+    row.update(extra)
+    return row
+
+
+@dataclass
+class ExperimentReport:
+    """Output of one experiment module (one figure or table of the paper).
+
+    Attributes
+    ----------
+    experiment:
+        Identifier such as ``"fig6a"``.
+    title:
+        Human-readable title (what the paper's figure shows).
+    rows:
+        Measurement rows; keys vary per experiment but are consistent within
+        one report.
+    notes:
+        Free-form notes, e.g. which paper claims the rows support.
+    """
+
+    experiment: str
+    title: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, row: dict[str, object]) -> None:
+        """Append one measurement row."""
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        """Append one free-form note."""
+        self.notes.append(note)
+
+    def filter(self, **criteria: object) -> list[dict[str, object]]:
+        """Return the rows matching all ``key=value`` criteria."""
+        matched = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                matched.append(row)
+        return matched
+
+    def column(self, key: str, **criteria: object) -> list[object]:
+        """Return one column from the matching rows."""
+        return [row.get(key) for row in self.filter(**criteria)]

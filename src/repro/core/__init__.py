@@ -1,0 +1,87 @@
+"""The paper's contribution: OIP-SR, OIP-DSR and their supporting machinery."""
+
+from .convergence import ConvergenceTrace, iterations_to_accuracy, trace_convergence
+from .diff_simrank import differential_simrank, euler_differential_simrank
+from .dmst_reduce import build_sharing_plan, dmst_reduce
+from .instrumentation import (
+    Instrumentation,
+    MemoryTracker,
+    OperationCounter,
+    PhaseTimer,
+)
+from .iteration_bounds import (
+    conventional_iterations,
+    differential_iterations_exact,
+    differential_iterations_lambert,
+    differential_iterations_log,
+    iteration_bound_table,
+    log_estimate_valid_threshold,
+)
+from .neighbor_index import InNeighborIndex, generate_candidate_edges
+from .oip_dsr import oip_dsr
+from .oip_sr import oip_sr
+from .partial_sums import (
+    outer_partial_sum,
+    partial_sum,
+    partial_sum_vector,
+    update_outer_partial_sum,
+    update_partial_sum_vector,
+)
+from .partition import describe_partitions, format_dendrogram, set_name
+from .plans import ROOT, PartitionBlock, PlanNode, SharingPlan
+from .result import SimRankResult
+from .sharing_engine import SharingEngine
+from .similarity_store import SimilarityStore
+from .transition_cost import (
+    TransitionEdge,
+    is_sharing_profitable,
+    scratch_cost,
+    split_delta,
+    symmetric_difference_size,
+    transition_cost,
+)
+
+__all__ = [
+    "ConvergenceTrace",
+    "iterations_to_accuracy",
+    "trace_convergence",
+    "differential_simrank",
+    "euler_differential_simrank",
+    "build_sharing_plan",
+    "dmst_reduce",
+    "Instrumentation",
+    "MemoryTracker",
+    "OperationCounter",
+    "PhaseTimer",
+    "conventional_iterations",
+    "differential_iterations_exact",
+    "differential_iterations_lambert",
+    "differential_iterations_log",
+    "iteration_bound_table",
+    "log_estimate_valid_threshold",
+    "InNeighborIndex",
+    "generate_candidate_edges",
+    "oip_dsr",
+    "oip_sr",
+    "outer_partial_sum",
+    "partial_sum",
+    "partial_sum_vector",
+    "update_outer_partial_sum",
+    "update_partial_sum_vector",
+    "describe_partitions",
+    "format_dendrogram",
+    "set_name",
+    "ROOT",
+    "PartitionBlock",
+    "PlanNode",
+    "SharingPlan",
+    "SimRankResult",
+    "SharingEngine",
+    "SimilarityStore",
+    "TransitionEdge",
+    "is_sharing_profitable",
+    "scratch_cost",
+    "split_delta",
+    "symmetric_difference_size",
+    "transition_cost",
+]

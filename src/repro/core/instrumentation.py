@@ -1,0 +1,151 @@
+"""Operation counting, phase timing and memory accounting for the solvers.
+
+The paper's headline claims are *relative*: OIP-SR needs fewer additions than
+psum-SR (``O(K d' n²)`` vs ``O(K d n²)``), spends its time in different
+phases (Fig. 6b) and uses only ``O(n)`` intermediate memory (Fig. 6d).  A
+pure-Python reproduction cannot match the absolute wall-clock of the authors'
+C++ implementation, so every algorithm in this package reports three
+complementary measurements through the classes below:
+
+* :class:`OperationCounter` — scalar additions performed on similarity
+  values, split by phase (inner partial sums, outer partial sums, naive
+  accumulation), which is exactly the unit of the paper's complexity
+  analysis;
+* :class:`PhaseTimer` — wall-clock per named phase ("build_mst",
+  "share_sums", ...), the split shown in Fig. 6b;
+* :class:`MemoryTracker` — peak number of cached intermediate values
+  (partial-sum vectors, outer partial sums, auxiliary matrices), the
+  quantity plotted in Fig. 6d.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["OperationCounter", "PhaseTimer", "MemoryTracker", "Instrumentation"]
+
+
+@dataclass
+class OperationCounter:
+    """Counts scalar additions on similarity values, keyed by category."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, category: str, amount: int) -> None:
+        """Record ``amount`` additions under ``category`` (no-op for 0)."""
+        if amount:
+            self.counts[category] = self.counts.get(category, 0) + int(amount)
+
+    def total(self) -> int:
+        """Total additions across all categories."""
+        return sum(self.counts.values())
+
+    def get(self, category: str) -> int:
+        """Additions recorded under ``category`` (0 when absent)."""
+        return self.counts.get(category, 0)
+
+    def merge(self, other: "OperationCounter") -> None:
+        """Fold ``other``'s counts into this counter."""
+        for category, amount in other.counts.items():
+            self.add(category, amount)
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a copy of the per-category counts plus the total."""
+        summary = dict(self.counts)
+        summary["total"] = self.total()
+        return summary
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager timing one execution of phase ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Total seconds across phases."""
+        return sum(self.seconds.values())
+
+    def get(self, name: str) -> float:
+        """Seconds recorded for phase ``name`` (0.0 when absent)."""
+        return self.seconds.get(name, 0.0)
+
+    def share(self, name: str) -> float:
+        """Fraction of total time spent in phase ``name`` (0 when untimed)."""
+        total = self.total()
+        if total <= 0.0:
+            return 0.0
+        return self.get(name) / total
+
+    def as_dict(self) -> dict[str, float]:
+        """Return a copy of the per-phase seconds plus the total."""
+        summary = {name: round(value, 6) for name, value in self.seconds.items()}
+        summary["total"] = round(self.total(), 6)
+        return summary
+
+
+@dataclass
+class MemoryTracker:
+    """Tracks the peak number of cached intermediate float values.
+
+    The tracker is a simple high-water-mark counter: algorithms call
+    :meth:`allocate` when they cache a partial-sum vector (or any other
+    intermediate array) and :meth:`release` when they free it, mirroring the
+    explicit ``free`` steps of Algorithm 1 / Procedure OP in the paper.
+    """
+
+    current_values: int = 0
+    peak_values: int = 0
+    bytes_per_value: int = 8
+
+    def allocate(self, num_values: int) -> None:
+        """Record that ``num_values`` intermediate floats are now cached."""
+        self.current_values += int(num_values)
+        if self.current_values > self.peak_values:
+            self.peak_values = self.current_values
+
+    def release(self, num_values: int) -> None:
+        """Record that ``num_values`` cached floats have been freed."""
+        self.current_values = max(0, self.current_values - int(num_values))
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak cached intermediate memory in bytes."""
+        return self.peak_values * self.bytes_per_value
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the peak statistics as a dictionary."""
+        return {
+            "peak_values": self.peak_values,
+            "peak_bytes": self.peak_bytes,
+        }
+
+
+@dataclass
+class Instrumentation:
+    """Bundle of the three measurement facilities handed to every solver."""
+
+    operations: OperationCounter = field(default_factory=OperationCounter)
+    timer: PhaseTimer = field(default_factory=PhaseTimer)
+    memory: MemoryTracker = field(default_factory=MemoryTracker)
+
+    def as_dict(self) -> dict[str, object]:
+        """Return a nested dictionary of all measurements."""
+        return {
+            "operations": self.operations.as_dict(),
+            "seconds": self.timer.as_dict(),
+            "memory": self.memory.as_dict(),
+        }

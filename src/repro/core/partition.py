@@ -1,0 +1,87 @@
+"""Human-readable views of a sharing plan: partitions and the dendrogram.
+
+The paper visualises its sharing plan twice: Fig. 3a lists the partition
+``P(I(v))`` of every in-neighbour set (e.g. ``P(I(c)) = {I(a), {d}}``) and
+Fig. 3b draws the accumulation of reusable partial sums as a hierarchical
+clustering dendrogram.  These helpers render the same two views from a
+:class:`~repro.core.plans.SharingPlan` — they exist for debugging, the
+examples and the documentation, not for the hot path.
+"""
+
+from __future__ import annotations
+
+from ..graph.digraph import DiGraph
+from .plans import ROOT, SharingPlan
+
+__all__ = ["describe_partitions", "format_dendrogram", "set_name"]
+
+
+def set_name(graph: DiGraph, plan: SharingPlan, set_id: int) -> str:
+    """Return a readable name for a distinct in-neighbour set.
+
+    When a single vertex ``v`` owns the set the name is ``I(v)`` using the
+    vertex's label (as in the paper's figures); when several vertices share
+    the set, the first member is used and the multiplicity is appended.
+    """
+    members = plan.index.members[set_id]
+    first = graph.label_of(members[0])
+    if len(members) == 1:
+        return f"I({first})"
+    return f"I({first})[x{len(members)}]"
+
+
+def _block_text(graph: DiGraph, vertices: tuple[int, ...]) -> str:
+    labels = ", ".join(str(graph.label_of(vertex)) for vertex in vertices)
+    return "{" + labels + "}"
+
+
+def describe_partitions(graph: DiGraph, plan: SharingPlan) -> dict[str, str]:
+    """Return the Fig. 3a table: ``set name -> partition description``.
+
+    Blocks borrowed from a parent set are shown by the parent's name, fresh
+    blocks by their vertex labels, e.g. ``P(I(c)) = {I(a), {d}}``.
+    """
+    descriptions: dict[str, str] = {}
+    partitions = plan.partitions()
+    for set_id in range(plan.num_sets):
+        blocks = []
+        for block in partitions[set_id]:
+            if block.derived_from == ROOT:
+                blocks.append(_block_text(graph, block.vertices))
+            else:
+                blocks.append(set_name(graph, plan, block.derived_from))
+        descriptions[set_name(graph, plan, set_id)] = "{" + ", ".join(blocks) + "}"
+    return descriptions
+
+
+def format_dendrogram(graph: DiGraph, plan: SharingPlan) -> str:
+    """Render the sharing tree as indented text (the Fig. 3b dendrogram).
+
+    Each line shows how a set's partial sum is obtained: fresh sets list the
+    vertices that are added together, derived sets show the parent plus the
+    removed (``-``) and added (``+``) vertices of the Eq. 9 update.
+    """
+    lines: list[str] = ["(root) ∅"]
+
+    def render(set_id: int, depth: int) -> None:
+        node = plan.nodes[set_id]
+        indent = "  " * depth
+        name = set_name(graph, plan, set_id)
+        if node.mode == "scratch":
+            source = " + ".join(
+                str(graph.label_of(vertex)) for vertex in plan.index.sets[set_id]
+            )
+            lines.append(f"{indent}├─ {name} = {source}")
+        else:
+            parent_name = set_name(graph, plan, node.parent)
+            removed = "".join(
+                f" - {graph.label_of(vertex)}" for vertex in node.removed
+            )
+            added = "".join(f" + {graph.label_of(vertex)}" for vertex in node.added)
+            lines.append(f"{indent}├─ {name} = {parent_name}{removed}{added}")
+        for child in plan.children_of(set_id):
+            render(child, depth + 1)
+
+    for top in plan.root_children:
+        render(top, 1)
+    return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""The sharing plan: output of ``DMST-Reduce``, input to the OIP solvers.
+
+A :class:`SharingPlan` captures everything Algorithm 1 needs about the
+minimum spanning arborescence ``T`` of the transition-cost graph ``G*``:
+
+* for every distinct in-neighbour set, its tree parent and whether its
+  partial sum should be *derived* from the parent (symmetric-difference
+  update, Eq. 9) or computed from *scratch*;
+* the concrete ``removed`` / ``added`` index arrays used by the update;
+* a depth-first traversal order (parents before children) and a chain
+  decomposition matching the paper's path-by-path processing;
+* the partition ``P(I(v))`` of every in-neighbour set implied by the tree
+  (the paper's Fig. 3a view), exposed mainly for inspection and tests.
+
+The plan is a pure description — it never touches similarity scores — so a
+single plan is reused across all ``K`` iterations and across the OIP-SR and
+OIP-DSR solvers, which is precisely why the MST build cost is amortised in
+Fig. 6b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .neighbor_index import InNeighborIndex
+
+__all__ = ["SharingPlan", "PlanNode", "PartitionBlock"]
+
+ROOT = -1
+"""Sentinel parent id meaning "the empty set ∅" (the DMST root)."""
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Per-distinct-set entry of a :class:`SharingPlan`.
+
+    Attributes
+    ----------
+    set_id:
+        Index of the distinct in-neighbour set in the plan's
+        :class:`~repro.core.neighbor_index.InNeighborIndex`.
+    parent:
+        Parent set id in the arborescence, or ``ROOT`` (-1).
+    mode:
+        ``"scratch"`` when the partial sum is computed from its own elements,
+        ``"delta"`` when it is derived from the parent's cached partial sum.
+    removed, added:
+        Vertex-id arrays for the Eq. 9 update (empty for scratch nodes).
+    weight:
+        The chosen transition cost (number of additions per output element).
+    """
+
+    set_id: int
+    parent: int
+    mode: str
+    removed: tuple[int, ...]
+    added: tuple[int, ...]
+    weight: int
+
+
+@dataclass(frozen=True)
+class PartitionBlock:
+    """One block of the partition ``P(I(v))`` induced by the plan (Fig. 3a)."""
+
+    vertices: tuple[int, ...]
+    derived_from: int
+    """Parent set id the block is borrowed from, or ``ROOT`` for fresh blocks."""
+
+
+class SharingPlan:
+    """Sharing order and deltas produced by ``DMST-Reduce``.
+
+    Parameters
+    ----------
+    index:
+        The distinct in-neighbour-set index of the input graph.
+    nodes:
+        One :class:`PlanNode` per distinct set, in set-id order.
+    num_candidate_edges:
+        How many candidate edges the transition-cost graph contained.
+    """
+
+    def __init__(
+        self,
+        index: InNeighborIndex,
+        nodes: list[PlanNode],
+        num_candidate_edges: int = 0,
+    ) -> None:
+        if len(nodes) != index.num_sets:
+            raise ValueError(
+                f"expected {index.num_sets} plan nodes, got {len(nodes)}"
+            )
+        self.index = index
+        self.nodes: tuple[PlanNode, ...] = tuple(nodes)
+        self.num_candidate_edges = int(num_candidate_edges)
+
+        children: list[list[int]] = [[] for _ in range(index.num_sets)]
+        root_children: list[int] = []
+        for node in self.nodes:
+            if node.parent == ROOT:
+                root_children.append(node.set_id)
+            else:
+                children[node.parent].append(node.set_id)
+        self._children: tuple[tuple[int, ...], ...] = tuple(
+            tuple(group) for group in children
+        )
+        self._root_children: tuple[int, ...] = tuple(root_children)
+        self._dfs_order: tuple[int, ...] = tuple(self._compute_dfs_order())
+
+    # ------------------------------------------------------------------ #
+    # Structure accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_sets(self) -> int:
+        """Number of distinct non-empty in-neighbour sets covered."""
+        return self.index.num_sets
+
+    def children_of(self, set_id: int) -> tuple[int, ...]:
+        """Return the tree children of ``set_id``."""
+        return self._children[set_id]
+
+    @property
+    def root_children(self) -> tuple[int, ...]:
+        """Sets whose partial sums are computed from scratch at path starts."""
+        return self._root_children
+
+    def dfs_order(self) -> tuple[int, ...]:
+        """Return a depth-first pre-order of all sets (parents first)."""
+        return self._dfs_order
+
+    def _compute_dfs_order(self) -> list[int]:
+        order: list[int] = []
+        stack = list(reversed(self._root_children))
+        while stack:
+            set_id = stack.pop()
+            order.append(set_id)
+            stack.extend(reversed(self._children[set_id]))
+        return order
+
+    def chains(self) -> Iterator[list[int]]:
+        """Yield the plan as chains, mirroring the paper's path decomposition.
+
+        Each chain starts at a set whose partial sum is computed from scratch
+        (a root child, or the non-first child of a branching node) and
+        continues parent→child as long as each node is the *first* child of
+        its parent.  Processing chain-by-chain needs only two cached partial
+        sums at any time, which is the paper's ``O(n)`` intermediate-memory
+        regime.
+        """
+        for start in self._chain_starts():
+            chain = [start]
+            current = start
+            while self._children[current]:
+                current = self._children[current][0]
+                chain.append(current)
+            yield chain
+
+    def _chain_starts(self) -> list[int]:
+        starts = list(self._root_children)
+        for set_id in range(self.num_sets):
+            children = self._children[set_id]
+            starts.extend(children[1:])
+        # Keep deterministic DFS-consistent ordering.
+        position = {set_id: rank for rank, set_id in enumerate(self._dfs_order)}
+        return sorted(starts, key=lambda set_id: position[set_id])
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def total_weight(self) -> int:
+        """Total transition cost of the chosen arborescence edges."""
+        return sum(node.weight for node in self.nodes)
+
+    def scratch_weight(self) -> int:
+        """Cost psum-SR would pay: ``Σ (|I| − 1)`` over all *vertices*.
+
+        Note this is weighted by the number of member vertices because
+        psum-SR recomputes the partial sum separately for every source
+        vertex, even when two vertices share the same in-neighbour set.
+        """
+        total = 0
+        for set_id, members in enumerate(self.index.members):
+            total += max(self.index.set_size(set_id) - 1, 0) * len(members)
+        return total
+
+    def distinct_scratch_weight(self) -> int:
+        """Cost of building every *distinct* set from scratch once."""
+        return sum(
+            max(self.index.set_size(set_id) - 1, 0)
+            for set_id in range(self.num_sets)
+        )
+
+    def shared_node_count(self) -> int:
+        """Number of sets whose partial sum is derived from a parent."""
+        return sum(1 for node in self.nodes if node.mode == "delta")
+
+    def share_ratio(self) -> float:
+        """Fraction of distinct sets that reuse a cached partial sum."""
+        if not self.nodes:
+            return 0.0
+        return self.shared_node_count() / len(self.nodes)
+
+    def average_delta_size(self) -> float:
+        """The paper's ``d_⊖``: mean update size over the chosen tree edges."""
+        if not self.nodes:
+            return 0.0
+        return float(np.mean([node.weight for node in self.nodes]))
+
+    # ------------------------------------------------------------------ #
+    # Fig. 3a view
+    # ------------------------------------------------------------------ #
+    def partitions(self) -> dict[int, list[PartitionBlock]]:
+        """Return the induced partition ``P(I)`` of every distinct set.
+
+        For scratch nodes the partition is the trivial one (a single fresh
+        block).  For delta nodes it is
+        ``{I(parent) ∩ I(self), I(self) \\ I(parent)}`` — the first block is
+        tagged with the parent set id it is derived from, reproducing the
+        paper's Fig. 3a (e.g. ``P(I(c)) = {I(a), {d}}``).
+        """
+        partitions: dict[int, list[PartitionBlock]] = {}
+        for node in self.nodes:
+            own = set(self.index.sets[node.set_id])
+            if node.mode == "scratch" or node.parent == ROOT:
+                partitions[node.set_id] = [
+                    PartitionBlock(tuple(sorted(own)), derived_from=ROOT)
+                ]
+                continue
+            parent_set = set(self.index.sets[node.parent])
+            shared_block = tuple(sorted(own & parent_set))
+            fresh_block = tuple(sorted(own - parent_set))
+            blocks = [PartitionBlock(shared_block, derived_from=node.parent)]
+            if fresh_block:
+                blocks.append(PartitionBlock(fresh_block, derived_from=ROOT))
+            partitions[node.set_id] = blocks
+        return partitions
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, object]:
+        """Return a dictionary of plan statistics for benchmark tables."""
+        return {
+            "distinct_sets": self.num_sets,
+            "candidate_edges": self.num_candidate_edges,
+            "tree_weight": self.total_weight(),
+            "scratch_weight_per_vertex": self.scratch_weight(),
+            "scratch_weight_distinct": self.distinct_scratch_weight(),
+            "shared_nodes": self.shared_node_count(),
+            "share_ratio": round(self.share_ratio(), 4),
+            "average_delta": round(self.average_delta_size(), 4),
+            "duplicate_vertices": self.index.duplicate_vertex_count(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<SharingPlan sets={self.num_sets} "
+            f"share_ratio={self.share_ratio():.2f} "
+            f"tree_weight={self.total_weight()}>"
+        )

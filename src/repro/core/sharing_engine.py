@@ -1,0 +1,339 @@
+"""Vectorised execution engine for partial-sums sharing (Algorithm 1 + OP).
+
+The engine turns a :class:`~repro.core.plans.SharingPlan` into numpy-friendly
+index arrays once, then performs SimRank iterations that follow the paper's
+Algorithm 1 exactly:
+
+* **inner partial sums** — for every distinct in-neighbour set, the vector
+  ``y ↦ Partial_{I}(y)`` is either computed from scratch (root children) or
+  derived from its tree parent's cached vector with the symmetric-difference
+  update of Eq. 9;
+* **outer partial sums** — for a fixed source set, the scalars
+  ``OuterPartial_{I(target)}`` for *all* target sets are computed along the
+  same tree using Prop. 4, then converted into a full similarity row;
+* **memory discipline** — a partial-sum vector is freed as soon as the
+  subtree below it has been processed, mirroring the explicit ``free`` steps
+  of the pseudo-code, and the peak is recorded.
+
+The same engine serves both the conventional model (OIP-SR: damping ``C``
+inside the update, diagonal pinned to 1) and the differential model
+(OIP-DSR: factor 1, no pinning, the caller accumulates the exponential
+series), which is exactly how the paper reuses its optimisation for Eq. 15.
+
+A note on operation counting: the engine counts *scalar additions on
+similarity values*, the unit of the paper's ``O(K d n²)`` analysis.  One
+"row operation" on a length-``n`` partial-sum vector counts as ``n``
+additions; outer-partial updates count one addition per element touched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from .instrumentation import Instrumentation
+from .plans import ROOT, SharingPlan
+
+__all__ = ["SharingEngine"]
+
+
+class SharingEngine:
+    """Executes shared-partial-sums SimRank iterations over a fixed plan."""
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        plan: SharingPlan,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.instrumentation = instrumentation or Instrumentation()
+
+        index = plan.index
+        self.num_vertices = graph.num_vertices
+        self.num_sets = index.num_sets
+
+        self._set_indices = [
+            np.asarray(index.sets[set_id], dtype=np.intp)
+            for set_id in range(self.num_sets)
+        ]
+        self._member_indices = [
+            np.asarray(index.members[set_id], dtype=np.intp)
+            for set_id in range(self.num_sets)
+        ]
+        self._set_sizes = np.array(
+            [index.set_size(set_id) for set_id in range(self.num_sets)],
+            dtype=np.float64,
+        )
+        self._parents = np.array(
+            [node.parent for node in plan.nodes], dtype=np.int64
+        )
+        self._is_delta = np.array(
+            [node.mode == "delta" for node in plan.nodes], dtype=bool
+        )
+        self._removed_indices = [
+            np.asarray(node.removed, dtype=np.intp) for node in plan.nodes
+        ]
+        self._added_indices = [
+            np.asarray(node.added, dtype=np.intp) for node in plan.nodes
+        ]
+        self._dfs_order = plan.dfs_order()
+        self._children_counts = np.array(
+            [len(plan.children_of(set_id)) for set_id in range(self.num_sets)],
+            dtype=np.int64,
+        )
+
+        # Map every vertex to its distinct-set id, using ``num_sets`` as a
+        # sentinel slot holding value 0 for vertices with no in-neighbours.
+        sentinel = self.num_sets
+        vertex_set_id = np.where(
+            index.set_of_vertex >= 0, index.set_of_vertex, sentinel
+        )
+        self._vertex_set_id = vertex_set_id.astype(np.intp)
+
+        self._build_outer_pass_arrays()
+        self._count_static_costs()
+
+    # ------------------------------------------------------------------ #
+    # Precomputation
+    # ------------------------------------------------------------------ #
+    def _build_outer_pass_arrays(self) -> None:
+        """Flatten the outer-partial-sum pass into bincount-friendly arrays.
+
+        The pass has two parts: "scratch" sets are summed directly from the
+        partial-sum vector, and "delta" sets reuse their tree parent's value
+        through the Prop. 4 recurrence
+        ``outer[t] = outer[parent] − Σ removed + Σ added``.  Unrolling that
+        recurrence along every root-to-node path gives
+        ``outer[t] = outer[anchor(t)] + Σ_{u on path} (added_u − removed_u)``
+        where ``anchor(t)`` is the nearest scratch ancestor, so the whole
+        pass can be evaluated with two ``bincount`` calls and one sparse
+        ancestor-indicator product — no per-set Python loop.
+        """
+        scratch_ids: list[int] = []
+        scratch_concat: list[int] = []
+        scratch_segments: list[int] = []
+        delta_ids: list[int] = []
+        delta_position: dict[int, int] = {}
+        removed_concat: list[int] = []
+        removed_segments: list[int] = []
+        added_concat: list[int] = []
+        added_segments: list[int] = []
+
+        for set_id in self._dfs_order:
+            if self._is_delta[set_id]:
+                segment = len(delta_ids)
+                delta_position[set_id] = segment
+                delta_ids.append(set_id)
+                for vertex in self._removed_indices[set_id]:
+                    removed_concat.append(int(vertex))
+                    removed_segments.append(segment)
+                for vertex in self._added_indices[set_id]:
+                    added_concat.append(int(vertex))
+                    added_segments.append(segment)
+            else:
+                segment = len(scratch_ids)
+                scratch_ids.append(set_id)
+                for vertex in self._set_indices[set_id]:
+                    scratch_concat.append(int(vertex))
+                    scratch_segments.append(segment)
+
+        self._scratch_ids = np.asarray(scratch_ids, dtype=np.intp)
+        self._scratch_concat = np.asarray(scratch_concat, dtype=np.intp)
+        self._scratch_segments = np.asarray(scratch_segments, dtype=np.intp)
+        self._delta_ids = np.asarray(delta_ids, dtype=np.intp)
+        # Removed and added contributions are only ever used as their signed
+        # combination (added − removed), so they are fused into one gather +
+        # one weighted bincount per pass.
+        self._delta_concat = np.asarray(removed_concat + added_concat, dtype=np.intp)
+        self._delta_segments = np.asarray(
+            removed_segments + added_segments, dtype=np.intp
+        )
+        self._delta_signs = np.concatenate(
+            [
+                -np.ones(len(removed_concat), dtype=np.float64),
+                np.ones(len(added_concat), dtype=np.float64),
+            ]
+        )
+
+        # Anchor of every delta node (nearest non-delta ancestor) and the
+        # sparse indicator of its delta ancestors (itself included).
+        anchors: list[int] = []
+        indicator_rows: list[int] = []
+        indicator_cols: list[int] = []
+        for position, set_id in enumerate(delta_ids):
+            node = set_id
+            while self._is_delta[node]:
+                indicator_rows.append(position)
+                indicator_cols.append(delta_position[node])
+                node = int(self._parents[node])
+            anchors.append(node)
+        self._delta_anchor_ids = np.asarray(anchors, dtype=np.intp)
+        num_delta = len(delta_ids)
+        if num_delta:
+            from scipy import sparse
+
+            data = np.ones(len(indicator_rows), dtype=np.float64)
+            self._delta_ancestor_matrix = sparse.csr_matrix(
+                (data, (indicator_rows, indicator_cols)),
+                shape=(num_delta, num_delta),
+            )
+        else:
+            self._delta_ancestor_matrix = None
+
+    def _count_static_costs(self) -> None:
+        """Pre-compute per-iteration addition counts implied by the plan."""
+        n = self.num_vertices
+        inner_row_ops = 0
+        outer_ops_per_pass = 0
+        for node in self.plan.nodes:
+            if node.mode == "delta":
+                ops = len(node.removed) + len(node.added)
+            else:
+                ops = max(self.plan.index.set_size(node.set_id) - 1, 0)
+            inner_row_ops += ops
+            outer_ops_per_pass += ops
+        self.inner_additions_per_iteration = inner_row_ops * n
+        self.outer_additions_per_iteration = outer_ops_per_pass * self.num_sets
+        self.outer_additions_per_pass = outer_ops_per_pass
+
+    # ------------------------------------------------------------------ #
+    # Iteration
+    # ------------------------------------------------------------------ #
+    def iterate(
+        self,
+        scores: np.ndarray,
+        factor: float,
+        pin_diagonal: bool,
+    ) -> np.ndarray:
+        """Perform one shared-sums iteration.
+
+        Parameters
+        ----------
+        scores:
+            The current iterate ``s_k`` (dense ``n × n``).
+        factor:
+            Multiplier applied inside the update: the damping factor ``C``
+            for conventional SimRank (Eq. 2), ``1.0`` for the differential
+            auxiliary sequence ``T_k`` (Eq. 15).
+        pin_diagonal:
+            Whether to force the diagonal of the result to 1 (Eq. 2 case i).
+
+        Returns
+        -------
+        numpy.ndarray
+            The next iterate ``s_{k+1}`` (or ``T_{k+1}``).
+        """
+        n = self.num_vertices
+        operations = self.instrumentation.operations
+        memory = self.instrumentation.memory
+
+        new_scores = np.zeros((n, n), dtype=np.float64)
+        outer = np.zeros(self.num_sets, dtype=np.float64)
+        row_values = np.zeros(self.num_sets + 1, dtype=np.float64)
+        memory.allocate(self.num_sets * 2 + 1)
+
+        partial_of: dict[int, np.ndarray] = {}
+        remaining_children = self._children_counts.copy()
+
+        for set_id in self._dfs_order:
+            partial = self._compute_inner_partial(set_id, scores, partial_of)
+            partial_of[set_id] = partial
+            memory.allocate(n)
+
+            self._compute_outer_pass(partial, outer)
+            operations.add("outer", self.outer_additions_per_pass)
+
+            # Convert outer partial sums into one similarity row shared by
+            # every vertex whose in-neighbour set is `set_id`.
+            scale = factor / self._set_sizes[set_id]
+            np.divide(outer, self._set_sizes, out=row_values[: self.num_sets])
+            row_values[: self.num_sets] *= scale
+            row = row_values[self._vertex_set_id]
+            for vertex in self._member_indices[set_id]:
+                new_scores[vertex, :] = row
+
+            self._release_finished(set_id, partial_of, remaining_children, memory)
+
+        memory.release(self.num_sets * 2 + 1)
+        if pin_diagonal:
+            np.fill_diagonal(new_scores, 1.0)
+        return new_scores
+
+    def _compute_inner_partial(
+        self,
+        set_id: int,
+        scores: np.ndarray,
+        partial_of: dict[int, np.ndarray],
+    ) -> np.ndarray:
+        """Compute ``Partial_{I}`` for one set (scratch or Eq. 9 delta)."""
+        n = self.num_vertices
+        operations = self.instrumentation.operations
+        if self._is_delta[set_id]:
+            parent = int(self._parents[set_id])
+            partial = partial_of[parent].copy()
+            removed = self._removed_indices[set_id]
+            added = self._added_indices[set_id]
+            if removed.size:
+                partial -= scores[removed, :].sum(axis=0)
+            if added.size:
+                partial += scores[added, :].sum(axis=0)
+            operations.add("inner", (removed.size + added.size) * n)
+            return partial
+        indices = self._set_indices[set_id]
+        partial = scores[indices, :].sum(axis=0)
+        operations.add("inner", max(indices.size - 1, 0) * n)
+        return partial
+
+    def _compute_outer_pass(self, partial: np.ndarray, outer: np.ndarray) -> None:
+        """Fill ``outer[t]`` for every target set ``t`` (Prop. 4 sharing)."""
+        if self._scratch_ids.size:
+            scratch_sums = np.bincount(
+                self._scratch_segments,
+                weights=partial[self._scratch_concat],
+                minlength=self._scratch_ids.size,
+            )
+            outer[self._scratch_ids] = scratch_sums
+        if self._delta_ids.size:
+            net_deltas = np.bincount(
+                self._delta_segments,
+                weights=partial[self._delta_concat] * self._delta_signs,
+                minlength=self._delta_ids.size,
+            )
+            # Unrolled Prop. 4 recurrence: anchor value plus the cumulative
+            # (added − removed) contributions along the tree path.
+            cumulative = self._delta_ancestor_matrix @ net_deltas
+            outer[self._delta_ids] = outer[self._delta_anchor_ids] + cumulative
+
+    def _release_finished(
+        self,
+        set_id: int,
+        partial_of: dict[int, np.ndarray],
+        remaining_children: np.ndarray,
+        memory,
+    ) -> None:
+        """Free cached partial sums whose subtrees have been fully processed."""
+        node = set_id
+        while remaining_children[node] == 0:
+            parent = int(self._parents[node])
+            if node in partial_of:
+                del partial_of[node]
+                memory.release(self.num_vertices)
+            if parent == ROOT:
+                break
+            remaining_children[parent] -= 1
+            node = parent
+
+    # ------------------------------------------------------------------ #
+    # Reporting helpers
+    # ------------------------------------------------------------------ #
+    def additions_per_iteration(self) -> int:
+        """Total counted additions one iteration performs."""
+        return self.inner_additions_per_iteration + self.outer_additions_per_iteration
+
+    def initial_scores(self) -> np.ndarray:
+        """Return the SimRank starting point ``s_0 = I_n``."""
+        return np.eye(self.num_vertices, dtype=np.float64)

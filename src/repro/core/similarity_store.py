@@ -1,0 +1,189 @@
+"""Sparse storage of SimRank results (threshold- or top-k-truncated).
+
+The paper's memory discussion (Fig. 6d) presumes that on large graphs one
+never keeps the dense ``n × n`` similarity matrix: after threshold sieving,
+only the scores that survive — or only each vertex's top-k — are retained.
+:class:`SimilarityStore` is that retained representation: a CSR matrix of the
+surviving off-diagonal scores plus the implicit unit diagonal, with the query
+operations the examples and workloads need (pair lookup, row retrieval,
+top-k) and a compressed on-disk round trip via ``numpy``'s ``.npz`` format.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import ConfigurationError
+from ..graph.digraph import DiGraph
+from .result import SimRankResult
+
+__all__ = ["SimilarityStore"]
+
+PathLike = Union[str, Path]
+
+
+class SimilarityStore:
+    """Truncated, sparse view of an all-pairs similarity matrix.
+
+    Build one with :meth:`from_result`, passing either a score ``threshold``
+    (keep every off-diagonal score at or above it — the paper's sieving rule)
+    or ``top_k`` (keep the k best scores per row), or both.  The diagonal is
+    implicit and always 1.
+    """
+
+    def __init__(
+        self,
+        matrix: sparse.csr_matrix,
+        graph: DiGraph,
+        algorithm: str = "",
+        damping: float = 0.0,
+    ) -> None:
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ConfigurationError("similarity matrix must be square")
+        if matrix.shape[0] != graph.num_vertices:
+            raise ConfigurationError(
+                "similarity matrix size must match the graph's vertex count"
+            )
+        self._matrix = matrix.tocsr()
+        self.graph = graph
+        self.algorithm = algorithm
+        self.damping = damping
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_result(
+        cls,
+        result: SimRankResult,
+        threshold: float = 0.0,
+        top_k: Optional[int] = None,
+    ) -> "SimilarityStore":
+        """Build a store from a dense :class:`SimRankResult`.
+
+        Parameters
+        ----------
+        result:
+            The dense result to truncate.
+        threshold:
+            Keep off-diagonal scores ``>= threshold`` (0 keeps every non-zero
+            score).
+        top_k:
+            When given, additionally keep at most ``top_k`` scores per row
+            (the largest ones).
+        """
+        if threshold < 0:
+            raise ConfigurationError("threshold must be non-negative")
+        if top_k is not None and top_k <= 0:
+            raise ConfigurationError("top_k must be positive when given")
+        scores = np.array(result.scores, copy=True)
+        np.fill_diagonal(scores, 0.0)
+        if threshold > 0.0:
+            scores[scores < threshold] = 0.0
+        if top_k is not None and top_k < scores.shape[1]:
+            # Keep exactly the k largest entries per row (ties broken
+            # arbitrarily); rows with fewer than k non-zero scores simply
+            # keep what they have.
+            keep = np.argpartition(scores, -top_k, axis=1)[:, -top_k:]
+            mask = np.zeros(scores.shape, dtype=bool)
+            mask[np.arange(scores.shape[0])[:, None], keep] = True
+            scores[~mask] = 0.0
+        matrix = sparse.csr_matrix(scores)
+        matrix.eliminate_zeros()
+        return cls(
+            matrix,
+            result.graph,
+            algorithm=result.algorithm,
+            damping=result.damping,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices covered by the store."""
+        return self._matrix.shape[0]
+
+    @property
+    def num_stored_scores(self) -> int:
+        """Number of retained off-diagonal scores."""
+        return int(self._matrix.nnz)
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint of the stored scores."""
+        return int(
+            self._matrix.data.nbytes
+            + self._matrix.indices.nbytes
+            + self._matrix.indptr.nbytes
+        )
+
+    def similarity(self, first: Hashable, second: Hashable) -> float:
+        """Return the stored ``s(first, second)`` (0 if truncated away)."""
+        a = self.graph.index_of(first)
+        b = self.graph.index_of(second)
+        if a == b:
+            return 1.0
+        return float(self._matrix[a, b])
+
+    def similarity_row(self, vertex: Hashable) -> np.ndarray:
+        """Return the (dense) stored row for ``vertex``, diagonal included."""
+        index = self.graph.index_of(vertex)
+        row = np.asarray(self._matrix.getrow(index).todense()).ravel()
+        row[index] = 1.0
+        return row
+
+    def top_k(self, vertex: Hashable, k: int = 10) -> list[tuple[Hashable, float]]:
+        """Return the ``k`` highest stored scores for ``vertex`` (self excluded)."""
+        index = self.graph.index_of(vertex)
+        row = self._matrix.getrow(index)
+        order = sorted(
+            zip(row.indices.tolist(), row.data.tolist()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return [
+            (self.graph.label_of(candidate), float(score))
+            for candidate, score in order[:k]
+            if candidate != index
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: PathLike) -> None:
+        """Write the store to ``path`` (a ``.npz`` file)."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            data=self._matrix.data,
+            indices=self._matrix.indices,
+            indptr=self._matrix.indptr,
+            shape=np.asarray(self._matrix.shape),
+            algorithm=np.asarray(self.algorithm),
+            damping=np.asarray(self.damping),
+        )
+
+    @classmethod
+    def load(cls, path: PathLike, graph: DiGraph) -> "SimilarityStore":
+        """Read a store written by :meth:`save`; the graph supplies labels."""
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as archive:
+            matrix = sparse.csr_matrix(
+                (archive["data"], archive["indices"], archive["indptr"]),
+                shape=tuple(archive["shape"]),
+            )
+            algorithm = str(archive["algorithm"])
+            damping = float(archive["damping"])
+        return cls(matrix, graph, algorithm=algorithm, damping=damping)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimilarityStore n={self.num_vertices} "
+            f"stored={self.num_stored_scores} "
+            f"bytes={self.memory_bytes()}>"
+        )

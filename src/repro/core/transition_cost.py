@@ -1,0 +1,94 @@
+"""Transition costs between in-neighbour sets (Eq. 7 of the paper).
+
+Given the cached partial sum over ``I(a)``, computing the partial sum over
+``I(b)`` costs either ``|I(a) ⊖ I(b)|`` additions (apply the
+symmetric-difference update of Eq. 9) or ``|I(b)| − 1`` additions (recompute
+from scratch), whichever is smaller:
+
+``TC_{I(a) → I(b)} = min(|I(a) ⊖ I(b)|, |I(b)| − 1)``.
+
+These weights are the edge weights of the graph ``G*`` that ``DMST-Reduce``
+builds; an edge is *shared* (tagged ``#`` in the paper's Fig. 2b) exactly
+when the symmetric difference wins strictly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass
+
+__all__ = [
+    "symmetric_difference_size",
+    "transition_cost",
+    "is_sharing_profitable",
+    "split_delta",
+    "TransitionEdge",
+    "scratch_cost",
+]
+
+
+def symmetric_difference_size(first: Collection[int], second: Collection[int]) -> int:
+    """Return ``|first ⊖ second|`` treating the inputs as sets."""
+    first_set = first if isinstance(first, (set, frozenset)) else set(first)
+    second_set = second if isinstance(second, (set, frozenset)) else set(second)
+    return len(first_set ^ second_set)
+
+
+def scratch_cost(target_set: Collection[int]) -> int:
+    """Return the from-scratch cost ``|target| − 1`` (0 for tiny sets)."""
+    return max(len(target_set) - 1, 0)
+
+
+def transition_cost(source_set: Collection[int], target_set: Collection[int]) -> int:
+    """Return ``TC_{source → target}`` (Eq. 7)."""
+    return min(
+        symmetric_difference_size(source_set, target_set), scratch_cost(target_set)
+    )
+
+
+def is_sharing_profitable(
+    source_set: Collection[int], target_set: Collection[int]
+) -> bool:
+    """Return whether deriving ``target`` from ``source`` beats recomputing.
+
+    This is the condition of Prop. 3/4: ``|source ⊖ target| < |target| − 1``
+    (the ``#`` tag in Fig. 2b).
+    """
+    return symmetric_difference_size(source_set, target_set) < scratch_cost(target_set)
+
+
+def split_delta(
+    source_set: Iterable[int], target_set: Iterable[int]
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Return ``(removed, added) = (source \\ target, target \\ source)``.
+
+    These are the index sets plugged into the Eq. 9 update; both are sorted
+    for determinism.
+    """
+    source = set(source_set)
+    target = set(target_set)
+    return tuple(sorted(source - target)), tuple(sorted(target - source))
+
+
+@dataclass(frozen=True)
+class TransitionEdge:
+    """One weighted edge of the transition-cost graph ``G*``.
+
+    Attributes
+    ----------
+    source:
+        Source node id in ``G*`` (0 denotes the root ``∅``; ``s ≥ 1`` denotes
+        the ``(s−1)``-th distinct in-neighbour set).
+    target:
+        Target node id in ``G*`` (always ``≥ 1``).
+    weight:
+        The transition cost (Eq. 7).
+    shared:
+        Whether the edge represents genuine sharing (symmetric difference
+        strictly cheaper than scratch), i.e. the paper's ``#`` tag.
+    """
+
+    source: int
+    target: int
+    weight: int
+    shared: bool

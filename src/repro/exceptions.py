@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch the package's failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation on it is invalid."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when a vertex id or label is not present in a graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an edge is not present in a graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class GraphBuildError(GraphError):
+    """Raised when a graph cannot be constructed from the given input."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when an algorithm receives an invalid parameter value."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative solver fails to reach the requested accuracy."""
+
+    def __init__(self, message: str, iterations: int, residual: float) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class NotComputedError(ReproError, RuntimeError):
+    """Raised when a result is requested before the producing step has run."""

@@ -1,0 +1,5 @@
+"""Extensions beyond plain SimRank (P-Rank, as anticipated by the paper)."""
+
+from .prank import prank, prank_shared
+
+__all__ = ["prank", "prank_shared"]

@@ -1,0 +1,66 @@
+"""Graph substrate: containers, builders, matrices, IO, statistics, generators."""
+
+from .builders import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_adjacency,
+    from_edge_list,
+    from_edges,
+    from_in_neighbor_sets,
+    from_networkx,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+from .digraph import DiGraph, GraphBuilder
+from .io import (
+    read_edge_list,
+    read_labeled_json,
+    write_edge_list,
+    write_labeled_json,
+)
+from .matrices import (
+    adjacency_matrix,
+    backward_transition_matrix,
+    forward_transition_matrix,
+    in_degree_vector,
+    out_degree_vector,
+)
+from .properties import (
+    DegreeStatistics,
+    OverlapStatistics,
+    dataset_summary_row,
+    degree_statistics,
+    overlap_statistics,
+)
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "from_edges",
+    "from_edge_list",
+    "from_adjacency",
+    "from_in_neighbor_sets",
+    "from_networkx",
+    "to_networkx",
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "read_labeled_json",
+    "write_labeled_json",
+    "adjacency_matrix",
+    "backward_transition_matrix",
+    "forward_transition_matrix",
+    "in_degree_vector",
+    "out_degree_vector",
+    "DegreeStatistics",
+    "OverlapStatistics",
+    "degree_statistics",
+    "overlap_statistics",
+    "dataset_summary_row",
+]

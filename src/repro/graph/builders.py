@@ -1,0 +1,188 @@
+"""Convenience constructors for :class:`~repro.graph.digraph.DiGraph`.
+
+These helpers cover the common ways a SimRank workload arrives in practice:
+an explicit edge list, a dense/sparse adjacency matrix, a ``networkx``
+digraph, or a mapping from each vertex to its in-neighbour set (the form the
+paper's worked examples are given in).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import GraphBuildError
+from .digraph import DiGraph, GraphBuilder
+
+__all__ = [
+    "from_edges",
+    "from_edge_list",
+    "from_adjacency",
+    "from_in_neighbor_sets",
+    "from_networkx",
+    "to_networkx",
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+]
+
+
+def from_edges(
+    edges: Iterable[tuple[Hashable, Hashable]],
+    n: Optional[int] = None,
+    name: str = "",
+) -> DiGraph:
+    """Build a graph from ``(source, target)`` pairs of arbitrary labels.
+
+    Parameters
+    ----------
+    edges:
+        Directed edges.  Labels may be ints, strings or any hashable object;
+        dense ids are assigned in first-seen order.
+    n:
+        Optional total vertex count.  Only valid when all labels are already
+        integers in ``0 .. n-1``; it allows isolated vertices beyond the ones
+        mentioned by the edge list.
+    name:
+        Optional graph name.
+    """
+    edges = list(edges)
+    if n is not None:
+        int_edges: list[tuple[int, int]] = []
+        for source, target in edges:
+            if not isinstance(source, (int, np.integer)) or not isinstance(
+                target, (int, np.integer)
+            ):
+                raise GraphBuildError(
+                    "explicit n requires integer vertex ids in 0..n-1"
+                )
+            int_edges.append((int(source), int(target)))
+        return DiGraph(n, int_edges, name=name)
+    builder = GraphBuilder(name=name)
+    builder.add_edges(edges)
+    return builder.build()
+
+
+def from_edge_list(
+    edges: Sequence[tuple[int, int]], n: Optional[int] = None, name: str = ""
+) -> DiGraph:
+    """Build a graph from integer edges, inferring ``n`` when not given."""
+    edges = [(int(source), int(target)) for source, target in edges]
+    if n is None:
+        n = 1 + max((max(source, target) for source, target in edges), default=-1)
+    return DiGraph(n, edges, name=name)
+
+
+def from_adjacency(matrix: object, name: str = "") -> DiGraph:
+    """Build a graph from a dense or sparse adjacency matrix.
+
+    ``matrix[i, j] != 0`` is interpreted as the directed edge ``i -> j``.
+    """
+    if sparse.issparse(matrix):
+        coo = matrix.tocoo()  # type: ignore[union-attr]
+        if coo.shape[0] != coo.shape[1]:
+            raise GraphBuildError(
+                f"adjacency matrix must be square, got {coo.shape}"
+            )
+        edges = [
+            (int(i), int(j))
+            for i, j, value in zip(coo.row, coo.col, coo.data)
+            if value != 0
+        ]
+        return DiGraph(coo.shape[0], edges, name=name)
+    dense = np.asarray(matrix)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise GraphBuildError(f"adjacency matrix must be square, got {dense.shape}")
+    rows, cols = np.nonzero(dense)
+    edges = [(int(i), int(j)) for i, j in zip(rows, cols)]
+    return DiGraph(dense.shape[0], edges, name=name)
+
+
+def from_in_neighbor_sets(
+    in_sets: Mapping[Hashable, Iterable[Hashable]], name: str = ""
+) -> DiGraph:
+    """Build a graph from a ``vertex -> in-neighbour set`` mapping.
+
+    This mirrors how the paper presents its worked example (Fig. 2a): each
+    row lists ``I(v)``.  Vertices appearing only inside in-neighbour sets are
+    created automatically with an empty in-neighbour set of their own.
+    """
+    builder = GraphBuilder(name=name)
+    for vertex in in_sets:
+        builder.add_vertex(vertex)
+    for vertex, neighbors in in_sets.items():
+        for neighbor in neighbors:
+            builder.add_edge(neighbor, vertex)
+    return builder.build()
+
+
+def from_networkx(nx_graph: object, name: str = "") -> DiGraph:
+    """Convert a ``networkx`` (Di)Graph into a :class:`DiGraph`.
+
+    Undirected ``networkx`` graphs are converted by emitting both edge
+    directions, matching the convention used for co-authorship networks.
+    """
+    directed = bool(getattr(nx_graph, "is_directed")())
+    builder = GraphBuilder(name=name or str(getattr(nx_graph, "name", "")))
+    for node in nx_graph.nodes():  # type: ignore[attr-defined]
+        builder.add_vertex(node)
+    for source, target in nx_graph.edges():  # type: ignore[attr-defined]
+        builder.add_edge(source, target)
+        if not directed:
+            builder.add_edge(target, source)
+    return builder.build()
+
+
+def to_networkx(graph: DiGraph):
+    """Convert a :class:`DiGraph` to a ``networkx.DiGraph`` (labels preserved)."""
+    import networkx as nx
+
+    nx_graph = nx.DiGraph(name=graph.name)
+    for vertex in graph.vertices():
+        nx_graph.add_node(graph.label_of(vertex))
+    for source, target in graph.edges():
+        nx_graph.add_edge(graph.label_of(source), graph.label_of(target))
+    return nx_graph
+
+
+# --------------------------------------------------------------------------- #
+# Tiny canonical graphs, mostly useful for tests and documentation examples.
+# --------------------------------------------------------------------------- #
+def empty_graph(n: int, name: str = "empty") -> DiGraph:
+    """Return ``n`` isolated vertices and no edges."""
+    return DiGraph(n, (), name=name)
+
+
+def path_graph(n: int, name: str = "path") -> DiGraph:
+    """Return the directed path ``0 -> 1 -> ... -> n-1``."""
+    return DiGraph(n, ((i, i + 1) for i in range(n - 1)), name=name)
+
+
+def cycle_graph(n: int, name: str = "cycle") -> DiGraph:
+    """Return the directed cycle on ``n`` vertices."""
+    if n <= 0:
+        return DiGraph(0, (), name=name)
+    return DiGraph(n, ((i, (i + 1) % n) for i in range(n)), name=name)
+
+
+def complete_graph(n: int, name: str = "complete") -> DiGraph:
+    """Return the complete digraph on ``n`` vertices (no self-loops)."""
+    edges = ((i, j) for i in range(n) for j in range(n) if i != j)
+    return DiGraph(n, edges, name=name)
+
+
+def star_graph(n_leaves: int, name: str = "star") -> DiGraph:
+    """Return a star with every leaf pointing at the hub (vertex 0).
+
+    All leaves share the empty in-neighbour set and the hub's in-neighbour
+    set is all leaves, which makes this the best case for partial-sums
+    sharing experiments.
+    """
+    return DiGraph(
+        n_leaves + 1, ((leaf, 0) for leaf in range(1, n_leaves + 1)), name=name
+    )

@@ -1,0 +1,364 @@
+"""A lightweight directed-graph container tailored to SimRank computation.
+
+SimRank only ever needs two things from the graph: the *in-neighbour set*
+``I(v)`` of every vertex (the recursion in Eq. 1 of the paper averages over
+in-neighbours) and, for a handful of auxiliary steps, the out-neighbour set
+``O(v)``.  :class:`DiGraph` therefore stores both adjacency directions as
+tuples of sorted vertex ids and exposes them through cheap accessors.
+
+Vertices are dense integer ids ``0 .. n-1``.  Human-readable labels (paper
+titles, author names, URLs) are optional and stored side by side; they never
+participate in the numeric algorithms.
+
+The class is immutable after construction: every SimRank algorithm in this
+package assumes the graph does not change while it runs, and immutability
+makes graphs safe to share between benchmark repetitions and test fixtures.
+Use :class:`GraphBuilder` (or the helpers in :mod:`repro.graph.builders`) to
+assemble a graph incrementally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import GraphBuildError, VertexNotFoundError
+
+__all__ = ["DiGraph", "GraphBuilder"]
+
+
+class DiGraph:
+    """An immutable directed graph with integer vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Iterable of ``(source, target)`` pairs with ``0 <= source, target < n``.
+        Parallel edges are collapsed; self-loops are kept (SimRank permits
+        them, they simply make a vertex one of its own in-neighbours).
+    labels:
+        Optional sequence of ``n`` hashable labels.  When provided, labels
+        must be unique; :meth:`index_of` and :meth:`label_of` translate
+        between labels and ids.
+    name:
+        Optional human-readable name used in reprs and benchmark tables.
+
+    Notes
+    -----
+    The constructor is O(m log m) because adjacency lists are sorted and
+    de-duplicated; all subsequent neighbourhood queries are O(1) lookups of
+    pre-built tuples.
+    """
+
+    __slots__ = (
+        "_n",
+        "_m",
+        "_in_adj",
+        "_out_adj",
+        "_labels",
+        "_label_to_index",
+        "name",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int]] = (),
+        labels: Optional[Sequence[Hashable]] = None,
+        name: str = "",
+    ) -> None:
+        if n < 0:
+            raise GraphBuildError(f"vertex count must be non-negative, got {n}")
+        self._n = int(n)
+        self.name = name
+
+        in_sets: list[set[int]] = [set() for _ in range(self._n)]
+        out_sets: list[set[int]] = [set() for _ in range(self._n)]
+        for source, target in edges:
+            source = int(source)
+            target = int(target)
+            if not (0 <= source < self._n):
+                raise GraphBuildError(
+                    f"edge source {source} out of range for n={self._n}"
+                )
+            if not (0 <= target < self._n):
+                raise GraphBuildError(
+                    f"edge target {target} out of range for n={self._n}"
+                )
+            out_sets[source].add(target)
+            in_sets[target].add(source)
+
+        self._in_adj: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(neighbors)) for neighbors in in_sets
+        )
+        self._out_adj: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(neighbors)) for neighbors in out_sets
+        )
+        self._m = sum(len(neighbors) for neighbors in self._out_adj)
+
+        self._labels: Optional[tuple[Hashable, ...]] = None
+        self._label_to_index: Optional[dict[Hashable, int]] = None
+        if labels is not None:
+            labels = tuple(labels)
+            if len(labels) != self._n:
+                raise GraphBuildError(
+                    f"expected {self._n} labels, got {len(labels)}"
+                )
+            label_to_index = {label: index for index, label in enumerate(labels)}
+            if len(label_to_index) != self._n:
+                raise GraphBuildError("vertex labels must be unique")
+            self._labels = labels
+            self._label_to_index = label_to_index
+
+    # ------------------------------------------------------------------ #
+    # Basic size accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed edges ``m``."""
+        return self._m
+
+    def __len__(self) -> int:
+        return self._n
+
+    def vertices(self) -> range:
+        """Return the vertex ids as a ``range`` object."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield every directed edge as a ``(source, target)`` pair."""
+        for source in range(self._n):
+            for target in self._out_adj[source]:
+                yield (source, target)
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood accessors
+    # ------------------------------------------------------------------ #
+    def in_neighbors(self, vertex: int) -> tuple[int, ...]:
+        """Return ``I(vertex)``, the sorted tuple of in-neighbours."""
+        self._check_vertex(vertex)
+        return self._in_adj[vertex]
+
+    def out_neighbors(self, vertex: int) -> tuple[int, ...]:
+        """Return ``O(vertex)``, the sorted tuple of out-neighbours."""
+        self._check_vertex(vertex)
+        return self._out_adj[vertex]
+
+    def in_degree(self, vertex: int) -> int:
+        """Return ``|I(vertex)|``."""
+        self._check_vertex(vertex)
+        return len(self._in_adj[vertex])
+
+    def out_degree(self, vertex: int) -> int:
+        """Return ``|O(vertex)|``."""
+        self._check_vertex(vertex)
+        return len(self._out_adj[vertex])
+
+    def in_neighbor_sets(self) -> tuple[tuple[int, ...], ...]:
+        """Return the full tuple of in-neighbour tuples, indexed by vertex."""
+        return self._in_adj
+
+    def out_neighbor_sets(self) -> tuple[tuple[int, ...], ...]:
+        """Return the full tuple of out-neighbour tuples, indexed by vertex."""
+        return self._out_adj
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return ``True`` when the directed edge ``source -> target`` exists."""
+        self._check_vertex(source)
+        self._check_vertex(target)
+        neighbors = self._out_adj[source]
+        # Binary search over the sorted tuple keeps this O(log d).
+        low, high = 0, len(neighbors)
+        while low < high:
+            mid = (low + high) // 2
+            if neighbors[mid] < target:
+                low = mid + 1
+            else:
+                high = mid
+        return low < len(neighbors) and neighbors[low] == target
+
+    def average_in_degree(self) -> float:
+        """Return the average in-degree ``d = m / n`` (0 for the empty graph)."""
+        if self._n == 0:
+            return 0.0
+        return self._m / self._n
+
+    # ------------------------------------------------------------------ #
+    # Labels
+    # ------------------------------------------------------------------ #
+    @property
+    def has_labels(self) -> bool:
+        """Whether the graph carries vertex labels."""
+        return self._labels is not None
+
+    def label_of(self, vertex: int) -> Hashable:
+        """Return the label of ``vertex`` (the id itself when unlabelled)."""
+        self._check_vertex(vertex)
+        if self._labels is None:
+            return vertex
+        return self._labels[vertex]
+
+    def index_of(self, label: Hashable) -> int:
+        """Return the vertex id carrying ``label``.
+
+        Labels are looked up first; as a convenience, an integer that is not
+        a label but is a valid vertex id is accepted as the id itself, so
+        callers can address vertices either way.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If the label is unknown (and not a valid vertex id).
+        """
+        if self._label_to_index is not None and label in self._label_to_index:
+            return self._label_to_index[label]
+        if isinstance(label, (int, np.integer)) and 0 <= int(label) < self._n:
+            return int(label)
+        raise VertexNotFoundError(label)
+
+    def labels(self) -> tuple[Hashable, ...]:
+        """Return all labels in id order (ids themselves when unlabelled)."""
+        if self._labels is None:
+            return tuple(range(self._n))
+        return self._labels
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def reverse(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped."""
+        return DiGraph(
+            self._n,
+            ((target, source) for source, target in self.edges()),
+            labels=self._labels,
+            name=f"{self.name}-reversed" if self.name else "",
+        )
+
+    def subgraph(self, vertices: Sequence[int]) -> "DiGraph":
+        """Return the induced subgraph on ``vertices`` (re-indexed from 0).
+
+        The i-th vertex of the result corresponds to ``vertices[i]``.
+        """
+        keep = list(dict.fromkeys(int(v) for v in vertices))
+        for vertex in keep:
+            self._check_vertex(vertex)
+        old_to_new = {old: new for new, old in enumerate(keep)}
+        edges = [
+            (old_to_new[source], old_to_new[target])
+            for source in keep
+            for target in self._out_adj[source]
+            if target in old_to_new
+        ]
+        labels = None
+        if self._labels is not None:
+            labels = [self._labels[old] for old in keep]
+        return DiGraph(len(keep), edges, labels=labels, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Dunder helpers
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._out_adj == other._out_adj
+            and self._labels == other._labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._out_adj))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<DiGraph{label} n={self._n} m={self._m} "
+            f"avg_in_degree={self.average_in_degree():.2f}>"
+        )
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not (0 <= vertex < self._n):
+            raise VertexNotFoundError(vertex)
+
+
+class GraphBuilder:
+    """Incrementally assemble a :class:`DiGraph`.
+
+    The builder accepts arbitrary hashable vertex labels, assigns dense ids
+    in first-seen order and produces an immutable :class:`DiGraph` via
+    :meth:`build`.
+
+    Examples
+    --------
+    >>> builder = GraphBuilder()
+    >>> builder.add_edge("paper-1", "paper-2")
+    >>> builder.add_edge("paper-3", "paper-2")
+    >>> graph = builder.build()
+    >>> graph.in_degree(graph.index_of("paper-2"))
+    2
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._label_to_index: dict[Hashable, int] = {}
+        self._labels: list[Hashable] = []
+        self._edges: list[tuple[int, int]] = []
+
+    def add_vertex(self, label: Hashable) -> int:
+        """Register ``label`` (if new) and return its dense id."""
+        index = self._label_to_index.get(label)
+        if index is None:
+            index = len(self._labels)
+            self._label_to_index[label] = index
+            self._labels.append(label)
+        return index
+
+    def add_edge(self, source: Hashable, target: Hashable) -> None:
+        """Add the directed edge ``source -> target`` (vertices auto-created)."""
+        self._edges.append((self.add_vertex(source), self.add_vertex(target)))
+
+    def add_edges(self, edges: Iterable[tuple[Hashable, Hashable]]) -> None:
+        """Add every ``(source, target)`` pair in ``edges``."""
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices registered so far."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edge insertions so far (before de-duplication)."""
+        return len(self._edges)
+
+    def build(self, keep_labels: bool = True) -> DiGraph:
+        """Return the immutable :class:`DiGraph` assembled so far.
+
+        Parameters
+        ----------
+        keep_labels:
+            When ``False`` the result is unlabelled even if labels were used
+            during construction (useful when labels were only convenient
+            handles, e.g. integer ids from a file).
+        """
+        labels = self._labels if keep_labels else None
+        use_labels: Optional[Sequence[Hashable]] = labels
+        if labels is not None and all(
+            isinstance(label, int) and label == index
+            for index, label in enumerate(labels)
+        ):
+            # Labels that are exactly 0..n-1 add nothing over the ids.
+            use_labels = None
+        return DiGraph(
+            len(self._labels), self._edges, labels=use_labels, name=self.name
+        )

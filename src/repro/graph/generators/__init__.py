@@ -1,0 +1,39 @@
+"""Synthetic graph generators standing in for the paper's datasets.
+
+* :mod:`~repro.graph.generators.random_graphs` — uniform random / G(n, p)
+  (GTGraph "random" model, used for the SYN density sweep).
+* :mod:`~repro.graph.generators.rmat` — R-MAT (GTGraph's second model).
+* :mod:`~repro.graph.generators.powerlaw` — preferential attachment.
+* :mod:`~repro.graph.generators.citation` — time-ordered citation DAG
+  (PATENT analogue).
+* :mod:`~repro.graph.generators.webgraph` — host-clustered hyperlink graph
+  (BERKSTAN analogue).
+* :mod:`~repro.graph.generators.coauthorship` — yearly publication simulator
+  with named authors (DBLP analogue).
+"""
+
+from .citation import citation_network, patent_like
+from .coauthorship import (
+    CoauthorshipSimulator,
+    author_name,
+    dblp_like_snapshots,
+)
+from .powerlaw import power_law_out_degrees, preferential_attachment
+from .random_graphs import gnp_random, uniform_random
+from .rmat import rmat
+from .webgraph import berkstan_like, web_graph
+
+__all__ = [
+    "citation_network",
+    "patent_like",
+    "CoauthorshipSimulator",
+    "author_name",
+    "dblp_like_snapshots",
+    "power_law_out_degrees",
+    "preferential_attachment",
+    "gnp_random",
+    "uniform_random",
+    "rmat",
+    "berkstan_like",
+    "web_graph",
+]

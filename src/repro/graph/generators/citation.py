@@ -1,0 +1,199 @@
+"""Citation-network generator: the PATENT dataset analogue.
+
+The paper's largest dataset is the NBER U.S. patent citation network
+(3.77M patents, 16.5M citations, average degree 4.4).  We cannot ship or
+download it, so :func:`citation_network` grows a time-ordered citation DAG
+with the structural properties that matter for SimRank performance:
+
+* edges only point backwards in time (a patent cites older patents);
+* the number of citations per patent is small and right-skewed
+  (average ≈ 4.4 for the default parameters);
+* citations are organised around *technology classes*: each class maintains a
+  canonical list of foundational patents that most later patents of the class
+  cite together.  Co-citation bundles of this kind are what make the
+  in-neighbour sets of the foundational patents overlap (the same cohort of
+  citing patents appears in all of them) — the redundancy OIP-SR shares.
+  The remaining citations mix recency preference with global preferential
+  attachment, as in the real network.
+
+The overlap on PATENT is weaker than on a web crawl (average degree 4.4 vs
+11.1), which is why the paper reports a 2.7× speed-up there against 4.6× on
+BERKSTAN; the generator defaults reproduce that ordering.
+
+:func:`patent_like` wraps the generator with the scaled default used by the
+workload registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+from ..digraph import DiGraph
+
+__all__ = ["citation_network", "patent_like"]
+
+
+def citation_network(
+    num_papers: int,
+    average_citations: float = 4.4,
+    num_classes: int = 25,
+    canonical_size: int = 3,
+    canonical_share: float = 0.45,
+    family_size_range: tuple[int, int] = (1, 4),
+    family_cocitation: float = 0.8,
+    recency_bias: float = 0.05,
+    seed: int = 0,
+    name: str = "",
+) -> DiGraph:
+    """Grow a time-ordered citation DAG organised in technology classes.
+
+    Paper ``t`` belongs to a technology class and a *patent family* (a group
+    of related filings).  Its reference list mixes three mechanisms:
+
+    * **canonical co-citation** — a fraction ``canonical_share`` of the
+      citations goes to the class's canonical list (its ``canonical_size``
+      earliest papers), so class cohorts cite the same foundations together;
+    * **family bundling** — whenever a cited paper belongs to a multi-paper
+      family, its family members are co-cited with probability
+      ``family_cocitation``.  Real patent families are cited as bundles,
+      which makes the family members' in-neighbour sets nearly identical —
+      the overlap partial-sums sharing exploits;
+    * **background citations** — the remainder is drawn from all earlier
+      papers with a recency kernel ``exp(-recency_bias · age)`` mixed with
+      preferential attachment.
+
+    Parameters
+    ----------
+    num_papers:
+        Number of vertices.
+    average_citations:
+        Approximate mean out-degree (reference-list length).
+    num_classes:
+        Number of technology classes.
+    canonical_size:
+        Number of foundational papers per class.
+    canonical_share:
+        Fraction of each reference list drawn from the canonical list.
+    family_size_range:
+        Inclusive range of patent-family sizes (families are assigned to
+        consecutive papers of the same class).
+    family_cocitation:
+        Probability that citing one family member also cites the others.
+    recency_bias:
+        Decay rate of the recency kernel for background citations.
+    seed:
+        Deterministic seed.
+    """
+    if num_papers < 0:
+        raise ConfigurationError("num_papers must be non-negative")
+    if average_citations < 0:
+        raise ConfigurationError("average_citations must be non-negative")
+    if num_classes <= 0:
+        raise ConfigurationError("num_classes must be positive")
+    if canonical_size < 0:
+        raise ConfigurationError("canonical_size must be non-negative")
+    if not 0.0 <= canonical_share <= 1.0:
+        raise ConfigurationError("canonical_share must lie in [0, 1]")
+    if not 0.0 <= family_cocitation <= 1.0:
+        raise ConfigurationError("family_cocitation must lie in [0, 1]")
+    low_family, high_family = family_size_range
+    if low_family < 1 or high_family < low_family:
+        raise ConfigurationError("family_size_range must satisfy 1 <= low <= high")
+    rng = np.random.default_rng(seed)
+
+    class_of = rng.integers(0, num_classes, size=num_papers)
+
+    # Assign papers to families: consecutive papers of the same class form a
+    # family whose size is drawn uniformly from the configured range.
+    family_of = np.zeros(num_papers, dtype=np.int64)
+    family_members: list[list[int]] = []
+    pending: dict[int, tuple[int, int]] = {}  # class -> (family id, remaining slots)
+    for paper in range(num_papers):
+        technology_class = int(class_of[paper])
+        family_id, remaining = pending.get(technology_class, (-1, 0))
+        if remaining <= 0:
+            family_id = len(family_members)
+            family_members.append([])
+            remaining = int(rng.integers(low_family, high_family + 1))
+        family_of[paper] = family_id
+        family_members[family_id].append(paper)
+        pending[technology_class] = (family_id, remaining - 1)
+
+    canonical_by_class: list[list[int]] = [[] for _ in range(num_classes)]
+    in_degree = np.zeros(num_papers, dtype=np.float64)
+    edges: list[tuple[int, int]] = []
+    # Family bundling adds extra citations on top of the base draw, so shrink
+    # the base rate to keep the realised average close to the target.
+    base_rate = max(average_citations * 0.7, 0.0)
+
+    for paper in range(num_papers):
+        technology_class = int(class_of[paper])
+        canonical = canonical_by_class[technology_class]
+
+        num_citations = min(int(rng.poisson(base_rate)), paper)
+        cited: set[int] = set()
+        if num_citations > 0:
+            # Canonical co-citations within the technology class.
+            num_canonical = min(
+                int(round(canonical_share * num_citations)), len(canonical)
+            )
+            if num_canonical > 0:
+                chosen = rng.choice(len(canonical), size=num_canonical, replace=False)
+                cited.update(canonical[position] for position in chosen)
+
+            # Background citations: recency + preferential attachment.
+            remaining = num_citations - len(cited)
+            if remaining > 0:
+                ages = paper - np.arange(paper)
+                recency = np.exp(-recency_bias * ages)
+                popularity = 1.0 + in_degree[:paper]
+                weights = (
+                    0.5 * recency / recency.sum()
+                    + 0.5 * popularity / popularity.sum()
+                )
+                weights /= weights.sum()
+                extra = rng.choice(
+                    paper, size=min(remaining, paper), replace=False, p=weights
+                )
+                cited.update(int(target) for target in extra)
+
+            # Family bundling: citing one member usually cites the others.
+            for target in list(cited):
+                for sibling in family_members[int(family_of[target])]:
+                    if sibling < paper and rng.random() < family_cocitation:
+                        cited.add(sibling)
+
+        for target in cited:
+            if target != paper:
+                edges.append((paper, int(target)))
+                in_degree[int(target)] += 1.0
+
+        # Early papers of a class become its canonical references.
+        if len(canonical) < canonical_size:
+            canonical.append(paper)
+
+    return DiGraph(num_papers, edges, name=name or f"citation-{num_papers}")
+
+
+def patent_like(
+    num_papers: int = 1600, seed: int = 7, name: str = "PATENT-like"
+) -> DiGraph:
+    """Return the scaled PATENT analogue used by the workload registry.
+
+    The real PATENT network has average degree 4.4; the generator reproduces
+    that average, the DAG orientation, the class-level co-citation structure
+    and the family-bundle overlap at a laptop-scale vertex count.
+    """
+    return citation_network(
+        num_papers=num_papers,
+        average_citations=4.4,
+        num_classes=max(num_papers // 60, 2),
+        canonical_size=3,
+        canonical_share=0.45,
+        family_size_range=(1, 4),
+        family_cocitation=0.8,
+        recency_bias=0.05,
+        seed=seed,
+        name=name,
+    )

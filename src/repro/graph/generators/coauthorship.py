@@ -1,0 +1,221 @@
+"""Co-authorship network generator: the DBLP dataset analogue.
+
+The paper builds four co-authorship graphs (D02, D05, D08, D11) from DBLP by
+taking the 2000–2011 publications of eight database/data-mining venues and
+snapshotting every three years.  The graphs are undirected co-author
+relations stored as symmetric directed edges, have small average degree
+(≈2.4–2.8) and a strong community structure (research groups publish
+together repeatedly).
+
+:class:`CoauthorshipSimulator` reproduces that generative process at laptop
+scale: authors belong to research groups, papers are written each year by
+mostly-intra-group author subsets, new authors join over time, and snapshots
+are cumulative.  Author vertices carry synthetic names so the top-k query
+experiments (Fig. 6g/6h) have a human-readable workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+from ..digraph import DiGraph, GraphBuilder
+
+__all__ = ["CoauthorshipSimulator", "dblp_like_snapshots", "author_name"]
+
+_FIRST_NAMES = (
+    "Wei", "Xin", "Jian", "Lei", "Ming", "Yu", "Hao", "Lin", "Feng", "Jun",
+    "Anna", "Boris", "Carla", "David", "Elena", "Frank", "Grace", "Henry",
+    "Irene", "Jack", "Kara", "Liam", "Maria", "Nina", "Oscar", "Paula",
+    "Quinn", "Rosa", "Sam", "Tina", "Uma", "Victor", "Wendy", "Xavier",
+    "Yan", "Zoe", "Amir", "Bianca", "Chen", "Dmitri",
+)
+
+_LAST_NAMES = (
+    "Zhang", "Wang", "Li", "Chen", "Liu", "Yang", "Huang", "Zhao", "Wu",
+    "Zhou", "Smith", "Johnson", "Mueller", "Garcia", "Kim", "Park", "Singh",
+    "Kumar", "Tanaka", "Sato", "Rossi", "Silva", "Novak", "Ivanov", "Petrov",
+    "Nguyen", "Tran", "Lee", "Martin", "Bernard", "Dubois", "Moreau",
+    "Fischer", "Weber", "Schmidt", "Keller", "Andersson", "Larsen", "Haas",
+    "Costa",
+)
+
+
+def author_name(index: int) -> str:
+    """Return a deterministic synthetic author name for vertex ``index``.
+
+    Names cycle through a first/last-name product and append a numeric
+    suffix when the product is exhausted, so names stay unique for any
+    realistic author count.
+    """
+    first = _FIRST_NAMES[index % len(_FIRST_NAMES)]
+    last = _LAST_NAMES[(index // len(_FIRST_NAMES)) % len(_LAST_NAMES)]
+    generation = index // (len(_FIRST_NAMES) * len(_LAST_NAMES))
+    suffix = f" {generation + 1}" if generation else ""
+    return f"{first} {last}{suffix}"
+
+
+@dataclass(frozen=True)
+class CoauthorshipSnapshot:
+    """One cumulative snapshot of the simulated co-authorship network."""
+
+    label: str
+    year: int
+    graph: DiGraph
+
+
+class CoauthorshipSimulator:
+    """Simulate yearly publications of a research community.
+
+    Parameters
+    ----------
+    num_groups:
+        Number of research groups; each group has a core of senior authors.
+    authors_per_group:
+        Initial number of authors per group.
+    papers_per_group_per_year:
+        Expected number of papers each group publishes each year.
+    new_authors_per_group_per_year:
+        Expected number of new authors (students) joining each group yearly.
+    cross_group_probability:
+        Probability that a paper includes one author from another group
+        (collaborations are what connect the communities).
+    seed:
+        Deterministic seed.
+    """
+
+    def __init__(
+        self,
+        num_groups: int = 40,
+        authors_per_group: int = 6,
+        papers_per_group_per_year: float = 3.0,
+        new_authors_per_group_per_year: float = 1.5,
+        cross_group_probability: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if num_groups <= 0:
+            raise ConfigurationError("num_groups must be positive")
+        if authors_per_group <= 0:
+            raise ConfigurationError("authors_per_group must be positive")
+        self.num_groups = num_groups
+        self.authors_per_group = authors_per_group
+        self.papers_per_group_per_year = papers_per_group_per_year
+        self.new_authors_per_group_per_year = new_authors_per_group_per_year
+        self.cross_group_probability = cross_group_probability
+        self.seed = seed
+
+    def run(
+        self,
+        start_year: int = 2000,
+        snapshot_years: tuple[int, ...] = (2002, 2005, 2008, 2011),
+    ) -> list[CoauthorshipSnapshot]:
+        """Simulate publications and return cumulative snapshots.
+
+        Each snapshot contains every co-authorship edge created up to and
+        including its year, mirroring the paper's cumulative D02–D11 series.
+        """
+        rng = np.random.default_rng(self.seed)
+        end_year = max(snapshot_years)
+
+        group_members: list[list[int]] = []
+        next_author = 0
+        for _ in range(self.num_groups):
+            members = list(range(next_author, next_author + self.authors_per_group))
+            next_author += self.authors_per_group
+            group_members.append(members)
+
+        coauthor_pairs: set[tuple[int, int]] = set()
+        snapshots: list[CoauthorshipSnapshot] = []
+        snapshot_set = set(snapshot_years)
+
+        for year in range(start_year, end_year + 1):
+            for group, members in enumerate(group_members):
+                # New authors join the group (students, postdocs).
+                num_new = int(rng.poisson(self.new_authors_per_group_per_year))
+                for _ in range(num_new):
+                    members.append(next_author)
+                    next_author += 1
+
+                num_papers = int(rng.poisson(self.papers_per_group_per_year))
+                for _ in range(num_papers):
+                    # A typical paper: one or two senior (core) authors plus
+                    # one or two junior co-authors.  Juniors often appear on a
+                    # single paper, which keeps the average degree low and
+                    # makes many of them share an identical co-author set —
+                    # both properties of the real DBLP snapshots.
+                    core = members[: self.authors_per_group]
+                    juniors = members[self.authors_per_group :]
+                    num_core = min(2 if rng.random() < 0.2 else 1, len(core))
+                    num_juniors = min(2 if rng.random() < 0.3 else 1, len(juniors))
+                    if num_core + num_juniors < 2:
+                        continue
+                    ranks = np.arange(1, len(core) + 1, dtype=np.float64)
+                    core_weights = 1.0 / ranks
+                    core_weights /= core_weights.sum()
+                    team = list(
+                        rng.choice(core, size=num_core, replace=False, p=core_weights)
+                    )
+                    if num_juniors and juniors:
+                        team.extend(
+                            rng.choice(juniors, size=num_juniors, replace=False)
+                        )
+                    if (
+                        rng.random() < self.cross_group_probability
+                        and self.num_groups > 1
+                    ):
+                        other_group = int(rng.integers(0, self.num_groups))
+                        if other_group != group and group_members[other_group]:
+                            guest = int(rng.choice(group_members[other_group]))
+                            team.append(guest)
+                    for i, author_a in enumerate(team):
+                        for author_b in team[i + 1 :]:
+                            a, b = int(author_a), int(author_b)
+                            if a == b:
+                                continue
+                            coauthor_pairs.add((min(a, b), max(a, b)))
+
+            if year in snapshot_set:
+                snapshots.append(
+                    CoauthorshipSnapshot(
+                        label=f"D{year % 100:02d}",
+                        year=year,
+                        graph=self._build_graph(coauthor_pairs, year),
+                    )
+                )
+        return snapshots
+
+    def _build_graph(
+        self, coauthor_pairs: set[tuple[int, int]], year: int
+    ) -> DiGraph:
+        """Materialise the symmetric co-authorship graph for a snapshot."""
+        builder = GraphBuilder(name=f"DBLP-like-D{year % 100:02d}")
+        for author_a, author_b in sorted(coauthor_pairs):
+            name_a = author_name(author_a)
+            name_b = author_name(author_b)
+            builder.add_edge(name_a, name_b)
+            builder.add_edge(name_b, name_a)
+        return builder.build()
+
+
+def dblp_like_snapshots(
+    scale: float = 1.0, seed: int = 3
+) -> list[CoauthorshipSnapshot]:
+    """Return the four DBLP-analogue snapshots (D02, D05, D08, D11).
+
+    ``scale`` multiplies the number of research groups; ``scale=1.0`` yields
+    graphs of roughly 400–1,300 authors with average degree ≈ 2.5–3,
+    mirroring the relative growth of the paper's D02–D11 series at about
+    1/15th of the size.
+    """
+    num_groups = max(int(round(40 * scale)), 2)
+    simulator = CoauthorshipSimulator(
+        num_groups=num_groups,
+        authors_per_group=6,
+        papers_per_group_per_year=3.0,
+        new_authors_per_group_per_year=1.5,
+        cross_group_probability=0.25,
+        seed=seed,
+    )
+    return simulator.run()

@@ -1,0 +1,102 @@
+"""Sparse-matrix views of a :class:`~repro.graph.digraph.DiGraph`.
+
+The matrix form of SimRank (Eq. 3 of the paper) is written in terms of the
+*backward transition matrix* ``Q`` with ``Q[i, j] = 1 / |I(i)|`` whenever the
+edge ``j -> i`` exists.  These helpers build ``Q``, the plain adjacency
+matrix and a couple of related normalisations as ``scipy.sparse`` CSR
+matrices so the matrix-form solvers and the SVD baseline can share them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from .digraph import DiGraph
+
+__all__ = [
+    "adjacency_matrix",
+    "backward_transition_matrix",
+    "forward_transition_matrix",
+    "in_degree_vector",
+    "out_degree_vector",
+]
+
+
+def adjacency_matrix(graph: DiGraph, dtype: type = np.float64) -> sparse.csr_matrix:
+    """Return the adjacency matrix ``A`` with ``A[i, j] = 1`` iff ``i -> j``."""
+    n = graph.num_vertices
+    rows: list[int] = []
+    cols: list[int] = []
+    for source, target in graph.edges():
+        rows.append(source)
+        cols.append(target)
+    data = np.ones(len(rows), dtype=dtype)
+    return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def in_degree_vector(graph: DiGraph) -> np.ndarray:
+    """Return the length-``n`` vector of in-degrees ``|I(v)|``."""
+    return np.array(
+        [graph.in_degree(vertex) for vertex in graph.vertices()], dtype=np.int64
+    )
+
+
+def out_degree_vector(graph: DiGraph) -> np.ndarray:
+    """Return the length-``n`` vector of out-degrees ``|O(v)|``."""
+    return np.array(
+        [graph.out_degree(vertex) for vertex in graph.vertices()], dtype=np.int64
+    )
+
+
+def backward_transition_matrix(
+    graph: DiGraph, dtype: type = np.float64
+) -> sparse.csr_matrix:
+    """Return ``Q`` with ``Q[i, j] = 1 / |I(i)|`` for every edge ``j -> i``.
+
+    Rows of vertices with no in-neighbours are all zero, matching the paper's
+    convention that such vertices have similarity 0 with everything but
+    themselves.  Every non-zero row sums to exactly 1.
+    """
+    n = graph.num_vertices
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for vertex in graph.vertices():
+        in_neighbors = graph.in_neighbors(vertex)
+        if not in_neighbors:
+            continue
+        weight = 1.0 / len(in_neighbors)
+        for neighbor in in_neighbors:
+            rows.append(vertex)
+            cols.append(neighbor)
+            data.append(weight)
+    return sparse.csr_matrix(
+        (np.asarray(data, dtype=dtype), (rows, cols)), shape=(n, n)
+    )
+
+
+def forward_transition_matrix(
+    graph: DiGraph, dtype: type = np.float64
+) -> sparse.csr_matrix:
+    """Return ``P`` with ``P[i, j] = 1 / |O(i)|`` for every edge ``i -> j``.
+
+    This is the out-link analogue of :func:`backward_transition_matrix`; it is
+    used by the P-Rank extension, which mixes in- and out-link recursions.
+    """
+    n = graph.num_vertices
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for vertex in graph.vertices():
+        out_neighbors = graph.out_neighbors(vertex)
+        if not out_neighbors:
+            continue
+        weight = 1.0 / len(out_neighbors)
+        for neighbor in out_neighbors:
+            rows.append(vertex)
+            cols.append(neighbor)
+            data.append(weight)
+    return sparse.csr_matrix(
+        (np.asarray(data, dtype=dtype), (rows, cols)), shape=(n, n)
+    )

@@ -1,0 +1,14 @@
+"""Spanning-tree substrates: union-find, undirected MST, directed MST."""
+
+from .edmonds import Arborescence, minimum_spanning_arborescence
+from .prim import kruskal_mst, prim_mst, spanning_forest_weight
+from .union_find import UnionFind
+
+__all__ = [
+    "Arborescence",
+    "minimum_spanning_arborescence",
+    "kruskal_mst",
+    "prim_mst",
+    "spanning_forest_weight",
+    "UnionFind",
+]

@@ -1,0 +1,241 @@
+"""Minimum spanning arborescence (directed MST) — Chu-Liu/Edmonds' algorithm.
+
+The paper's ``DMST-Reduce`` procedure (Section III-C) calls an off-the-shelf
+directed-MST routine (Gabow et al. [7]) on the transition-cost graph ``G*``
+to obtain the sharing order ``T``.  We implement the classic Chu-Liu/Edmonds
+contraction algorithm, which is ``O(V·E)`` — more than fast enough for the
+graph sizes produced by ``DMST-Reduce`` (one vertex per *distinct*
+in-neighbour set).
+
+The entry point :func:`minimum_spanning_arborescence` returns, for every
+vertex reachable from the root, the index of the chosen incoming edge in the
+caller's edge list, so callers keep full control over edge payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..exceptions import GraphError
+
+__all__ = ["Arborescence", "minimum_spanning_arborescence"]
+
+
+@dataclass(frozen=True)
+class Arborescence:
+    """Result of :func:`minimum_spanning_arborescence`.
+
+    Attributes
+    ----------
+    root:
+        The root vertex the arborescence is grown from.
+    parent_edge:
+        ``parent_edge[v]`` is the index (into the *input* edge list) of the
+        edge entering ``v`` in the arborescence, or ``None`` for the root and
+        for vertices unreachable from the root.
+    total_weight:
+        Sum of the chosen edge weights.
+    """
+
+    root: int
+    parent_edge: tuple[Optional[int], ...]
+    total_weight: float
+
+    def chosen_edges(self) -> list[int]:
+        """Return the chosen edge indices (one per covered non-root vertex)."""
+        return [index for index in self.parent_edge if index is not None]
+
+    def parent_of(self, vertex: int) -> Optional[int]:
+        """Return the edge index entering ``vertex``, or ``None``."""
+        return self.parent_edge[vertex]
+
+
+@dataclass
+class _Edge:
+    source: int
+    target: int
+    weight: float
+    original: int
+
+
+def minimum_spanning_arborescence(
+    num_vertices: int,
+    edges: Sequence[tuple[int, int, float]],
+    root: int,
+    require_spanning: bool = True,
+) -> Arborescence:
+    """Compute a minimum-weight arborescence rooted at ``root``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices, ids ``0 .. num_vertices-1``.
+    edges:
+        Sequence of ``(source, target, weight)`` triples.  Parallel edges are
+        allowed (the cheapest useful one wins); edges entering the root and
+        self-loops are ignored.
+    root:
+        Root vertex.
+    require_spanning:
+        When ``True`` (default) a :class:`~repro.exceptions.GraphError` is
+        raised if some vertex is unreachable from the root.  When ``False``,
+        unreachable vertices simply have ``parent_edge[v] is None``.
+
+    Returns
+    -------
+    Arborescence
+        The chosen incoming edge per vertex and the total weight.
+    """
+    if not 0 <= root < num_vertices:
+        raise GraphError(f"root {root} out of range for {num_vertices} vertices")
+
+    work_edges = [
+        _Edge(int(source), int(target), float(weight), index)
+        for index, (source, target, weight) in enumerate(edges)
+        if int(target) != root and int(source) != int(target)
+    ]
+    for edge in work_edges:
+        if not (0 <= edge.source < num_vertices and 0 <= edge.target < num_vertices):
+            raise GraphError(
+                f"edge ({edge.source}, {edge.target}) out of range for "
+                f"{num_vertices} vertices"
+            )
+
+    reachable = _reachable_from(num_vertices, work_edges, root)
+    unreachable = [v for v in range(num_vertices) if v not in reachable]
+    if unreachable and require_spanning:
+        raise GraphError(
+            f"{len(unreachable)} vertices are unreachable from root {root}; "
+            "cannot build a spanning arborescence"
+        )
+    work_edges = [
+        edge
+        for edge in work_edges
+        if edge.source in reachable and edge.target in reachable
+    ]
+
+    chosen_original = _edmonds(num_vertices, work_edges, root)
+
+    parent_edge: list[Optional[int]] = [None] * num_vertices
+    total_weight = 0.0
+    for original_index in chosen_original:
+        source, target, weight = edges[original_index]
+        parent_edge[int(target)] = original_index
+        total_weight += float(weight)
+    return Arborescence(
+        root=root, parent_edge=tuple(parent_edge), total_weight=total_weight
+    )
+
+
+def _reachable_from(num_vertices: int, edges: list[_Edge], root: int) -> set[int]:
+    """Return the set of vertices reachable from ``root`` along ``edges``."""
+    adjacency: list[list[int]] = [[] for _ in range(num_vertices)]
+    for edge in edges:
+        adjacency[edge.source].append(edge.target)
+    seen = {root}
+    stack = [root]
+    while stack:
+        vertex = stack.pop()
+        for neighbor in adjacency[vertex]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return seen
+
+
+def _edmonds(num_vertices: int, edges: list[_Edge], root: int) -> list[int]:
+    """Recursive Chu-Liu/Edmonds contraction.
+
+    Returns the list of *original* edge indices forming the arborescence over
+    the vertices that currently have incoming edges (unreachable vertices
+    have been filtered out by the caller).
+    """
+    # 1. Cheapest incoming edge per vertex.
+    best_in: dict[int, _Edge] = {}
+    for edge in edges:
+        current = best_in.get(edge.target)
+        if current is None or edge.weight < current.weight:
+            best_in[edge.target] = edge
+    if not best_in:
+        return []
+
+    # 2. Detect a cycle among the chosen edges.
+    cycle = _find_cycle(best_in, root)
+    if cycle is None:
+        return [edge.original for edge in best_in.values()]
+
+    cycle_set = set(cycle)
+    cycle_id = num_vertices  # the contracted super-vertex gets a fresh id
+
+    # 3. Contract the cycle and reweight edges entering it.
+    contracted: list[_Edge] = []
+    # Maps the contracted edge object back to (original incoming edge, the
+    # cycle edge it would displace).
+    entering_info: dict[int, tuple[_Edge, _Edge]] = {}
+    for index, edge in enumerate(edges):
+        source_in = edge.source in cycle_set
+        target_in = edge.target in cycle_set
+        if source_in and target_in:
+            continue
+        if target_in:
+            displaced = best_in[edge.target]
+            new_edge = _Edge(
+                edge.source, cycle_id, edge.weight - displaced.weight, index
+            )
+            contracted.append(new_edge)
+            entering_info[index] = (edge, displaced)
+        elif source_in:
+            contracted.append(_Edge(cycle_id, edge.target, edge.weight, index))
+        else:
+            contracted.append(_Edge(edge.source, edge.target, edge.weight, index))
+
+    sub_result = _edmonds(num_vertices + 1, contracted, root)
+
+    # 4. Expand the contraction.
+    chosen: list[int] = []
+    entering_edge: Optional[_Edge] = None
+    displaced_edge: Optional[_Edge] = None
+    for contracted_index in sub_result:
+        info = entering_info.get(contracted_index)
+        if info is not None and edges[contracted_index].target in cycle_set:
+            entering_edge, displaced_edge = info
+            chosen.append(entering_edge.original)
+        else:
+            chosen.append(edges[contracted_index].original)
+
+    # Keep every cycle edge except the one displaced by the entering edge.
+    for vertex in cycle:
+        cycle_edge = best_in[vertex]
+        if displaced_edge is not None and cycle_edge is displaced_edge:
+            continue
+        chosen.append(cycle_edge.original)
+    return chosen
+
+
+def _find_cycle(best_in: dict[int, _Edge], root: int) -> Optional[list[int]]:
+    """Return one cycle (as a vertex list) in the chosen-edge graph, if any."""
+    state: dict[int, int] = {}  # 0 = visiting, 1 = done
+    for start in best_in:
+        if state.get(start) == 1:
+            continue
+        path: list[int] = []
+        vertex = start
+        while True:
+            if vertex == root or vertex not in best_in:
+                break
+            mark = state.get(vertex)
+            if mark == 1:
+                break
+            if mark == 0:
+                # Found a vertex already on the current path: extract cycle.
+                cycle_start = path.index(vertex)
+                for node in path[:cycle_start]:
+                    state[node] = 1
+                return path[cycle_start:]
+            state[vertex] = 0
+            path.append(vertex)
+            vertex = best_in[vertex].source
+        for node in path:
+            state[node] = 1
+    return None

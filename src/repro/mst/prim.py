@@ -1,0 +1,73 @@
+"""Undirected minimum spanning tree / forest (Prim's and Kruskal's algorithms).
+
+The paper's hierarchical-clustering view of partial-sums sharing (Fig. 3b)
+is an undirected dendrogram; these routines provide the undirected MST
+machinery used by the ablation experiments that compare the directed
+``DMST-Reduce`` ordering against a symmetric clustering of in-neighbour
+sets.  They are deliberately dependency-free (plain heaps and the
+:class:`~repro.mst.union_find.UnionFind` structure).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from .union_find import UnionFind
+
+__all__ = ["prim_mst", "kruskal_mst", "spanning_forest_weight"]
+
+
+def prim_mst(
+    num_vertices: int,
+    edges: Sequence[tuple[int, int, float]],
+    start: int = 0,
+) -> list[int]:
+    """Return the edge indices of an MST of the component containing ``start``.
+
+    Edges are treated as undirected.  Vertices outside ``start``'s component
+    are simply not covered (use :func:`kruskal_mst` for a spanning forest).
+    """
+    if num_vertices == 0:
+        return []
+    adjacency: list[list[tuple[float, int, int]]] = [[] for _ in range(num_vertices)]
+    for index, (u, v, weight) in enumerate(edges):
+        adjacency[int(u)].append((float(weight), int(v), index))
+        adjacency[int(v)].append((float(weight), int(u), index))
+
+    chosen: list[int] = []
+    visited = [False] * num_vertices
+    visited[start] = True
+    heap: list[tuple[float, int, int]] = list(adjacency[start])
+    heapq.heapify(heap)
+    while heap:
+        weight, vertex, index = heapq.heappop(heap)
+        if visited[vertex]:
+            continue
+        visited[vertex] = True
+        chosen.append(index)
+        for candidate in adjacency[vertex]:
+            if not visited[candidate[1]]:
+                heapq.heappush(heap, candidate)
+    return chosen
+
+
+def kruskal_mst(
+    num_vertices: int, edges: Sequence[tuple[int, int, float]]
+) -> list[int]:
+    """Return the edge indices of a minimum spanning *forest* (Kruskal)."""
+    order = sorted(range(len(edges)), key=lambda index: float(edges[index][2]))
+    dsu = UnionFind(num_vertices)
+    chosen: list[int] = []
+    for index in order:
+        u, v, _ = edges[index]
+        if dsu.union(int(u), int(v)):
+            chosen.append(index)
+    return chosen
+
+
+def spanning_forest_weight(
+    num_vertices: int, edges: Sequence[tuple[int, int, float]]
+) -> float:
+    """Return the total weight of a minimum spanning forest."""
+    return sum(float(edges[index][2]) for index in kruskal_mst(num_vertices, edges))

@@ -1,0 +1,95 @@
+"""Disjoint-set (union-find) data structure.
+
+Used by the MST routines (Kruskal-style cycle detection, Edmonds' cycle
+contraction bookkeeping) and handy on its own for grouping vertices with
+identical in-neighbour sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Union-find over the integers ``0 .. n-1``.
+
+    Implements union by rank and path compression, giving effectively
+    constant amortised time per operation.
+
+    Examples
+    --------
+    >>> dsu = UnionFind(4)
+    >>> dsu.union(0, 1)
+    True
+    >>> dsu.connected(0, 1)
+    True
+    >>> dsu.connected(0, 2)
+    False
+    """
+
+    __slots__ = ("_parent", "_rank", "_num_sets")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._parent = list(range(size))
+        self._rank = [0] * size
+        self._num_sets = size
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._num_sets
+
+    def find(self, item: int) -> int:
+        """Return the canonical representative of ``item``'s set."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression: point every visited node directly at the root.
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, first: int, second: int) -> bool:
+        """Merge the sets of ``first`` and ``second``.
+
+        Returns ``True`` when a merge happened, ``False`` when the two items
+        were already in the same set.
+        """
+        root_first = self.find(first)
+        root_second = self.find(second)
+        if root_first == root_second:
+            return False
+        if self._rank[root_first] < self._rank[root_second]:
+            root_first, root_second = root_second, root_first
+        self._parent[root_second] = root_first
+        if self._rank[root_first] == self._rank[root_second]:
+            self._rank[root_first] += 1
+        self._num_sets -= 1
+        return True
+
+    def connected(self, first: int, second: int) -> bool:
+        """Return whether the two items are in the same set."""
+        return self.find(first) == self.find(second)
+
+    def groups(self) -> list[list[int]]:
+        """Return the current partition as a list of sorted member lists."""
+        members: dict[int, list[int]] = {}
+        for item in range(len(self._parent)):
+            members.setdefault(self.find(item), []).append(item)
+        return [sorted(group) for group in members.values()]
+
+    @classmethod
+    def from_pairs(cls, size: int, pairs: Iterable[tuple[int, int]]) -> "UnionFind":
+        """Build a union-find with every pair in ``pairs`` already merged."""
+        dsu = cls(size)
+        for first, second in pairs:
+            dsu.union(first, second)
+        return dsu

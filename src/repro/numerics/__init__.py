@@ -1,0 +1,33 @@
+"""Numeric substrates: Lambert W, series tails, matrix norms."""
+
+from .lambert_w import lambert_w, lambert_w_lower_bound, lambert_w_upper_bound
+from .norms import (
+    frobenius_norm,
+    max_difference,
+    max_norm,
+    relative_max_difference,
+)
+from .series import (
+    coefficient_sequence,
+    exponential_coefficients,
+    exponential_tail,
+    exponential_tail_bound,
+    geometric_coefficients,
+    geometric_tail,
+)
+
+__all__ = [
+    "lambert_w",
+    "lambert_w_lower_bound",
+    "lambert_w_upper_bound",
+    "frobenius_norm",
+    "max_difference",
+    "max_norm",
+    "relative_max_difference",
+    "coefficient_sequence",
+    "exponential_coefficients",
+    "exponential_tail",
+    "exponential_tail_bound",
+    "geometric_coefficients",
+    "geometric_tail",
+]

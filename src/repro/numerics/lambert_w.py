@@ -1,0 +1,95 @@
+"""Lambert W function (principal branch) and the bounds used by the paper.
+
+Corollary 1 of the paper expresses the number of differential-SimRank
+iterations needed for accuracy ``ε`` through ``W(·)``, the Lambert W
+function, and Corollary 2 replaces it with the elementary bound
+``ln x − ln ln x ≤ W(x) ≤ ln x`` (valid for ``x > e``) citing Hassani's
+approximation report.  We provide:
+
+* :func:`lambert_w` — principal-branch ``W(x)`` for ``x ≥ 0`` computed with
+  a log-based initial guess refined by Halley iterations (no SciPy needed;
+  SciPy's ``lambertw`` is used in the test-suite as an oracle).
+* :func:`lambert_w_lower_bound` / :func:`lambert_w_upper_bound` — the
+  elementary bounds the paper's Corollary 2 relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "lambert_w",
+    "lambert_w_lower_bound",
+    "lambert_w_upper_bound",
+]
+
+
+def lambert_w(x: float, tolerance: float = 1e-12, max_iterations: int = 64) -> float:
+    """Evaluate the principal branch ``W(x)`` for ``x >= 0``.
+
+    Solves ``w * exp(w) = x`` by Halley's method starting from a log-based
+    guess (Hassani-style), which converges in a handful of iterations for the
+    whole non-negative axis.
+
+    Parameters
+    ----------
+    x:
+        Argument; must be non-negative (the paper only ever evaluates W on
+        positive arguments).
+    tolerance:
+        Absolute tolerance on the Newton/Halley step.
+    max_iterations:
+        Safety cap on the number of refinement iterations.
+    """
+    if x < 0:
+        raise ConfigurationError(
+            f"lambert_w is implemented for x >= 0 only, got {x}"
+        )
+    if x == 0.0:
+        return 0.0
+
+    # Initial guess: W(x) ~ ln(x) - ln(ln(x)) for large x, ~ x for small x.
+    if x > math.e:
+        log_x = math.log(x)
+        w = log_x - math.log(log_x)
+    elif x > 0.25:
+        w = math.log(1.0 + x) * (1.0 - math.log(1.0 + math.log(1.0 + x)) / 2.0)
+    else:
+        # Series around 0: W(x) = x - x^2 + 3/2 x^3 - ...
+        w = x * (1.0 - x + 1.5 * x * x)
+
+    for _ in range(max_iterations):
+        exp_w = math.exp(w)
+        numerator = w * exp_w - x
+        # Halley's update for f(w) = w e^w - x.
+        denominator = exp_w * (w + 1.0) - (w + 2.0) * numerator / (2.0 * w + 2.0)
+        if denominator == 0.0:
+            break
+        step = numerator / denominator
+        w -= step
+        if abs(step) <= tolerance:
+            break
+    return w
+
+
+def lambert_w_lower_bound(x: float) -> float:
+    """Return the elementary lower bound ``ln x − ln ln x ≤ W(x)``.
+
+    Valid for ``x > e`` (the paper's Corollary 2 restricts ``ε`` precisely so
+    that its argument satisfies this).
+    """
+    if x <= math.e:
+        raise ConfigurationError(
+            f"the bound ln x - ln ln x requires x > e, got {x}"
+        )
+    log_x = math.log(x)
+    return log_x - math.log(log_x)
+
+
+def lambert_w_upper_bound(x: float) -> float:
+    """Return the elementary upper bound ``W(x) ≤ ln x`` (valid for x > e)."""
+    if x <= math.e:
+        raise ConfigurationError(f"the bound W(x) <= ln x requires x > e, got {x}")
+    return math.log(x)

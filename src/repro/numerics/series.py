@@ -1,0 +1,120 @@
+"""Series utilities: the geometric vs exponential tails behind the paper.
+
+Conventional SimRank is the geometric sum ``(1−C) Σ Cⁱ Qⁱ(Qᵀ)ⁱ`` (Eq. 12);
+the differential variant replaces the coefficients by the exponential
+sequence ``e^{-C} Cⁱ/i!`` (Eq. 13).  Everything the paper says about
+convergence speed reduces to statements about the *tails* of these two
+scalar series, so the tail computations live here where both the iteration
+bounds and the property-based tests can reach them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "geometric_coefficients",
+    "exponential_coefficients",
+    "geometric_tail",
+    "exponential_tail",
+    "exponential_tail_bound",
+    "coefficient_sequence",
+]
+
+
+def _check_damping(damping: float) -> None:
+    if not 0.0 < damping < 1.0:
+        raise ConfigurationError(f"damping factor must lie in (0, 1), got {damping}")
+
+
+def geometric_coefficients(damping: float, num_terms: int) -> list[float]:
+    """Return ``[(1−C)·Cⁱ for i in 0..num_terms-1]`` (conventional SimRank)."""
+    _check_damping(damping)
+    return [(1.0 - damping) * damping**i for i in range(num_terms)]
+
+
+def exponential_coefficients(damping: float, num_terms: int) -> list[float]:
+    """Return ``[e^{-C}·Cⁱ/i! for i in 0..num_terms-1]`` (differential SimRank)."""
+    _check_damping(damping)
+    scale = math.exp(-damping)
+    coefficients = []
+    factorial = 1.0
+    power = 1.0
+    for i in range(num_terms):
+        if i > 0:
+            factorial *= i
+            power *= damping
+        coefficients.append(scale * power / factorial)
+    return coefficients
+
+
+def geometric_tail(damping: float, first_term: int) -> float:
+    """Return ``Σ_{i>=first_term} (1−C)·Cⁱ = C^first_term``.
+
+    This is the exact error of truncating conventional SimRank after
+    ``first_term`` terms, which is where ``K = ⌈log_C ε⌉`` comes from.
+    """
+    _check_damping(damping)
+    if first_term < 0:
+        raise ConfigurationError("first_term must be non-negative")
+    return damping**first_term
+
+
+def exponential_tail(damping: float, first_term: int, extra_terms: int = 64) -> float:
+    """Return ``e^{-C} Σ_{i>=first_term} Cⁱ/i!`` evaluated numerically.
+
+    ``extra_terms`` truncates the (rapidly converging) remaining sum; 64
+    terms put the truncation error far below double precision for C < 1.
+    """
+    _check_damping(damping)
+    if first_term < 0:
+        raise ConfigurationError("first_term must be non-negative")
+    scale = math.exp(-damping)
+    total = 0.0
+    term = damping**first_term / math.factorial(first_term)
+    for i in range(first_term, first_term + extra_terms):
+        total += term
+        term *= damping / (i + 1)
+    return scale * total
+
+
+def exponential_tail_bound(damping: float, iterations: int) -> float:
+    """Return the paper's Prop. 7 bound ``C^{k+1}/(k+1)!`` after ``k`` iterations."""
+    _check_damping(damping)
+    if iterations < 0:
+        raise ConfigurationError("iterations must be non-negative")
+    return damping ** (iterations + 1) / math.factorial(iterations + 1)
+
+
+def coefficient_sequence(damping: float, kind: str = "geometric") -> Iterator[float]:
+    """Yield the coefficient sequence of the chosen SimRank model lazily.
+
+    Parameters
+    ----------
+    damping:
+        The damping factor ``C``.
+    kind:
+        ``"geometric"`` for conventional SimRank, ``"exponential"`` for the
+        differential model.
+    """
+    _check_damping(damping)
+    if kind == "geometric":
+        coefficient = 1.0 - damping
+        while True:
+            yield coefficient
+            coefficient *= damping
+    elif kind == "exponential":
+        scale = math.exp(-damping)
+        term = 1.0
+        index = 0
+        while True:
+            yield scale * term
+            index += 1
+            term *= damping / index
+    else:
+        raise ConfigurationError(
+            f"kind must be 'geometric' or 'exponential', got {kind!r}"
+        )

@@ -1,0 +1,24 @@
+"""Ranking-quality metrics (NDCG, rank correlation, top-k comparisons)."""
+
+from .correlation import (
+    adjacent_inversions,
+    kendall_tau,
+    ranking_agreement,
+    spearman_rho,
+)
+from .ndcg import dcg, graded_relevance_from_ranking, ndcg, ndcg_from_reference
+from .topk_metrics import TopKComparison, compare_queries, compare_top_k
+
+__all__ = [
+    "adjacent_inversions",
+    "kendall_tau",
+    "ranking_agreement",
+    "spearman_rho",
+    "dcg",
+    "graded_relevance_from_ranking",
+    "ndcg",
+    "ndcg_from_reference",
+    "TopKComparison",
+    "compare_queries",
+    "compare_top_k",
+]

@@ -1,0 +1,93 @@
+"""Top-k comparison metrics between two SimRank results.
+
+Convenience wrappers that take two :class:`~repro.core.result.SimRankResult`
+objects (typically OIP-SR as the reference and OIP-DSR as the evaluated
+model), extract the per-query rankings and compute the quality measures the
+paper reports: NDCG@p, top-k overlap, Kendall's τ and adjacent inversions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+from ..core.result import SimRankResult
+from .correlation import adjacent_inversions, kendall_tau, ranking_agreement
+from .ndcg import graded_relevance_from_ranking, ndcg_from_reference
+
+__all__ = ["TopKComparison", "compare_top_k", "compare_queries"]
+
+
+@dataclass(frozen=True)
+class TopKComparison:
+    """Quality of an evaluated ranking against a reference ranking."""
+
+    query: Hashable
+    k: int
+    ndcg: float
+    overlap: float
+    kendall: float
+    inversions: int
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the comparison as a flat dictionary for result tables."""
+        return {
+            "query": str(self.query),
+            "k": self.k,
+            "ndcg": round(self.ndcg, 4),
+            "overlap": round(self.overlap, 4),
+            "kendall": round(self.kendall, 4),
+            "inversions": self.inversions,
+        }
+
+
+def compare_top_k(
+    reference: SimRankResult,
+    evaluated: SimRankResult,
+    query: Hashable,
+    k: int = 10,
+) -> TopKComparison:
+    """Compare the top-``k`` ranking of ``evaluated`` against ``reference``.
+
+    The reference ranking plays the role of the paper's ground truth: its
+    graded relevance is derived from the reference order (top band most
+    relevant), and the evaluated ranking is scored against it with NDCG@k.
+    """
+    reference_entries = reference.top_k(query, k=k)
+    evaluated_entries = evaluated.top_k(query, k=k)
+    reference_labels = [label for label, _ in reference_entries]
+    evaluated_labels = [label for label, _ in evaluated_entries]
+
+    relevance = graded_relevance_from_ranking(reference_labels)
+    ndcg_value = ndcg_from_reference(evaluated_labels, relevance, p=k)
+    overlap = ranking_agreement(reference_labels, evaluated_labels, k=k)
+
+    # Kendall's tau over the union of both top-k lists, scored by each model.
+    union_labels = list(dict.fromkeys(reference_labels + evaluated_labels))
+    reference_scores = [reference.similarity(query, label) for label in union_labels]
+    evaluated_scores = [evaluated.similarity(query, label) for label in union_labels]
+    tau = kendall_tau(reference_scores, evaluated_scores)
+    inversions = adjacent_inversions(reference_labels, evaluated_labels)
+
+    return TopKComparison(
+        query=query,
+        k=k,
+        ndcg=ndcg_value,
+        overlap=overlap,
+        kendall=tau,
+        inversions=inversions,
+    )
+
+
+def compare_queries(
+    reference: SimRankResult,
+    evaluated: SimRankResult,
+    queries: Sequence[Hashable],
+    k_values: Sequence[int] = (10, 30, 50),
+) -> list[TopKComparison]:
+    """Compare several queries at several cut-offs (the Fig. 6g sweep)."""
+    comparisons: list[TopKComparison] = []
+    for query in queries:
+        for k in k_values:
+            comparisons.append(compare_top_k(reference, evaluated, query, k=k))
+    return comparisons

@@ -1,0 +1,29 @@
+"""Workloads: dataset registry (Fig. 5 analogues) and query workloads."""
+
+from .datasets import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    available_datasets,
+    dblp_snapshots,
+    fig5_table,
+    load_dataset,
+    syn_graph,
+)
+from .queries import (
+    QueryWorkload,
+    degree_stratified_queries,
+    prolific_author_queries,
+)
+
+__all__ = [
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "available_datasets",
+    "dblp_snapshots",
+    "fig5_table",
+    "load_dataset",
+    "syn_graph",
+    "QueryWorkload",
+    "degree_stratified_queries",
+    "prolific_author_queries",
+]

@@ -1,0 +1,257 @@
+"""The workload registry: laptop-scale analogues of the paper's Fig. 5 datasets.
+
+The paper evaluates on three real datasets (BERKSTAN, PATENT, DBLP D02–D11)
+plus GTGraph-generated synthetic graphs (SYN).  None of those can be shipped
+or downloaded here, so every entry of the registry is generated — with a
+pinned seed — by the structural generators in :mod:`repro.graph.generators`,
+scaled down to sizes a pure-Python SimRank implementation can sweep in
+seconds while keeping the structural property each experiment depends on
+(see DESIGN.md, "Substitutions").
+
+All loaders are memoised per ``(name, scale)`` so repeated benchmark phases
+reuse the same graph object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graph.digraph import DiGraph
+from ..graph.generators.citation import citation_network
+from ..graph.generators.coauthorship import CoauthorshipSimulator
+from ..graph.generators.random_graphs import uniform_random
+from ..graph.generators.rmat import rmat
+from ..graph.generators.webgraph import web_graph
+from ..graph.properties import dataset_summary_row
+
+__all__ = [
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "load_dataset",
+    "dblp_snapshots",
+    "syn_graph",
+    "fig5_table",
+    "available_datasets",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one paper dataset and its scaled analogue.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"berkstan"``, ``"patent"``, ``"dblp-d11"``, ...).
+    paper_vertices, paper_edges, paper_avg_degree:
+        The sizes reported in the paper's Fig. 5.
+    description:
+        One-line provenance note.
+    """
+
+    name: str
+    paper_vertices: int
+    paper_edges: int
+    paper_avg_degree: float
+    description: str
+
+
+PAPER_DATASETS: dict[str, DatasetSpec] = {
+    "berkstan": DatasetSpec(
+        name="berkstan",
+        paper_vertices=685_230,
+        paper_edges=7_600_595,
+        paper_avg_degree=11.1,
+        description="Berkeley-Stanford web graph (SNAP); host-clustered analogue",
+    ),
+    "patent": DatasetSpec(
+        name="patent",
+        paper_vertices=3_774_768,
+        paper_edges=16_518_948,
+        paper_avg_degree=4.4,
+        description="NBER U.S. patent citations; time-ordered citation DAG analogue",
+    ),
+    "dblp-d02": DatasetSpec(
+        name="dblp-d02",
+        paper_vertices=5_982,
+        paper_edges=15_985,
+        paper_avg_degree=2.7,
+        description="DBLP co-authorship 2000-2002; simulated publication history",
+    ),
+    "dblp-d05": DatasetSpec(
+        name="dblp-d05",
+        paper_vertices=9_342,
+        paper_edges=22_427,
+        paper_avg_degree=2.4,
+        description="DBLP co-authorship 2000-2005; simulated publication history",
+    ),
+    "dblp-d08": DatasetSpec(
+        name="dblp-d08",
+        paper_vertices=13_736,
+        paper_edges=37_685,
+        paper_avg_degree=2.7,
+        description="DBLP co-authorship 2000-2008; simulated publication history",
+    ),
+    "dblp-d11": DatasetSpec(
+        name="dblp-d11",
+        paper_vertices=19_371,
+        paper_edges=51_146,
+        paper_avg_degree=2.6,
+        description="DBLP co-authorship 2000-2011; simulated publication history",
+    ),
+}
+
+_DBLP_LABELS = ("dblp-d02", "dblp-d05", "dblp-d08", "dblp-d11")
+
+
+@lru_cache(maxsize=32)
+def _berkstan(scale: float) -> DiGraph:
+    num_pages = max(int(round(1200 * scale)), 60)
+    num_hosts = max(num_pages // 55, 2)
+    return web_graph(
+        num_pages=num_pages,
+        num_hosts=num_hosts,
+        average_degree=11.1,
+        index_pages_per_host=4,
+        directory_probability=0.85,
+        navigation_probability=0.9,
+        noise_fraction=0.2,
+        cross_host_probability=0.25,
+        seed=11,
+        name="BERKSTAN-like",
+    )
+
+
+@lru_cache(maxsize=32)
+def _patent(scale: float) -> DiGraph:
+    num_papers = max(int(round(1600 * scale)), 80)
+    return citation_network(
+        num_papers=num_papers,
+        average_citations=4.4,
+        num_classes=max(num_papers // 60, 2),
+        canonical_size=3,
+        canonical_share=0.45,
+        family_size_range=(1, 4),
+        family_cocitation=0.8,
+        recency_bias=0.05,
+        seed=7,
+        name="PATENT-like",
+    )
+
+
+@lru_cache(maxsize=8)
+def dblp_snapshots(scale: float = 1.0) -> dict[str, DiGraph]:
+    """Return the four DBLP-analogue snapshots keyed by registry name.
+
+    The snapshots are cumulative: ``dblp-d02 ⊂ dblp-d05 ⊂ dblp-d08 ⊂
+    dblp-d11`` in terms of the simulated publication history.
+    """
+    num_groups = max(int(round(36 * scale)), 2)
+    simulator = CoauthorshipSimulator(
+        num_groups=num_groups,
+        authors_per_group=4,
+        papers_per_group_per_year=2.2,
+        new_authors_per_group_per_year=2.5,
+        cross_group_probability=0.15,
+        seed=3,
+    )
+    snapshots = simulator.run()
+    graphs: dict[str, DiGraph] = {}
+    for snapshot, label in zip(snapshots, _DBLP_LABELS):
+        graphs[label] = snapshot.graph
+    return graphs
+
+
+def syn_graph(
+    num_vertices: int = 300,
+    average_degree: float = 10.0,
+    seed: int = 23,
+    model: str = "rmat",
+) -> DiGraph:
+    """Return a GTGraph-style synthetic graph (the SYN series of Fig. 6c).
+
+    The paper fixes ``n = 300K`` and sweeps the edge count; the scaled
+    default fixes a few hundred vertices and lets callers sweep
+    ``average_degree``.  The default model is R-MAT (GTGraph's skewed
+    generator): its hub structure gives in-neighbour sets that overlap more
+    and more as the density grows, which is the behaviour the paper's SYN
+    share-ratio annotations exhibit.  ``model="uniform"`` selects the plain
+    uniform random generator instead.
+    """
+    if model == "uniform":
+        num_edges = int(round(num_vertices * average_degree))
+        max_edges = num_vertices * (num_vertices - 1)
+        num_edges = min(num_edges, max_edges)
+        return uniform_random(
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+            seed=seed,
+            name=f"SYN-{num_vertices}-d{average_degree:g}",
+        )
+    if model != "rmat":
+        raise ConfigurationError(f"unknown SYN model {model!r}")
+    scale_bits = max(int(round(float(np.log2(max(num_vertices, 2))))), 2)
+    actual_vertices = 1 << scale_bits
+    num_edges = int(round(actual_vertices * average_degree))
+    max_edges = actual_vertices * (actual_vertices - 1)
+    num_edges = min(num_edges, max_edges)
+    return rmat(
+        scale=scale_bits,
+        num_edges=num_edges,
+        seed=seed,
+        name=f"SYN-{actual_vertices}-d{average_degree:g}",
+    )
+
+
+def load_dataset(name: str, scale: float = 1.0) -> DiGraph:
+    """Load one registry dataset by name at the given scale.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets`.
+    scale:
+        Size multiplier relative to the registry default (1.0 ≈ a thousand
+        vertices for the web/citation graphs, a few hundred authors for the
+        DBLP snapshots).
+    """
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    key = name.lower()
+    if key == "berkstan":
+        return _berkstan(scale)
+    if key == "patent":
+        return _patent(scale)
+    if key in _DBLP_LABELS:
+        return dblp_snapshots(scale)[key]
+    raise ConfigurationError(
+        f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+    )
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Return the names accepted by :func:`load_dataset`."""
+    return tuple(PAPER_DATASETS)
+
+
+def fig5_table(scale: float = 1.0) -> list[dict[str, object]]:
+    """Return the Fig. 5 dataset table: paper sizes next to generated sizes."""
+    rows: list[dict[str, object]] = []
+    for name, spec in PAPER_DATASETS.items():
+        graph = load_dataset(name, scale=scale)
+        row = dataset_summary_row(graph, name=name)
+        row.update(
+            {
+                "paper_vertices": spec.paper_vertices,
+                "paper_edges": spec.paper_edges,
+                "paper_avg_degree": spec.paper_avg_degree,
+                "description": spec.description,
+            }
+        )
+        rows.append(row)
+    return rows

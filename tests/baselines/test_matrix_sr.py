@@ -1,0 +1,64 @@
+"""Unit tests for the matrix-form SimRank baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.matrix_sr import matrix_simrank
+from repro.baselines.naive import naive_simrank
+from repro.exceptions import ConfigurationError
+from repro.graph.builders import from_edges
+
+
+class TestDiagonalConventions:
+    def test_diagonal_one_matches_naive(self, paper_graph):
+        ours = matrix_simrank(paper_graph, damping=0.6, iterations=6, diagonal="one")
+        reference = naive_simrank(paper_graph, damping=0.6, iterations=6)
+        assert np.allclose(ours.scores, reference.scores, atol=1e-12)
+
+    def test_matrix_diagonal_fixed_point_property(self, paper_graph):
+        # For the literal Eq. 3 iteration the fixed point satisfies
+        # S = C Q S Q^T + (1-C) I; check the residual is small at convergence.
+        from repro.graph.matrices import backward_transition_matrix
+
+        damping = 0.6
+        result = matrix_simrank(
+            paper_graph, damping=damping, iterations=60, diagonal="matrix"
+        )
+        transition = backward_transition_matrix(paper_graph).toarray()
+        reconstructed = damping * transition @ result.scores @ transition.T + (
+            1 - damping
+        ) * np.eye(paper_graph.num_vertices)
+        assert np.allclose(result.scores, reconstructed, atol=1e-9)
+
+    def test_matrix_diagonal_entries_in_range(self, small_web_graph):
+        result = matrix_simrank(
+            small_web_graph, damping=0.6, iterations=10, diagonal="matrix"
+        )
+        diagonal = np.diag(result.scores)
+        assert diagonal.min() >= 1 - 0.6 - 1e-12
+        assert diagonal.max() <= 1.0 + 1e-12
+
+    def test_unknown_diagonal_mode_rejected(self, paper_graph):
+        with pytest.raises(ConfigurationError):
+            matrix_simrank(paper_graph, diagonal="bogus")
+
+
+class TestBehaviour:
+    def test_zero_iterations(self, paper_graph):
+        result = matrix_simrank(paper_graph, damping=0.6, iterations=0)
+        assert np.array_equal(result.scores, np.eye(paper_graph.num_vertices))
+
+    def test_scores_bounded(self, small_citation_graph):
+        result = matrix_simrank(small_citation_graph, damping=0.8, iterations=8)
+        assert result.scores.min() >= 0.0
+        assert result.scores.max() <= 1.0 + 1e-12
+
+    def test_convergence_with_iterations(self, small_web_graph):
+        coarse = matrix_simrank(small_web_graph, damping=0.6, iterations=10)
+        fine = matrix_simrank(small_web_graph, damping=0.6, iterations=40)
+        finer = matrix_simrank(small_web_graph, damping=0.6, iterations=41)
+        assert np.abs(fine.scores - finer.scores).max() < np.abs(
+            coarse.scores - finer.scores
+        ).max()

@@ -1,0 +1,85 @@
+"""Unit tests for the Monte-Carlo (Fogaras & Rácz) SimRank estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.matrix_sr import matrix_simrank
+from repro.baselines.monte_carlo import (
+    estimate_pair,
+    monte_carlo_simrank,
+    sample_fingerprints,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.builders import from_edges, star_graph
+
+
+class TestFingerprints:
+    def test_shapes_and_start_positions(self, paper_graph):
+        walks = sample_fingerprints(paper_graph, num_walks=5, walk_length=4, seed=1)
+        n = paper_graph.num_vertices
+        assert walks.shape == (5, n, 5)
+        assert np.array_equal(walks[:, :, 0], np.tile(np.arange(n), (5, 1)))
+
+    def test_walks_follow_reverse_edges(self, paper_graph):
+        walks = sample_fingerprints(paper_graph, num_walks=3, walk_length=3, seed=2)
+        for round_index in range(3):
+            for vertex in paper_graph.vertices():
+                for step in range(1, 4):
+                    current = walks[round_index, vertex, step]
+                    previous = walks[round_index, vertex, step - 1]
+                    if current < 0:
+                        continue
+                    assert current in paper_graph.in_neighbors(int(previous))
+
+    def test_walks_stop_at_sources(self, paper_graph):
+        walks = sample_fingerprints(paper_graph, num_walks=2, walk_length=3, seed=3)
+        source = paper_graph.index_of("f")  # no in-neighbours
+        assert np.all(walks[:, source, 1:] == -1)
+
+    def test_determinism(self, paper_graph):
+        first = sample_fingerprints(paper_graph, num_walks=2, walk_length=3, seed=5)
+        second = sample_fingerprints(paper_graph, num_walks=2, walk_length=3, seed=5)
+        assert np.array_equal(first, second)
+
+    def test_validation(self, paper_graph):
+        with pytest.raises(ConfigurationError):
+            sample_fingerprints(paper_graph, num_walks=0, walk_length=3)
+        with pytest.raises(ConfigurationError):
+            sample_fingerprints(paper_graph, num_walks=1, walk_length=-1)
+
+
+class TestEstimates:
+    def test_identical_in_neighbourhoods_estimate_close_to_truth(self):
+        # Vertices 2 and 3 both have in-set {0, 1}: exact first-meeting
+        # probability at step 1 is 1/2, so s ≈ C * 0.5.
+        graph = from_edges([(0, 2), (1, 2), (0, 3), (1, 3)], n=4)
+        result = monte_carlo_simrank(graph, damping=0.8, num_walks=600, seed=4)
+        assert result.similarity(2, 3) == pytest.approx(0.4, abs=0.07)
+
+    def test_all_pairs_close_to_matrix_form(self, paper_graph):
+        estimate = monte_carlo_simrank(paper_graph, damping=0.6, num_walks=800, seed=6)
+        reference = matrix_simrank(
+            paper_graph, damping=0.6, iterations=30, diagonal="matrix"
+        )
+        # Compare off-diagonal entries only (the estimator pins the diagonal).
+        mask = ~np.eye(paper_graph.num_vertices, dtype=bool)
+        error = np.abs(estimate.scores - reference.scores)[mask].mean()
+        assert error < 0.03
+
+    def test_estimate_pair_consistent_with_matrix(self, paper_graph):
+        walks = sample_fingerprints(paper_graph, num_walks=800, walk_length=12, seed=7)
+        a = paper_graph.index_of("b")
+        b = paper_graph.index_of("d")
+        pair = estimate_pair(walks, a, b, damping=0.6)
+        full = monte_carlo_simrank(paper_graph, damping=0.6, num_walks=800, seed=7)
+        assert pair == pytest.approx(full.scores[a, b], abs=0.05)
+
+    def test_self_similarity_is_one(self, paper_graph):
+        walks = sample_fingerprints(paper_graph, num_walks=10, walk_length=3, seed=8)
+        assert estimate_pair(walks, 2, 2, damping=0.6) == 1.0
+
+    def test_star_graph_leaves_never_meet(self):
+        result = monte_carlo_simrank(star_graph(4), damping=0.6, num_walks=50, seed=9)
+        assert result.scores[1, 2] == 0.0

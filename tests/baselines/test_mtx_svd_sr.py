@@ -1,0 +1,64 @@
+"""Unit tests for the mtx-SR (truncated SVD) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.matrix_sr import matrix_simrank
+from repro.baselines.mtx_svd_sr import mtx_svd_simrank
+from repro.exceptions import ConfigurationError
+from repro.graph.builders import from_edges
+
+
+class TestCorrectness:
+    def test_full_rank_matches_matrix_form(self, paper_graph):
+        # With rank n-1 the factorisation is (numerically) exact, so mtx-SR
+        # must agree with the converged Eq. 3 fixed point.
+        n = paper_graph.num_vertices
+        approximate = mtx_svd_simrank(paper_graph, damping=0.6, rank=n - 1)
+        reference = matrix_simrank(
+            paper_graph, damping=0.6, iterations=80, diagonal="matrix"
+        )
+        assert np.allclose(approximate.scores, reference.scores, atol=1e-6)
+
+    def test_low_rank_is_a_reasonable_approximation(self, small_web_graph):
+        approximate = mtx_svd_simrank(small_web_graph, damping=0.6, rank=40)
+        reference = matrix_simrank(
+            small_web_graph, damping=0.6, iterations=60, diagonal="matrix"
+        )
+        error = np.abs(approximate.scores - reference.scores).max()
+        assert error < 0.15
+
+    def test_higher_rank_reduces_error(self, small_web_graph):
+        reference = matrix_simrank(
+            small_web_graph, damping=0.6, iterations=60, diagonal="matrix"
+        ).scores
+        errors = []
+        for rank in (5, 25, 60):
+            approximate = mtx_svd_simrank(small_web_graph, damping=0.6, rank=rank)
+            errors.append(np.abs(approximate.scores - reference).max())
+        assert errors[-1] <= errors[0] + 1e-9
+
+
+class TestResourceFootprint:
+    def test_memory_counts_dense_factors(self, small_web_graph):
+        result = mtx_svd_simrank(small_web_graph, damping=0.6, rank=20)
+        n = small_web_graph.num_vertices
+        assert result.peak_intermediate_values >= 2 * n * 20
+
+    def test_default_rank_is_sqrt_n(self, small_web_graph):
+        result = mtx_svd_simrank(small_web_graph, damping=0.6)
+        expected = int(np.ceil(np.sqrt(small_web_graph.num_vertices)))
+        assert result.extra["rank"] == expected
+
+
+class TestValidation:
+    def test_too_small_graph_rejected(self):
+        graph = from_edges([(0, 1)], n=2)
+        with pytest.raises(ConfigurationError):
+            mtx_svd_simrank(graph, damping=0.6)
+
+    def test_rank_is_clipped(self, paper_graph):
+        result = mtx_svd_simrank(paper_graph, damping=0.6, rank=1000)
+        assert result.extra["rank"] <= paper_graph.num_vertices - 1

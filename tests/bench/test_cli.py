@@ -1,0 +1,48 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments_accepted(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig6f"])
+        assert args.experiment == "fig6f"
+        assert args.scale == 1.0
+        assert not args.quick
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig6c", "--scale", "0.5", "--quick", "--damping", "0.8"]
+        )
+        assert args.scale == 0.5
+        assert args.quick
+        assert args.damping == 0.8
+
+
+class TestMain:
+    def test_bounds_example_output(self, capsys):
+        assert main(["bounds-example"]) == 0
+        output = capsys.readouterr().out
+        assert "K' = 7" in output
+        assert "Lambert" in output
+
+    def test_fig6f_runs_and_prints_table(self, capsys):
+        assert main(["fig6f"]) == 0
+        output = capsys.readouterr().out
+        assert "fig6f" in output
+        assert "lambert_estimate" in output
+
+    def test_quick_fig5(self, capsys):
+        assert main(["fig5", "--quick", "--scale", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "berkstan" in output

@@ -1,0 +1,54 @@
+"""Unit tests for the text-table rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.results import format_report, format_table, speedup
+from repro.bench.runner import ExperimentReport
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [
+            {"name": "psum-sr", "seconds": 1.2345},
+            {"name": "oip-sr", "seconds": 0.567},
+        ]
+        rendered = format_table(rows)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_explicit_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        rendered = format_table(rows, columns=["b", "a"])
+        assert rendered.splitlines()[0].startswith("b")
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_large_and_small_floats_use_scientific_notation(self):
+        rendered = format_table([{"x": 1e-6, "y": 123456.0}])
+        assert "e-06" in rendered
+        assert "e+05" in rendered
+
+
+class TestFormatReport:
+    def test_title_table_and_notes(self):
+        report = ExperimentReport(experiment="figX", title="A Title")
+        report.add_row({"k": 1})
+        report.add_note("observe the shape")
+        rendered = format_report(report)
+        assert "figX" in rendered
+        assert "A Title" in rendered
+        assert "observe the shape" in rendered
+
+
+class TestSpeedup:
+    def test_regular_case(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_zero_denominator(self):
+        assert speedup(1.0, 0.0) == float("inf")
+        assert speedup(0.0, 0.0) == 1.0

@@ -1,0 +1,55 @@
+"""Unit tests for the experiment runner and report container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import (
+    ALGORITHMS,
+    ExperimentReport,
+    measurement_row,
+    run_algorithm,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRunAlgorithm:
+    def test_all_registered_algorithms_run(self, paper_graph):
+        for name in ALGORITHMS:
+            if name == "mtx-sr":
+                kwargs: dict[str, object] = {"damping": 0.6}
+            elif name.startswith("p-rank"):
+                # P-Rank uses separate in/out damping factors.
+                kwargs = {"damping_in": 0.6, "damping_out": 0.6, "iterations": 2}
+            else:
+                kwargs = {"damping": 0.6, "iterations": 2}
+            result = run_algorithm(name, paper_graph, **kwargs)
+            assert result.scores.shape == (
+                paper_graph.num_vertices,
+                paper_graph.num_vertices,
+            )
+
+    def test_unknown_algorithm_rejected(self, paper_graph):
+        with pytest.raises(ConfigurationError):
+            run_algorithm("does-not-exist", paper_graph)
+
+    def test_measurement_row_fields(self, paper_graph):
+        result = run_algorithm("oip-sr", paper_graph, damping=0.6, iterations=2)
+        row = measurement_row(result, dataset="paper", sweep_K=2)
+        assert row["algorithm"] == "oip-sr"
+        assert row["dataset"] == "paper"
+        assert row["sweep_K"] == 2
+        assert "build_mst_seconds" in row
+        assert "share_sums_seconds" in row
+
+
+class TestExperimentReport:
+    def test_filter_and_column(self):
+        report = ExperimentReport(experiment="x", title="t")
+        report.add_row({"algorithm": "a", "seconds": 1.0})
+        report.add_row({"algorithm": "b", "seconds": 2.0})
+        report.add_row({"algorithm": "a", "seconds": 3.0})
+        report.add_note("a note")
+        assert len(report.filter(algorithm="a")) == 2
+        assert report.column("seconds", algorithm="b") == [2.0]
+        assert report.notes == ["a note"]

@@ -1,0 +1,53 @@
+"""Shared fixtures: the paper's worked-example graph and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builders import from_in_neighbor_sets
+from repro.graph.generators import citation_network, gnp_random, web_graph
+
+
+PAPER_IN_NEIGHBORS = {
+    "a": ["b", "g"],
+    "e": ["f", "g"],
+    "h": ["b", "d"],
+    "c": ["b", "d", "g"],
+    "b": ["f", "g", "e", "i"],
+    "d": ["f", "a", "e", "i"],
+    "f": [],
+    "g": [],
+    "i": [],
+}
+"""The Fig. 1a / Fig. 2a citation network, specified by in-neighbour sets."""
+
+
+@pytest.fixture(scope="session")
+def paper_graph():
+    """The paper's 9-vertex running example (Fig. 1a)."""
+    return from_in_neighbor_sets(PAPER_IN_NEIGHBORS, name="paper-example")
+
+
+@pytest.fixture(scope="session")
+def small_web_graph():
+    """A small host-clustered web graph with plenty of sharing opportunity."""
+    return web_graph(
+        num_pages=120,
+        num_hosts=6,
+        average_degree=8.0,
+        index_pages_per_host=3,
+        seed=42,
+        name="test-web",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_citation_graph():
+    """A small citation DAG (patent analogue)."""
+    return citation_network(num_papers=150, average_citations=4.0, num_classes=5, seed=9)
+
+
+@pytest.fixture(scope="session")
+def small_random_graph():
+    """A sparse directed G(n, p) graph with little structure."""
+    return gnp_random(num_vertices=60, edge_probability=0.06, seed=3)

@@ -1,0 +1,55 @@
+"""Unit tests for convergence tracing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    ConvergenceTrace,
+    iterations_to_accuracy,
+    trace_convergence,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestConvergenceTrace:
+    def test_iterations_for(self):
+        trace = ConvergenceTrace(residuals=[0.5, 0.1, 0.01, 0.001])
+        assert trace.iterations_for(0.2) == 2
+        assert trace.iterations_for(0.001) == 4
+        assert trace.iterations_for(1e-9) == 4  # not reached -> trace length
+
+    def test_theoretical_bounds(self):
+        conventional = ConvergenceTrace(model="conventional", damping=0.6)
+        differential = ConvergenceTrace(model="differential", damping=0.6)
+        assert conventional.theoretical_bound(3) == pytest.approx(0.6**3)
+        assert differential.theoretical_bound(3) == pytest.approx(0.6**3 / 6)
+        with pytest.raises(ConfigurationError):
+            ConvergenceTrace(model="bogus").theoretical_bound(2)
+
+
+class TestTraceConvergence:
+    def test_geometric_decay_process(self):
+        initial = np.ones((3, 3))
+
+        def halve(matrix, _iteration):
+            return matrix * 0.5
+
+        final, trace = trace_convergence(initial, halve, num_iterations=5)
+        assert np.allclose(final, initial * 0.5**5)
+        assert len(trace.residuals) == 5
+        assert trace.residuals[0] == pytest.approx(0.5)
+        assert trace.residuals == sorted(trace.residuals, reverse=True)
+
+    def test_iterations_to_accuracy_mapping(self):
+        initial = np.ones((2, 2))
+        _, trace = trace_convergence(
+            initial, lambda matrix, _: matrix * 0.1, num_iterations=6
+        )
+        mapping = iterations_to_accuracy(trace, [1e-1, 1e-3, 1e-5])
+        assert mapping[1e-1] <= mapping[1e-3] <= mapping[1e-5]
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trace_convergence(np.eye(2), lambda m, _: m, num_iterations=-1)

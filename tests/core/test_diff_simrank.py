@@ -1,0 +1,87 @@
+"""Unit tests for the matrix-form differential SimRank (Eq. 13/15)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.diff_simrank import differential_simrank, euler_differential_simrank
+from repro.graph.builders import cycle_graph, from_edges
+from repro.graph.matrices import backward_transition_matrix
+from repro.numerics.series import exponential_tail_bound
+
+
+class TestSeriesIteration:
+    def test_closed_form_on_small_graph(self, paper_graph):
+        """Ŝ must equal the truncated series e^{-C} Σ Cⁱ/i! Qⁱ(Qᵀ)ⁱ."""
+        damping, terms = 0.6, 10
+        transition = backward_transition_matrix(paper_graph).toarray()
+        expected = np.zeros_like(transition)
+        power = np.eye(paper_graph.num_vertices)
+        for i in range(terms + 1):
+            coefficient = math.exp(-damping) * damping**i / math.factorial(i)
+            expected += coefficient * power @ power.T
+            power = transition @ power
+        result = differential_simrank(paper_graph, damping=damping, iterations=terms)
+        assert np.allclose(result.scores, expected, atol=1e-12)
+
+    def test_prop7_error_bound_holds(self, small_web_graph):
+        damping = 0.8
+        reference = differential_simrank(small_web_graph, damping=damping, iterations=25)
+        for iterations in (2, 4, 6):
+            truncated = differential_simrank(
+                small_web_graph, damping=damping, iterations=iterations
+            )
+            error = np.abs(truncated.scores - reference.scores).max()
+            assert error <= exponential_tail_bound(damping, iterations) + 1e-12
+
+    def test_diagonal_not_pinned(self, paper_graph):
+        result = differential_simrank(paper_graph, damping=0.6, iterations=8)
+        diagonal = np.diag(result.scores)
+        assert diagonal.min() >= math.exp(-0.6) - 1e-12
+        assert diagonal.max() <= 1.0 + 1e-12
+        # Vertices with no in-neighbours keep exactly the initial value.
+        for vertex in paper_graph.vertices():
+            if paper_graph.in_degree(vertex) == 0:
+                assert result.scores[vertex, vertex] == pytest.approx(math.exp(-0.6))
+
+    def test_residual_recording(self, paper_graph):
+        result = differential_simrank(
+            paper_graph, damping=0.6, iterations=6, record_residuals=True
+        )
+        assert len(result.extra["residuals"]) == 6
+
+
+class TestEulerMethod:
+    def test_euler_approaches_series_solution(self, paper_graph):
+        series = differential_simrank(paper_graph, damping=0.6, iterations=20)
+        coarse = euler_differential_simrank(paper_graph, damping=0.6, step_size=0.2)
+        fine = euler_differential_simrank(paper_graph, damping=0.6, step_size=0.01)
+        coarse_error = np.abs(coarse.scores - series.scores).max()
+        fine_error = np.abs(fine.scores - series.scores).max()
+        # Refining the step size improves the Euler answer, but it is still a
+        # step-size-dependent approximation — the paper's argument for the
+        # series iteration.
+        assert fine_error < coarse_error
+        assert fine_error < 0.05
+
+    def test_invalid_step_size(self, paper_graph):
+        with pytest.raises(ValueError):
+            euler_differential_simrank(paper_graph, damping=0.6, step_size=0.0)
+        with pytest.raises(ValueError):
+            euler_differential_simrank(paper_graph, damping=0.6, step_size=0.9)
+
+
+class TestStructuralProperties:
+    def test_cycle_graph_symmetry(self):
+        graph = cycle_graph(6)
+        result = differential_simrank(graph, damping=0.7, iterations=10)
+        assert np.allclose(result.scores, result.scores.T, atol=1e-12)
+
+    def test_vertex_without_common_ancestors_scores_zero(self):
+        # 0 -> 1, 2 -> 3: vertices 1 and 3 never meet.
+        graph = from_edges([(0, 1), (2, 3)], n=4)
+        result = differential_simrank(graph, damping=0.6, iterations=8)
+        assert result.scores[1, 3] == pytest.approx(0.0, abs=1e-15)

@@ -1,0 +1,94 @@
+"""Unit tests for operation counters, phase timers and memory tracking."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.instrumentation import (
+    Instrumentation,
+    MemoryTracker,
+    OperationCounter,
+    PhaseTimer,
+)
+
+
+class TestOperationCounter:
+    def test_accumulation(self):
+        counter = OperationCounter()
+        counter.add("inner", 10)
+        counter.add("inner", 5)
+        counter.add("outer", 3)
+        counter.add("outer", 0)  # no-op
+        assert counter.get("inner") == 15
+        assert counter.get("outer") == 3
+        assert counter.get("missing") == 0
+        assert counter.total() == 18
+
+    def test_merge(self):
+        first = OperationCounter({"a": 1})
+        second = OperationCounter({"a": 2, "b": 3})
+        first.merge(second)
+        assert first.as_dict() == {"a": 3, "b": 3, "total": 6}
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        timer = PhaseTimer()
+        with timer.phase("build"):
+            time.sleep(0.01)
+        with timer.phase("build"):
+            time.sleep(0.01)
+        with timer.phase("solve"):
+            time.sleep(0.005)
+        assert timer.get("build") >= 0.015
+        assert timer.total() >= timer.get("build")
+        assert 0.0 < timer.share("solve") < 1.0
+        assert timer.share("missing") == 0.0
+
+    def test_empty_timer(self):
+        timer = PhaseTimer()
+        assert timer.total() == 0.0
+        assert timer.share("anything") == 0.0
+
+    def test_exception_still_recorded(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("explodes"):
+                raise RuntimeError("boom")
+        assert timer.get("explodes") >= 0.0
+
+
+class TestMemoryTracker:
+    def test_high_water_mark(self):
+        memory = MemoryTracker()
+        memory.allocate(100)
+        memory.allocate(50)
+        memory.release(120)
+        memory.allocate(10)
+        assert memory.peak_values == 150
+        assert memory.current_values == 40
+        assert memory.peak_bytes == 150 * 8
+
+    def test_release_never_goes_negative(self):
+        memory = MemoryTracker()
+        memory.release(10)
+        assert memory.current_values == 0
+
+    def test_as_dict(self):
+        memory = MemoryTracker()
+        memory.allocate(4)
+        assert memory.as_dict() == {"peak_values": 4, "peak_bytes": 32}
+
+
+class TestInstrumentationBundle:
+    def test_as_dict_structure(self):
+        bundle = Instrumentation()
+        bundle.operations.add("x", 2)
+        with bundle.timer.phase("p"):
+            pass
+        bundle.memory.allocate(1)
+        summary = bundle.as_dict()
+        assert set(summary) == {"operations", "seconds", "memory"}
+        assert summary["operations"]["total"] == 2

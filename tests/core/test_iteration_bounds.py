@@ -1,0 +1,108 @@
+"""Unit tests for the iteration-count bounds (Section IV, Corollaries 1-2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.iteration_bounds import (
+    conventional_iterations,
+    differential_iterations_exact,
+    differential_iterations_lambert,
+    differential_iterations_log,
+    iteration_bound_table,
+    log_estimate_valid_threshold,
+)
+from repro.exceptions import ConfigurationError
+from repro.numerics.series import exponential_tail_bound, geometric_tail
+
+
+class TestConventional:
+    def test_definition(self):
+        for damping in (0.4, 0.6, 0.8):
+            for accuracy in (1e-2, 1e-4):
+                iterations = conventional_iterations(accuracy, damping)
+                assert geometric_tail(damping, iterations) <= accuracy
+                assert geometric_tail(damping, iterations - 1) > accuracy
+
+    def test_known_value(self):
+        # C = 0.8, eps = 1e-3: log_0.8(0.001) = 30.96 -> 31.
+        assert conventional_iterations(1e-3, 0.8) == 31
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            conventional_iterations(0.0, 0.6)
+        with pytest.raises(ConfigurationError):
+            conventional_iterations(1e-3, 1.0)
+
+
+class TestDifferentialExact:
+    def test_definition(self):
+        for damping in (0.5, 0.8):
+            for accuracy in (1e-2, 1e-5):
+                iterations = differential_iterations_exact(accuracy, damping)
+                assert exponential_tail_bound(damping, iterations) <= accuracy
+                if iterations > 0:
+                    assert exponential_tail_bound(damping, iterations - 1) > accuracy
+
+    def test_always_fewer_than_conventional(self):
+        for damping in (0.6, 0.8):
+            for accuracy in (1e-3, 1e-6):
+                assert differential_iterations_exact(
+                    accuracy, damping
+                ) < conventional_iterations(accuracy, damping)
+
+
+class TestClosedFormEstimates:
+    def test_estimates_are_upper_bounds_on_exact(self):
+        for damping in (0.6, 0.8):
+            for accuracy in (1e-3, 1e-4, 1e-5, 1e-6):
+                exact = differential_iterations_exact(accuracy, damping)
+                lambert = differential_iterations_lambert(accuracy, damping)
+                assert lambert >= exact
+                if accuracy < log_estimate_valid_threshold(damping):
+                    log_estimate = differential_iterations_log(accuracy, damping)
+                    assert log_estimate >= lambert
+
+    def test_unshifted_formula_is_larger(self):
+        shifted = differential_iterations_lambert(1e-4, 0.8, shift=1)
+        unshifted = differential_iterations_lambert(1e-4, 0.8, shift=0)
+        assert unshifted >= shifted
+
+    def test_log_estimate_threshold(self):
+        threshold = log_estimate_valid_threshold(0.8)
+        assert threshold == pytest.approx(
+            math.exp(-0.8 * math.e**2) / math.sqrt(2 * math.pi), rel=1e-12
+        )
+        # The paper quotes ~0.0011 for C = 0.8.
+        assert threshold == pytest.approx(0.0011, abs=2e-4)
+        with pytest.raises(ConfigurationError):
+            differential_iterations_log(0.01, 0.8)
+
+    def test_estimates_grow_as_accuracy_tightens(self):
+        values = [
+            differential_iterations_lambert(accuracy, 0.8)
+            for accuracy in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6)
+        ]
+        assert values == sorted(values)
+
+
+class TestBoundTable:
+    def test_table_structure(self):
+        table = iteration_bound_table(damping=0.8)
+        assert len(table) == 5
+        for row in table:
+            assert set(row) == {
+                "epsilon",
+                "conventional_K",
+                "differential_exact",
+                "lambert_estimate",
+                "log_estimate",
+            }
+        assert table[0]["log_estimate"] is None  # eps = 1e-2 is above threshold
+
+    def test_custom_accuracies(self):
+        table = iteration_bound_table(accuracies=(1e-3,), damping=0.6)
+        assert len(table) == 1
+        assert table[0]["conventional_K"] == conventional_iterations(1e-3, 0.6)

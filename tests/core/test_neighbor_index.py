@@ -1,0 +1,115 @@
+"""Unit tests for the distinct in-neighbour-set index and candidate generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.neighbor_index import InNeighborIndex, generate_candidate_edges
+from repro.exceptions import ConfigurationError
+from repro.graph.builders import from_edges, star_graph
+
+
+class TestInNeighborIndex:
+    def test_groups_identical_sets(self):
+        # Vertices 3 and 4 share in-set {0,1}; vertex 5 has {2}.
+        graph = from_edges([(0, 3), (1, 3), (0, 4), (1, 4), (2, 5)], n=6)
+        index = InNeighborIndex.from_graph(graph)
+        assert index.num_sets == 2
+        sets = {index.sets[i]: index.members[i] for i in range(index.num_sets)}
+        assert sets[(0, 1)] == (3, 4)
+        assert sets[(2,)] == (5,)
+        assert index.duplicate_vertex_count() == 1
+
+    def test_set_of_vertex_mapping(self, paper_graph):
+        index = InNeighborIndex.from_graph(paper_graph)
+        for vertex in paper_graph.vertices():
+            set_id = index.set_of_vertex[vertex]
+            if paper_graph.in_degree(vertex) == 0:
+                assert set_id == -1
+            else:
+                assert index.sets[set_id] == paper_graph.in_neighbors(vertex)
+
+    def test_total_in_degree(self, paper_graph):
+        index = InNeighborIndex.from_graph(paper_graph)
+        assert index.total_in_degree() == paper_graph.num_edges
+
+    def test_empty_graph(self):
+        index = InNeighborIndex.from_graph(from_edges([], n=4))
+        assert index.num_sets == 0
+        assert index.duplicate_vertex_count() == 0
+
+    def test_star_graph_single_set(self):
+        index = InNeighborIndex.from_graph(star_graph(5))
+        assert index.num_sets == 1
+        assert index.set_size(0) == 5
+
+
+class TestCandidateGeneration:
+    def test_root_edges_always_present(self, paper_graph):
+        index = InNeighborIndex.from_graph(paper_graph)
+        edges = list(generate_candidate_edges(index, strategy="common-neighbor"))
+        root_targets = {edge.target for edge in edges if edge.source == 0}
+        assert root_targets == set(range(1, index.num_sets + 1))
+        for edge in edges:
+            if edge.source == 0:
+                assert edge.weight == index.set_size(edge.target - 1) - 1
+
+    def test_exhaustive_only_pairs_smaller_into_larger(self, paper_graph):
+        index = InNeighborIndex.from_graph(paper_graph)
+        edges = [
+            edge
+            for edge in generate_candidate_edges(index, strategy="exhaustive")
+            if edge.source != 0
+        ]
+        for edge in edges:
+            assert index.set_size(edge.source - 1) <= index.set_size(edge.target - 1)
+
+    def test_pruned_candidates_are_subset_of_exhaustive(self, small_web_graph):
+        index = InNeighborIndex.from_graph(small_web_graph)
+        exhaustive = {
+            (edge.source, edge.target)
+            for edge in generate_candidate_edges(index, strategy="exhaustive")
+        }
+        pruned = {
+            (edge.source, edge.target)
+            for edge in generate_candidate_edges(index, strategy="common-neighbor")
+        }
+        assert pruned <= exhaustive
+
+    def test_pruned_edges_share_a_neighbor(self, small_web_graph):
+        index = InNeighborIndex.from_graph(small_web_graph)
+        for edge in generate_candidate_edges(index, strategy="common-neighbor"):
+            if edge.source == 0:
+                continue
+            source_set = set(index.sets[edge.source - 1])
+            target_set = set(index.sets[edge.target - 1])
+            assert source_set & target_set
+
+    def test_candidate_budget_respected(self, small_web_graph):
+        index = InNeighborIndex.from_graph(small_web_graph)
+        per_target: dict[int, int] = {}
+        for edge in generate_candidate_edges(
+            index, strategy="common-neighbor", max_candidates_per_set=2
+        ):
+            if edge.source != 0:
+                per_target[edge.target] = per_target.get(edge.target, 0) + 1
+        assert all(count <= 2 for count in per_target.values())
+
+    def test_weight_matches_definition(self, paper_graph):
+        index = InNeighborIndex.from_graph(paper_graph)
+        for edge in generate_candidate_edges(index, strategy="exhaustive"):
+            if edge.source == 0:
+                continue
+            source_set = set(index.sets[edge.source - 1])
+            target_set = set(index.sets[edge.target - 1])
+            sym_diff = len(source_set ^ target_set)
+            scratch = len(target_set) - 1
+            assert edge.weight == min(sym_diff, scratch)
+            assert edge.shared == (sym_diff < scratch)
+
+    def test_invalid_strategy_rejected(self, paper_graph):
+        index = InNeighborIndex.from_graph(paper_graph)
+        with pytest.raises(ConfigurationError):
+            list(generate_candidate_edges(index, strategy="magic"))
+        with pytest.raises(ConfigurationError):
+            list(generate_candidate_edges(index, max_candidates_per_set=0))

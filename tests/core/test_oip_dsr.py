@@ -1,0 +1,115 @@
+"""Unit tests for the OIP-DSR solver (differential SimRank with sharing)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.diff_simrank import differential_simrank
+from repro.core.dmst_reduce import dmst_reduce
+from repro.core.iteration_bounds import (
+    conventional_iterations,
+    differential_iterations_exact,
+)
+from repro.core.oip_dsr import oip_dsr
+from repro.core.oip_sr import oip_sr
+from repro.exceptions import ConfigurationError
+from repro.graph.builders import empty_graph
+from repro.ranking.correlation import spearman_rho
+
+
+class TestCorrectness:
+    def test_matches_matrix_form(self, paper_graph, small_web_graph):
+        for graph in (paper_graph, small_web_graph):
+            ours = oip_dsr(graph, damping=0.6, iterations=8)
+            reference = differential_simrank(graph, damping=0.6, iterations=8)
+            assert np.allclose(ours.scores, reference.scores, atol=1e-10)
+
+    def test_zero_iterations_gives_scaled_identity(self, paper_graph):
+        result = oip_dsr(paper_graph, damping=0.6, iterations=0)
+        assert np.allclose(
+            result.scores, math.exp(-0.6) * np.eye(paper_graph.num_vertices)
+        )
+
+    def test_scores_symmetric_and_nonnegative(self, small_web_graph):
+        result = oip_dsr(small_web_graph, damping=0.6, iterations=6)
+        assert np.allclose(result.scores, result.scores.T, atol=1e-10)
+        assert result.scores.min() >= 0.0
+        assert result.scores.max() <= 1.0 + 1e-12
+
+    def test_empty_graph(self):
+        result = oip_dsr(empty_graph(3), damping=0.5, iterations=2)
+        assert np.allclose(result.scores, math.exp(-0.5) * np.eye(3))
+
+    def test_prebuilt_plan_matches(self, small_web_graph):
+        plan = dmst_reduce(small_web_graph)
+        assert np.allclose(
+            oip_dsr(small_web_graph, damping=0.6, iterations=4, plan=plan).scores,
+            oip_dsr(small_web_graph, damping=0.6, iterations=4).scores,
+        )
+
+
+class TestConvergenceBehaviour:
+    def test_needs_far_fewer_iterations_than_conventional(self, small_web_graph):
+        accuracy, damping = 1e-4, 0.8
+        differential = oip_dsr(small_web_graph, damping=damping, accuracy=accuracy)
+        conventional = conventional_iterations(accuracy, damping)
+        assert differential.iterations == differential_iterations_exact(
+            accuracy, damping
+        )
+        assert differential.iterations * 4 < conventional
+
+    def test_series_converges(self, paper_graph):
+        short = oip_dsr(paper_graph, damping=0.6, iterations=8)
+        long = oip_dsr(paper_graph, damping=0.6, iterations=16)
+        assert np.allclose(short.scores, long.scores, atol=1e-6)
+
+    def test_residuals_decay_rapidly(self, paper_graph):
+        result = oip_dsr(
+            paper_graph, damping=0.6, iterations=8, record_residuals=True
+        )
+        residuals = result.extra["residuals"]
+        assert residuals[-1] < residuals[0] * 1e-3
+
+
+class TestOrderPreservation:
+    """The paper's claim: OIP-DSR fairly preserves the relative order."""
+
+    def test_rank_correlation_with_conventional(self, small_web_graph):
+        conventional = oip_sr(small_web_graph, damping=0.6, accuracy=1e-4)
+        differential = oip_dsr(small_web_graph, damping=0.6, accuracy=1e-4)
+        query = max(small_web_graph.vertices(), key=small_web_graph.in_degree)
+        others = [v for v in small_web_graph.vertices() if v != query]
+        rho = spearman_rho(
+            conventional.scores[query, others], differential.scores[query, others]
+        )
+        assert rho > 0.9
+
+    def test_top_neighbour_usually_agrees(self, small_web_graph):
+        conventional = oip_sr(small_web_graph, damping=0.6, accuracy=1e-4)
+        differential = oip_dsr(small_web_graph, damping=0.6, accuracy=1e-4)
+        agree = 0
+        queries = sorted(
+            small_web_graph.vertices(),
+            key=small_web_graph.in_degree,
+            reverse=True,
+        )[:10]
+        for query in queries:
+            top_conventional = conventional.top_k(query, k=1)[0][0]
+            top_differential = differential.top_k(query, k=1)[0][0]
+            agree += top_conventional == top_differential
+        assert agree >= 7
+
+
+class TestConfiguration:
+    def test_invalid_damping(self, paper_graph):
+        with pytest.raises(ConfigurationError):
+            oip_dsr(paper_graph, damping=-0.1)
+
+    def test_metadata(self, paper_graph):
+        result = oip_dsr(paper_graph, damping=0.6, accuracy=1e-3)
+        assert result.algorithm == "oip-dsr"
+        assert result.extra["model"] == "differential"
+        assert "plan" in result.extra

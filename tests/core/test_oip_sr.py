@@ -1,0 +1,104 @@
+"""Unit tests for the OIP-SR solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.matrix_sr import matrix_simrank
+from repro.baselines.naive import naive_simrank
+from repro.core.dmst_reduce import dmst_reduce
+from repro.core.iteration_bounds import conventional_iterations
+from repro.core.oip_sr import oip_sr
+from repro.exceptions import ConfigurationError
+from repro.graph.builders import empty_graph, from_edges
+
+
+class TestCorrectness:
+    def test_matches_naive_on_paper_graph(self, paper_graph):
+        ours = oip_sr(paper_graph, damping=0.6, iterations=7)
+        reference = naive_simrank(paper_graph, damping=0.6, iterations=7)
+        assert np.allclose(ours.scores, reference.scores, atol=1e-12)
+
+    def test_matches_matrix_form_on_structured_graphs(
+        self, small_web_graph, small_citation_graph
+    ):
+        for graph in (small_web_graph, small_citation_graph):
+            ours = oip_sr(graph, damping=0.7, iterations=5)
+            reference = matrix_simrank(graph, damping=0.7, iterations=5)
+            assert np.allclose(ours.scores, reference.scores, atol=1e-10)
+
+    def test_scores_are_symmetric_and_bounded(self, small_web_graph):
+        result = oip_sr(small_web_graph, damping=0.6, iterations=6)
+        assert np.allclose(result.scores, result.scores.T, atol=1e-10)
+        assert result.scores.min() >= 0.0
+        assert result.scores.max() <= 1.0 + 1e-12
+        assert np.allclose(np.diag(result.scores), 1.0)
+
+    def test_prebuilt_plan_gives_same_answer(self, small_web_graph):
+        plan = dmst_reduce(small_web_graph)
+        with_plan = oip_sr(small_web_graph, damping=0.6, iterations=4, plan=plan)
+        without_plan = oip_sr(small_web_graph, damping=0.6, iterations=4)
+        assert np.allclose(with_plan.scores, without_plan.scores)
+
+    def test_exhaustive_and_pruned_plans_agree(self, paper_graph):
+        pruned = oip_sr(
+            paper_graph, damping=0.6, iterations=6, candidate_strategy="common-neighbor"
+        )
+        exhaustive = oip_sr(
+            paper_graph, damping=0.6, iterations=6, candidate_strategy="exhaustive"
+        )
+        assert np.allclose(pruned.scores, exhaustive.scores, atol=1e-12)
+
+    def test_empty_graph(self):
+        result = oip_sr(empty_graph(4), damping=0.6, iterations=3)
+        assert np.array_equal(result.scores, np.eye(4))
+
+    def test_zero_iterations_returns_identity(self, paper_graph):
+        result = oip_sr(paper_graph, damping=0.6, iterations=0)
+        assert np.array_equal(result.scores, np.eye(paper_graph.num_vertices))
+
+
+class TestConfiguration:
+    def test_iterations_derived_from_accuracy(self, paper_graph):
+        result = oip_sr(paper_graph, damping=0.6, accuracy=1e-3)
+        assert result.iterations == conventional_iterations(1e-3, 0.6)
+
+    def test_invalid_damping_rejected(self, paper_graph):
+        with pytest.raises(ConfigurationError):
+            oip_sr(paper_graph, damping=1.2)
+        with pytest.raises(ConfigurationError):
+            oip_sr(paper_graph, damping=0.0)
+
+    def test_negative_iterations_rejected(self, paper_graph):
+        with pytest.raises(ConfigurationError):
+            oip_sr(paper_graph, damping=0.6, iterations=-2)
+
+    def test_residual_recording(self, paper_graph):
+        result = oip_sr(paper_graph, damping=0.6, iterations=5, record_residuals=True)
+        residuals = result.extra["residuals"]
+        assert len(residuals) == 5
+        # SimRank residuals shrink geometrically.
+        assert residuals[-1] < residuals[0]
+
+
+class TestInstrumentation:
+    def test_phases_are_timed(self, small_web_graph):
+        result = oip_sr(small_web_graph, damping=0.6, iterations=3)
+        assert result.instrumentation.timer.get("build_mst") > 0
+        assert result.instrumentation.timer.get("share_sums") > 0
+
+    def test_additions_scale_with_iterations(self, small_web_graph):
+        short = oip_sr(small_web_graph, damping=0.6, iterations=2)
+        long = oip_sr(small_web_graph, damping=0.6, iterations=6)
+        assert long.total_additions == pytest.approx(
+            3 * short.total_additions, rel=0.01
+        )
+
+    def test_summary_and_extra_metadata(self, small_web_graph):
+        result = oip_sr(small_web_graph, damping=0.6, iterations=2)
+        summary = result.summary()
+        assert summary["algorithm"] == "oip-sr"
+        assert summary["n"] == small_web_graph.num_vertices
+        assert "plan" in result.extra
+        assert result.extra["additions_per_iteration"] > 0

@@ -1,0 +1,85 @@
+"""Unit tests for the partial-sum primitives (Eq. 4, Eq. 9, Prop. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partial_sums import (
+    outer_partial_sum,
+    partial_sum,
+    partial_sum_vector,
+    update_outer_partial_sum,
+    update_partial_sum_vector,
+)
+
+
+@pytest.fixture
+def scores():
+    rng = np.random.default_rng(7)
+    return rng.random((8, 8))
+
+
+class TestPartialSum:
+    def test_scalar_matches_vector(self, scores):
+        source_set = [1, 3, 5]
+        vector = partial_sum_vector(scores, source_set)
+        for target in range(8):
+            assert partial_sum(scores, source_set, target) == pytest.approx(
+                vector[target]
+            )
+
+    def test_empty_set_gives_zero(self, scores):
+        assert np.allclose(partial_sum_vector(scores, []), 0.0)
+        assert partial_sum(scores, [], 3) == 0.0
+
+    def test_single_element_set(self, scores):
+        vector = partial_sum_vector(scores, [4])
+        assert np.allclose(vector, scores[4, :])
+
+
+class TestEquationNineUpdate:
+    def test_update_equals_direct_computation(self, scores):
+        source_set = {0, 2, 4, 6}
+        target_set = {2, 4, 6, 7}
+        cached = partial_sum_vector(scores, sorted(source_set))
+        removed = sorted(source_set - target_set)
+        added = sorted(target_set - source_set)
+        updated = update_partial_sum_vector(cached, scores, removed, added)
+        direct = partial_sum_vector(scores, sorted(target_set))
+        assert np.allclose(updated, direct)
+
+    def test_update_does_not_modify_cached(self, scores):
+        cached = partial_sum_vector(scores, [0, 1])
+        copy = cached.copy()
+        update_partial_sum_vector(cached, scores, [0], [5])
+        assert np.array_equal(cached, copy)
+
+    def test_no_change_update(self, scores):
+        cached = partial_sum_vector(scores, [1, 2])
+        assert np.allclose(update_partial_sum_vector(cached, scores, [], []), cached)
+
+
+class TestOuterPartialSums:
+    def test_outer_sum_matches_direct(self, scores):
+        partial = partial_sum_vector(scores, [0, 3])
+        assert outer_partial_sum(partial, [1, 2, 5]) == pytest.approx(
+            partial[1] + partial[2] + partial[5]
+        )
+
+    def test_prop4_update_matches_direct(self, scores):
+        partial = partial_sum_vector(scores, [0, 3, 6])
+        target_b = {1, 2, 5}
+        target_d = {2, 5, 7}
+        cached = outer_partial_sum(partial, sorted(target_b))
+        updated = update_outer_partial_sum(
+            cached,
+            partial,
+            removed=sorted(target_b - target_d),
+            added=sorted(target_d - target_b),
+        )
+        assert updated == pytest.approx(outer_partial_sum(partial, sorted(target_d)))
+
+    def test_empty_target_set(self, scores):
+        partial = partial_sum_vector(scores, [0])
+        assert outer_partial_sum(partial, []) == 0.0

@@ -1,0 +1,51 @@
+"""Unit tests for the human-readable plan views (partitions, dendrogram)."""
+
+from __future__ import annotations
+
+from repro.core.dmst_reduce import dmst_reduce
+from repro.core.partition import describe_partitions, format_dendrogram, set_name
+
+
+class TestSetName:
+    def test_single_member(self, paper_graph):
+        plan = dmst_reduce(paper_graph)
+        names = {set_name(paper_graph, plan, i) for i in range(plan.num_sets)}
+        assert names == {"I(a)", "I(b)", "I(c)", "I(d)", "I(e)", "I(h)"}
+
+    def test_multiplicity_shown_for_shared_sets(self):
+        from repro.graph.builders import from_edges
+
+        graph = from_edges([(0, 2), (1, 2), (0, 3), (1, 3)], n=4)
+        plan = dmst_reduce(graph)
+        assert "[x2]" in set_name(graph, plan, 0)
+
+
+class TestDescribePartitions:
+    def test_paper_partitions_are_described(self, paper_graph):
+        plan = dmst_reduce(paper_graph, candidate_strategy="exhaustive")
+        descriptions = describe_partitions(paper_graph, plan)
+        assert set(descriptions) == {"I(a)", "I(b)", "I(c)", "I(d)", "I(e)", "I(h)"}
+        # I(c) is split into the reused block I(a) plus the fresh vertex d.
+        assert "I(a)" in descriptions["I(c)"]
+        assert "d" in descriptions["I(c)"]
+
+    def test_scratch_sets_have_single_block(self, paper_graph):
+        plan = dmst_reduce(paper_graph, candidate_strategy="exhaustive")
+        descriptions = describe_partitions(paper_graph, plan)
+        assert descriptions["I(a)"].count("{") == 2  # outer braces + one block
+
+
+class TestDendrogram:
+    def test_contains_every_set(self, paper_graph):
+        plan = dmst_reduce(paper_graph, candidate_strategy="exhaustive")
+        rendering = format_dendrogram(paper_graph, plan)
+        for name in ("I(a)", "I(b)", "I(c)", "I(d)", "I(e)", "I(h)"):
+            assert name in rendering
+        assert rendering.startswith("(root)")
+
+    def test_delta_nodes_show_plus_and_minus(self, paper_graph):
+        plan = dmst_reduce(paper_graph, candidate_strategy="exhaustive")
+        rendering = format_dendrogram(paper_graph, plan)
+        assert " + " in rendering
+        # At least one derived set references its parent by name.
+        assert "= I(" in rendering

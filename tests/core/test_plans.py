@@ -1,0 +1,94 @@
+"""Unit tests for the SharingPlan container (structure, chains, summaries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dmst_reduce import dmst_reduce
+from repro.core.neighbor_index import InNeighborIndex
+from repro.core.plans import ROOT, PlanNode, SharingPlan
+
+
+class TestStructure:
+    def test_children_consistency(self, small_web_graph):
+        plan = dmst_reduce(small_web_graph)
+        for set_id in range(plan.num_sets):
+            for child in plan.children_of(set_id):
+                assert plan.nodes[child].parent == set_id
+        for child in plan.root_children:
+            assert plan.nodes[child].parent == ROOT
+
+    def test_dfs_order_parents_first(self, small_web_graph):
+        plan = dmst_reduce(small_web_graph)
+        position = {set_id: rank for rank, set_id in enumerate(plan.dfs_order())}
+        for node in plan.nodes:
+            if node.parent != ROOT:
+                assert position[node.parent] < position[node.set_id]
+
+    def test_node_count_must_match_index(self, paper_graph):
+        index = InNeighborIndex.from_graph(paper_graph)
+        with pytest.raises(ValueError):
+            SharingPlan(index, nodes=[])
+
+    def test_repr_contains_statistics(self, paper_graph):
+        plan = dmst_reduce(paper_graph)
+        assert "SharingPlan" in repr(plan)
+        assert "share_ratio" in repr(plan)
+
+
+class TestChains:
+    def test_chains_partition_all_sets(self, small_web_graph):
+        plan = dmst_reduce(small_web_graph)
+        covered: list[int] = []
+        for chain in plan.chains():
+            covered.extend(chain)
+        assert sorted(covered) == list(range(plan.num_sets))
+
+    def test_chain_links_follow_first_child_edges(self, small_web_graph):
+        plan = dmst_reduce(small_web_graph)
+        for chain in plan.chains():
+            for previous, current in zip(chain, chain[1:]):
+                assert plan.children_of(previous)[0] == current
+
+    def test_paper_example_has_three_chains(self, paper_graph):
+        plan = dmst_reduce(paper_graph, candidate_strategy="exhaustive")
+        assert len(list(plan.chains())) == 3
+
+
+class TestCostSummaries:
+    def test_scratch_weights(self, paper_graph):
+        plan = dmst_reduce(paper_graph, candidate_strategy="exhaustive")
+        # Per-vertex scratch weight: sum over vertices of |I(v)|-1 = 11.
+        assert plan.scratch_weight() == 11
+        assert plan.distinct_scratch_weight() == 11  # no duplicate sets here
+        assert plan.total_weight() == 8
+
+    def test_share_ratio_range(self, small_web_graph, small_random_graph):
+        for graph in (small_web_graph, small_random_graph):
+            plan = dmst_reduce(graph)
+            assert 0.0 <= plan.share_ratio() <= 1.0
+
+    def test_average_delta_bounded_by_max_set_size(self, small_web_graph):
+        plan = dmst_reduce(small_web_graph)
+        max_size = max(
+            plan.index.set_size(set_id) for set_id in range(plan.num_sets)
+        )
+        assert plan.average_delta_size() <= max_size
+
+    def test_summary_keys(self, small_web_graph):
+        summary = dmst_reduce(small_web_graph).summary()
+        assert {
+            "distinct_sets",
+            "tree_weight",
+            "share_ratio",
+            "duplicate_vertices",
+            "candidate_edges",
+        } <= set(summary)
+
+    def test_empty_plan_summaries(self):
+        from repro.graph.builders import empty_graph
+
+        plan = dmst_reduce(empty_graph(3))
+        assert plan.share_ratio() == 0.0
+        assert plan.average_delta_size() == 0.0
+        assert list(plan.chains()) == []

@@ -1,0 +1,77 @@
+"""Unit tests for the SimRankResult container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import SimRankResult, validate_damping, validate_iterations
+from repro.exceptions import ConfigurationError
+from repro.graph.builders import from_edges
+
+
+@pytest.fixture
+def labelled_result():
+    from repro.graph.digraph import DiGraph
+
+    graph = DiGraph(4, [(0, 2), (1, 2), (2, 3)], labels=["x", "y", "z", "w"])
+    scores = np.array(
+        [
+            [1.0, 0.5, 0.2, 0.1],
+            [0.5, 1.0, 0.3, 0.0],
+            [0.2, 0.3, 1.0, 0.4],
+            [0.1, 0.0, 0.4, 1.0],
+        ]
+    )
+    return SimRankResult(
+        scores=scores, graph=graph, algorithm="test", damping=0.6, iterations=3
+    )
+
+
+class TestValidation:
+    def test_damping_bounds(self):
+        assert validate_damping(0.5) == 0.5
+        for bad in (0.0, 1.0, -0.2, 2.0):
+            with pytest.raises(ConfigurationError):
+                validate_damping(bad)
+
+    def test_iterations_bounds(self):
+        assert validate_iterations(0) == 0
+        with pytest.raises(ConfigurationError):
+            validate_iterations(-1)
+
+
+class TestAccessors:
+    def test_similarity_by_label_and_id(self, labelled_result):
+        assert labelled_result.similarity("x", "y") == 0.5
+        assert labelled_result.similarity(0, 1) == 0.5
+
+    def test_similarity_row_is_a_copy(self, labelled_result):
+        row = labelled_result.similarity_row("x")
+        row[0] = 99.0
+        assert labelled_result.scores[0, 0] == 1.0
+
+    def test_top_k_excludes_self_by_default(self, labelled_result):
+        top = labelled_result.top_k("x", k=2)
+        assert top[0][0] == "y"
+        assert len(top) == 2
+        assert all(label != "x" for label, _ in top)
+
+    def test_top_k_include_self(self, labelled_result):
+        top = labelled_result.top_k("x", k=1, include_self=True)
+        assert top[0][0] == "x"
+
+    def test_top_k_deterministic_tie_break(self):
+        graph = from_edges([(0, 1)], n=3)
+        scores = np.array([[1.0, 0.5, 0.5], [0.5, 1.0, 0.0], [0.5, 0.0, 1.0]])
+        result = SimRankResult(
+            scores=scores, graph=graph, algorithm="t", damping=0.5, iterations=1
+        )
+        assert [label for label, _ in result.top_k(0, k=2)] == [1, 2]
+
+    def test_summary_fields(self, labelled_result):
+        summary = labelled_result.summary()
+        assert summary["algorithm"] == "test"
+        assert summary["iterations"] == 3
+        assert summary["additions"] == 0
+        assert summary["seconds"] == 0.0

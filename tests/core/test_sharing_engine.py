@@ -1,0 +1,114 @@
+"""Unit tests for the vectorised sharing engine (Algorithm 1 + Procedure OP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.matrix_sr import matrix_simrank
+from repro.core.dmst_reduce import dmst_reduce
+from repro.core.instrumentation import Instrumentation
+from repro.core.sharing_engine import SharingEngine
+from repro.graph.builders import from_edges, star_graph
+from repro.graph.matrices import backward_transition_matrix
+
+
+def _reference_iteration(graph, scores, factor, pin_diagonal):
+    """One iteration computed directly from the definition (Eq. 2-style)."""
+    transition = backward_transition_matrix(graph).toarray()
+    updated = factor * transition @ scores @ transition.T
+    if pin_diagonal:
+        np.fill_diagonal(updated, 1.0)
+    return updated
+
+
+@pytest.mark.parametrize("factor, pin", [(0.6, True), (1.0, False), (0.8, True)])
+def test_single_iteration_matches_reference(paper_graph, factor, pin):
+    plan = dmst_reduce(paper_graph)
+    engine = SharingEngine(paper_graph, plan)
+    rng = np.random.default_rng(0)
+    scores = rng.random((paper_graph.num_vertices, paper_graph.num_vertices))
+    ours = engine.iterate(scores, factor=factor, pin_diagonal=pin)
+    reference = _reference_iteration(paper_graph, scores, factor, pin)
+    assert np.allclose(ours, reference)
+
+
+def test_multiple_graphs_match_reference(
+    small_web_graph, small_citation_graph, small_random_graph
+):
+    for graph in (small_web_graph, small_citation_graph, small_random_graph):
+        plan = dmst_reduce(graph)
+        engine = SharingEngine(graph, plan)
+        scores = engine.initial_scores()
+        for _ in range(3):
+            scores = engine.iterate(scores, factor=0.6, pin_diagonal=True)
+        reference = matrix_simrank(graph, damping=0.6, iterations=3).scores
+        assert np.allclose(scores, reference, atol=1e-10)
+
+
+def test_rows_of_sourceless_vertices_are_zero(paper_graph):
+    plan = dmst_reduce(paper_graph)
+    engine = SharingEngine(paper_graph, plan)
+    result = engine.iterate(engine.initial_scores(), factor=0.6, pin_diagonal=True)
+    for vertex in paper_graph.vertices():
+        if paper_graph.in_degree(vertex) == 0:
+            row = result[vertex, :].copy()
+            row[vertex] = 0.0
+            assert np.allclose(row, 0.0)
+            assert result[vertex, vertex] == 1.0
+
+
+def test_identical_in_sets_get_identical_rows():
+    # Vertices 3, 4, 5 all have in-set {0, 1, 2}.
+    edges = [(source, target) for target in (3, 4, 5) for source in (0, 1, 2)]
+    graph = from_edges(edges, n=6)
+    plan = dmst_reduce(graph)
+    engine = SharingEngine(graph, plan)
+    scores = engine.iterate(engine.initial_scores(), factor=0.6, pin_diagonal=True)
+    off_diagonal = [v for v in range(6) if v not in (3, 4)]
+    assert np.allclose(scores[3, off_diagonal], scores[4, off_diagonal])
+
+
+def test_operation_counts_reflect_plan(small_web_graph):
+    instrumentation = Instrumentation()
+    plan = dmst_reduce(small_web_graph)
+    engine = SharingEngine(small_web_graph, plan, instrumentation=instrumentation)
+    engine.iterate(engine.initial_scores(), factor=0.6, pin_diagonal=True)
+    counted = instrumentation.operations
+    assert counted.get("inner") == engine.inner_additions_per_iteration
+    assert counted.get("outer") == engine.outer_additions_per_iteration
+    assert engine.additions_per_iteration() == counted.total()
+
+
+def test_shared_plan_needs_fewer_additions_than_scratch(small_web_graph):
+    plan = dmst_reduce(small_web_graph)
+    engine = SharingEngine(small_web_graph, plan)
+    n = small_web_graph.num_vertices
+    scratch_inner = plan.distinct_scratch_weight() * n
+    assert engine.inner_additions_per_iteration <= scratch_inner
+
+
+def test_memory_is_released_after_iteration(small_web_graph):
+    instrumentation = Instrumentation()
+    plan = dmst_reduce(small_web_graph)
+    engine = SharingEngine(small_web_graph, plan, instrumentation=instrumentation)
+    engine.iterate(engine.initial_scores(), factor=0.6, pin_diagonal=True)
+    assert instrumentation.memory.current_values == 0
+    assert instrumentation.memory.peak_values > 0
+    # Peak intermediate memory stays far below the n^2 score matrix.
+    n = small_web_graph.num_vertices
+    assert instrumentation.memory.peak_values < n * n / 2
+
+
+def test_star_graph_iteration():
+    graph = star_graph(5)
+    plan = dmst_reduce(graph)
+    engine = SharingEngine(graph, plan)
+    scores = engine.iterate(engine.initial_scores(), factor=0.6, pin_diagonal=True)
+    reference = _reference_iteration(graph, np.eye(6), 0.6, True)
+    assert np.allclose(scores, reference)
+
+
+def test_initial_scores_is_identity(paper_graph):
+    engine = SharingEngine(paper_graph, dmst_reduce(paper_graph))
+    assert np.array_equal(engine.initial_scores(), np.eye(paper_graph.num_vertices))

@@ -1,0 +1,88 @@
+"""Unit tests for the sparse similarity store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.oip_sr import oip_sr
+from repro.core.similarity_store import SimilarityStore
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def dense_result(small_web_graph):
+    return oip_sr(small_web_graph, damping=0.6, iterations=6)
+
+
+class TestConstruction:
+    def test_threshold_truncation(self, dense_result):
+        store = SimilarityStore.from_result(dense_result, threshold=0.05)
+        dense = dense_result.scores
+        expected = int(((dense >= 0.05) & ~np.eye(dense.shape[0], dtype=bool)).sum())
+        assert store.num_stored_scores == expected
+
+    def test_top_k_truncation(self, dense_result):
+        store = SimilarityStore.from_result(dense_result, top_k=5)
+        n = dense_result.graph.num_vertices
+        assert store.num_stored_scores <= 5 * n
+        for vertex in range(0, n, 7):
+            assert len(store.top_k(vertex, k=10)) <= 5
+
+    def test_invalid_parameters(self, dense_result):
+        with pytest.raises(ConfigurationError):
+            SimilarityStore.from_result(dense_result, threshold=-1.0)
+        with pytest.raises(ConfigurationError):
+            SimilarityStore.from_result(dense_result, top_k=0)
+
+
+class TestQueries:
+    def test_pair_lookup_matches_dense(self, dense_result):
+        store = SimilarityStore.from_result(dense_result, threshold=0.01)
+        graph = dense_result.graph
+        for a in range(0, graph.num_vertices, 11):
+            for b in range(0, graph.num_vertices, 13):
+                dense_value = float(dense_result.scores[a, b])
+                stored = store.similarity(a, b)
+                if a == b:
+                    assert stored == 1.0
+                elif dense_value >= 0.01:
+                    assert stored == pytest.approx(dense_value)
+                else:
+                    assert stored == 0.0
+
+    def test_top_k_order_matches_dense(self, dense_result):
+        store = SimilarityStore.from_result(dense_result, threshold=0.0)
+        query = max(
+            dense_result.graph.vertices(), key=dense_result.graph.in_degree
+        )
+        dense_top = [label for label, _ in dense_result.top_k(query, k=5)]
+        stored_top = [label for label, _ in store.top_k(query, k=5)]
+        assert stored_top == dense_top
+
+    def test_similarity_row_diagonal(self, dense_result):
+        store = SimilarityStore.from_result(dense_result, threshold=0.05)
+        row = store.similarity_row(3)
+        assert row[3] == 1.0
+        assert row.shape == (dense_result.graph.num_vertices,)
+
+    def test_memory_smaller_than_dense(self, dense_result):
+        store = SimilarityStore.from_result(dense_result, threshold=0.05)
+        dense_bytes = dense_result.scores.nbytes
+        assert store.memory_bytes() < dense_bytes
+        assert "stored=" in repr(store)
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, dense_result, tmp_path):
+        store = SimilarityStore.from_result(dense_result, threshold=0.02)
+        path = tmp_path / "similarities.npz"
+        store.save(path)
+        loaded = SimilarityStore.load(path, dense_result.graph)
+        assert loaded.num_stored_scores == store.num_stored_scores
+        assert loaded.algorithm == store.algorithm
+        assert loaded.similarity(1, 2) == store.similarity(1, 2)
+        query = max(
+            dense_result.graph.vertices(), key=dense_result.graph.in_degree
+        )
+        assert loaded.top_k(query, k=5) == store.top_k(query, k=5)

@@ -1,0 +1,77 @@
+"""Unit tests for transition costs (Eq. 7) and set deltas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transition_cost import (
+    TransitionEdge,
+    is_sharing_profitable,
+    scratch_cost,
+    split_delta,
+    symmetric_difference_size,
+    transition_cost,
+)
+
+
+class TestSymmetricDifference:
+    def test_basic(self):
+        assert symmetric_difference_size({1, 2, 3}, {2, 3, 4}) == 2
+        assert symmetric_difference_size({1}, {1}) == 0
+        assert symmetric_difference_size(set(), {1, 2}) == 2
+
+    def test_accepts_any_collection(self):
+        assert symmetric_difference_size([1, 2], (2, 3)) == 2
+        assert symmetric_difference_size(frozenset({1}), [1, 5]) == 1
+
+
+class TestTransitionCost:
+    def test_paper_footnote_example(self):
+        # I(b) = {g,e,f,i}, I(d) = {e,f,i,a}: sym diff = {g,a}, scratch = 3.
+        in_b = {"g", "e", "f", "i"}
+        in_d = {"e", "f", "i", "a"}
+        assert transition_cost(in_b, in_d) == 2
+        assert is_sharing_profitable(in_b, in_d)
+
+    def test_scratch_wins_for_disjoint_sets(self):
+        assert transition_cost({1, 2}, {3, 4, 5}) == 2
+        assert not is_sharing_profitable({1, 2}, {3, 4, 5})
+
+    def test_identical_sets_cost_zero(self):
+        assert transition_cost({1, 2, 3}, {1, 2, 3}) == 0
+
+    def test_scratch_cost(self):
+        assert scratch_cost({1}) == 0
+        assert scratch_cost({1, 2, 3, 4}) == 3
+        assert scratch_cost(set()) == 0
+
+    def test_cost_never_exceeds_scratch(self):
+        cases = [({1, 2, 3}, {4, 5}), ({1}, {1, 2, 3, 4}), (set(), {7, 8})]
+        for source, target in cases:
+            assert transition_cost(source, target) <= scratch_cost(target)
+
+
+class TestSplitDelta:
+    def test_removed_and_added(self):
+        removed, added = split_delta({1, 2, 3}, {2, 3, 4, 5})
+        assert removed == (1,)
+        assert added == (4, 5)
+
+    def test_subset_has_no_removed(self):
+        removed, added = split_delta({2, 3}, {1, 2, 3})
+        assert removed == ()
+        assert added == (1,)
+
+    def test_delta_sizes_equal_symmetric_difference(self):
+        source, target = {1, 2, 3, 9}, {3, 4, 9}
+        removed, added = split_delta(source, target)
+        assert len(removed) + len(added) == symmetric_difference_size(source, target)
+
+
+class TestTransitionEdge:
+    def test_fields(self):
+        edge = TransitionEdge(source=0, target=3, weight=2, shared=False)
+        assert edge.source == 0
+        assert edge.target == 3
+        assert edge.weight == 2
+        assert not edge.shared

@@ -1,0 +1,60 @@
+"""Unit tests for the P-Rank extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_simrank
+from repro.exceptions import ConfigurationError
+from repro.extensions.prank import prank, prank_shared
+from repro.graph.builders import from_edges
+
+
+class TestPrankModel:
+    def test_lambda_one_reduces_to_simrank(self, paper_graph):
+        ours = prank(paper_graph, damping_in=0.6, lambda_weight=1.0, iterations=6)
+        reference = naive_simrank(paper_graph, damping=0.6, iterations=6)
+        assert np.allclose(ours.scores, reference.scores, atol=1e-12)
+
+    def test_lambda_zero_equals_simrank_on_reverse_graph(self, paper_graph):
+        ours = prank(
+            paper_graph, damping_out=0.6, lambda_weight=0.0, iterations=6
+        )
+        reference = naive_simrank(paper_graph.reverse(), damping=0.6, iterations=6)
+        assert np.allclose(ours.scores, reference.scores, atol=1e-12)
+
+    def test_diagonal_pinned_and_symmetric(self, small_web_graph):
+        result = prank(small_web_graph, lambda_weight=0.4, iterations=5)
+        assert np.allclose(np.diag(result.scores), 1.0)
+        assert np.allclose(result.scores, result.scores.T, atol=1e-10)
+
+    def test_mixture_between_extremes(self, paper_graph):
+        in_only = prank(paper_graph, lambda_weight=1.0, iterations=5).scores
+        out_only = prank(paper_graph, lambda_weight=0.0, iterations=5).scores
+        mixed = prank(paper_graph, lambda_weight=0.5, iterations=5).scores
+        # The first mixed iteration is the average of the two one-sided
+        # updates, so the result lies "between" them in aggregate.
+        assert mixed.sum() <= max(in_only.sum(), out_only.sum()) + 1e-9
+        assert mixed.sum() >= min(in_only.sum(), out_only.sum()) - 1e-9
+
+    def test_invalid_lambda(self, paper_graph):
+        with pytest.raises(ConfigurationError):
+            prank(paper_graph, lambda_weight=1.5)
+
+
+class TestPrankShared:
+    def test_matches_matrix_form(self, paper_graph):
+        shared = prank_shared(paper_graph, lambda_weight=0.5, iterations=5)
+        reference = prank(paper_graph, lambda_weight=0.5, iterations=5)
+        assert np.allclose(shared.scores, reference.scores, atol=1e-10)
+
+    def test_matches_on_web_graph(self, small_web_graph):
+        shared = prank_shared(small_web_graph, lambda_weight=0.3, iterations=3)
+        reference = prank(small_web_graph, lambda_weight=0.3, iterations=3)
+        assert np.allclose(shared.scores, reference.scores, atol=1e-10)
+
+    def test_reports_both_plans(self, paper_graph):
+        result = prank_shared(paper_graph, iterations=2)
+        assert "in_plan" in result.extra
+        assert "out_plan" in result.extra

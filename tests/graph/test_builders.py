@@ -1,0 +1,126 @@
+"""Unit tests for the graph convenience constructors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import GraphBuildError
+from repro.graph.builders import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_adjacency,
+    from_edge_list,
+    from_edges,
+    from_in_neighbor_sets,
+    from_networkx,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+
+
+class TestFromEdges:
+    def test_labelled_edges(self):
+        graph = from_edges([("u", "v"), ("w", "v")])
+        assert graph.num_vertices == 3
+        assert graph.in_degree(graph.index_of("v")) == 2
+
+    def test_integer_edges_with_explicit_n(self):
+        graph = from_edges([(0, 1)], n=5)
+        assert graph.num_vertices == 5
+        assert graph.in_degree(4) == 0
+
+    def test_explicit_n_requires_integer_labels(self):
+        with pytest.raises(GraphBuildError):
+            from_edges([("a", "b")], n=3)
+
+    def test_from_edge_list_infers_n(self):
+        graph = from_edge_list([(0, 4), (2, 3)])
+        assert graph.num_vertices == 5
+
+
+class TestFromAdjacency:
+    def test_dense_adjacency(self):
+        matrix = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        graph = from_adjacency(matrix)
+        assert sorted(graph.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_sparse_adjacency(self):
+        matrix = sparse.csr_matrix(np.array([[0, 2], [0, 0]]))
+        graph = from_adjacency(matrix)
+        assert list(graph.edges()) == [(0, 1)]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphBuildError):
+            from_adjacency(np.zeros((2, 3)))
+        with pytest.raises(GraphBuildError):
+            from_adjacency(sparse.csr_matrix(np.zeros((2, 3))))
+
+
+class TestFromInNeighborSets:
+    def test_paper_style_specification(self):
+        graph = from_in_neighbor_sets({"a": ["b", "c"], "b": [], "c": ["b"]})
+        assert graph.in_degree(graph.index_of("a")) == 2
+        assert graph.in_degree(graph.index_of("b")) == 0
+        assert graph.has_edge(graph.index_of("b"), graph.index_of("c"))
+
+    def test_vertices_only_in_neighbor_lists_are_created(self):
+        graph = from_in_neighbor_sets({"x": ["ghost"]})
+        assert graph.num_vertices == 2
+        assert graph.in_degree(graph.index_of("ghost")) == 0
+
+
+class TestNetworkxInterop:
+    def test_directed_roundtrip(self):
+        import networkx as nx
+
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge("a", "b")
+        nx_graph.add_edge("c", "b")
+        graph = from_networkx(nx_graph)
+        assert graph.in_degree(graph.index_of("b")) == 2
+        back = to_networkx(graph)
+        assert set(back.edges()) == {("a", "b"), ("c", "b")}
+
+    def test_undirected_graph_becomes_symmetric(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(1, 2)
+        graph = from_networkx(nx_graph)
+        assert graph.num_edges == 2
+        assert graph.has_edge(graph.index_of(1), graph.index_of(2))
+        assert graph.has_edge(graph.index_of(2), graph.index_of(1))
+
+
+class TestCanonicalGraphs:
+    def test_empty_graph(self):
+        graph = empty_graph(4)
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 0
+
+    def test_path_graph(self):
+        graph = path_graph(4)
+        assert graph.num_edges == 3
+        assert graph.in_degree(0) == 0
+        assert graph.in_degree(3) == 1
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.num_edges == 5
+        assert all(graph.in_degree(v) == 1 for v in graph.vertices())
+        assert cycle_graph(0).num_vertices == 0
+
+    def test_complete_graph(self):
+        graph = complete_graph(4)
+        assert graph.num_edges == 12
+        assert all(graph.in_degree(v) == 3 for v in graph.vertices())
+
+    def test_star_graph(self):
+        graph = star_graph(6)
+        assert graph.num_vertices == 7
+        assert graph.in_degree(0) == 6
+        assert all(graph.in_degree(v) == 0 for v in range(1, 7))

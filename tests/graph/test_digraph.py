@@ -1,0 +1,169 @@
+"""Unit tests for the DiGraph container and GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphBuildError, VertexNotFoundError
+from repro.graph.digraph import DiGraph, GraphBuilder
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph(0)
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_basic_edges_and_degrees(self):
+        graph = DiGraph(4, [(0, 1), (2, 1), (3, 1), (1, 0)])
+        assert graph.num_edges == 4
+        assert graph.in_degree(1) == 3
+        assert graph.out_degree(1) == 1
+        assert graph.in_neighbors(1) == (0, 2, 3)
+        assert graph.out_neighbors(1) == (0,)
+
+    def test_parallel_edges_collapse(self):
+        graph = DiGraph(3, [(0, 1), (0, 1), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_self_loops_are_kept(self):
+        graph = DiGraph(2, [(0, 0), (0, 1)])
+        assert graph.has_edge(0, 0)
+        assert 0 in graph.in_neighbors(0)
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphBuildError):
+            DiGraph(-1)
+
+    def test_out_of_range_edges_rejected(self):
+        with pytest.raises(GraphBuildError):
+            DiGraph(2, [(0, 5)])
+        with pytest.raises(GraphBuildError):
+            DiGraph(2, [(-1, 0)])
+
+    def test_average_in_degree(self):
+        graph = DiGraph(4, [(0, 1), (2, 1), (3, 2)])
+        assert graph.average_in_degree() == pytest.approx(3 / 4)
+        assert DiGraph(0).average_in_degree() == 0.0
+
+
+class TestLabels:
+    def test_labels_roundtrip(self):
+        graph = DiGraph(3, [(0, 1)], labels=["x", "y", "z"])
+        assert graph.has_labels
+        assert graph.label_of(1) == "y"
+        assert graph.index_of("z") == 2
+        assert graph.labels() == ("x", "y", "z")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(GraphBuildError):
+            DiGraph(2, [], labels=["a", "a"])
+
+    def test_wrong_label_count_rejected(self):
+        with pytest.raises(GraphBuildError):
+            DiGraph(3, [], labels=["a", "b"])
+
+    def test_unlabelled_graph_uses_ids(self):
+        graph = DiGraph(2, [(0, 1)])
+        assert graph.label_of(1) == 1
+        assert graph.index_of(0) == 0
+        with pytest.raises(VertexNotFoundError):
+            graph.index_of("missing")
+
+    def test_unknown_label_raises(self):
+        graph = DiGraph(2, [(0, 1)], labels=["a", "b"])
+        with pytest.raises(VertexNotFoundError):
+            graph.index_of("zzz")
+
+
+class TestQueries:
+    def test_has_edge(self):
+        graph = DiGraph(5, [(0, 3), (3, 4), (1, 3)])
+        assert graph.has_edge(0, 3)
+        assert not graph.has_edge(3, 0)
+        assert not graph.has_edge(2, 2)
+
+    def test_vertex_bounds_checked(self):
+        graph = DiGraph(3, [(0, 1)])
+        with pytest.raises(VertexNotFoundError):
+            graph.in_neighbors(7)
+        with pytest.raises(VertexNotFoundError):
+            graph.out_degree(-1)
+
+    def test_edges_iteration_matches_adjacency(self):
+        edges = [(0, 1), (1, 2), (2, 0), (0, 2)]
+        graph = DiGraph(3, edges)
+        assert sorted(graph.edges()) == sorted(set(edges))
+
+    def test_neighbor_sets_are_sorted(self):
+        graph = DiGraph(5, [(4, 0), (2, 0), (3, 0)])
+        assert graph.in_neighbors(0) == (2, 3, 4)
+
+
+class TestDerivedGraphs:
+    def test_reverse(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)], name="g")
+        reverse = graph.reverse()
+        assert reverse.has_edge(1, 0)
+        assert reverse.has_edge(2, 1)
+        assert reverse.num_edges == graph.num_edges
+        assert graph.in_neighbors(1) == reverse.out_neighbors(1)
+
+    def test_reverse_twice_is_identity(self):
+        graph = DiGraph(4, [(0, 1), (2, 3), (3, 0)])
+        assert graph.reverse().reverse() == graph
+
+    def test_subgraph_reindexes(self):
+        graph = DiGraph(5, [(0, 1), (1, 4), (4, 0), (2, 3)], labels=list("abcde"))
+        sub = graph.subgraph([0, 1, 4])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert sub.label_of(2) == "e"
+        assert sub.has_edge(sub.index_of("e"), sub.index_of("a"))
+
+    def test_equality_and_hash(self):
+        first = DiGraph(3, [(0, 1), (1, 2)])
+        second = DiGraph(3, [(1, 2), (0, 1)])
+        third = DiGraph(3, [(0, 1)])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != third
+        assert first != "not a graph"
+
+    def test_repr_mentions_size(self):
+        graph = DiGraph(3, [(0, 1)], name="tiny")
+        assert "tiny" in repr(graph)
+        assert "n=3" in repr(graph)
+
+
+class TestGraphBuilder:
+    def test_incremental_building(self):
+        builder = GraphBuilder(name="built")
+        builder.add_edge("p1", "p2")
+        builder.add_edge("p3", "p2")
+        builder.add_vertex("isolated")
+        graph = builder.build()
+        assert graph.num_vertices == 4
+        assert graph.in_degree(graph.index_of("p2")) == 2
+        assert graph.in_degree(graph.index_of("isolated")) == 0
+        assert graph.name == "built"
+
+    def test_add_edges_bulk(self):
+        builder = GraphBuilder()
+        builder.add_edges([("a", "b"), ("b", "c")])
+        assert builder.num_vertices == 3
+        assert builder.num_edges == 2
+
+    def test_build_without_labels(self):
+        builder = GraphBuilder()
+        builder.add_edge("x", "y")
+        graph = builder.build(keep_labels=False)
+        assert not graph.has_labels
+
+    def test_integer_identity_labels_are_dropped(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 2)
+        graph = builder.build()
+        assert not graph.has_labels

@@ -1,0 +1,183 @@
+"""Unit tests for the synthetic graph generators (dataset analogues)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph.generators import (
+    author_name,
+    berkstan_like,
+    citation_network,
+    dblp_like_snapshots,
+    gnp_random,
+    patent_like,
+    power_law_out_degrees,
+    preferential_attachment,
+    rmat,
+    uniform_random,
+    web_graph,
+)
+from repro.graph.properties import overlap_statistics
+
+
+class TestUniformRandom:
+    def test_exact_edge_count(self):
+        graph = uniform_random(50, 200, seed=1)
+        assert graph.num_vertices == 50
+        assert graph.num_edges == 200
+
+    def test_determinism(self):
+        assert uniform_random(30, 60, seed=5) == uniform_random(30, 60, seed=5)
+        assert uniform_random(30, 60, seed=5) != uniform_random(30, 60, seed=6)
+
+    def test_no_self_loops_by_default(self):
+        graph = uniform_random(20, 100, seed=2)
+        assert all(source != target for source, target in graph.edges())
+
+    def test_edge_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            uniform_random(3, 100, seed=0)
+        with pytest.raises(ConfigurationError):
+            uniform_random(-1, 0)
+
+
+class TestGnpRandom:
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            gnp_random(10, 1.5)
+
+    def test_zero_probability_gives_no_edges(self):
+        assert gnp_random(10, 0.0, seed=1).num_edges == 0
+
+    def test_one_probability_gives_complete_graph(self):
+        graph = gnp_random(6, 1.0, seed=1)
+        assert graph.num_edges == 30
+
+    def test_expected_density(self):
+        graph = gnp_random(100, 0.05, seed=7)
+        expected = 0.05 * 100 * 99
+        assert abs(graph.num_edges - expected) < expected * 0.5
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        graph = rmat(scale=6, num_edges=300, seed=1)
+        assert graph.num_vertices == 64
+
+    def test_determinism(self):
+        assert rmat(5, 100, seed=3) == rmat(5, 100, seed=3)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rmat(4, 10, a=0.9, b=0.2, c=0.2, d=0.2)
+
+    def test_skewed_in_degrees(self):
+        graph = rmat(scale=8, num_edges=2000, seed=2)
+        in_degrees = sorted(
+            (graph.in_degree(v) for v in graph.vertices()), reverse=True
+        )
+        # R-MAT concentrates edges on a few hub vertices: the maximum
+        # in-degree is a multiple of the mean, unlike a uniform random graph.
+        assert in_degrees[0] > 2.5 * (graph.num_edges / graph.num_vertices)
+
+
+class TestPowerLaw:
+    def test_preferential_attachment_sizes(self):
+        graph = preferential_attachment(80, out_degree=3, seed=1)
+        assert graph.num_vertices == 80
+        assert graph.num_edges <= 3 * 79
+        # Hubs emerge: the max in-degree far exceeds the average.
+        in_degrees = [graph.in_degree(v) for v in graph.vertices()]
+        assert max(in_degrees) > 5 * (sum(in_degrees) / len(in_degrees))
+
+    def test_out_degree_sampling(self):
+        degrees = power_law_out_degrees(500, average_degree=5.0, seed=1)
+        assert degrees.shape == (500,)
+        assert degrees.min() >= 1
+        assert abs(degrees.mean() - 5.0) < 2.0
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            power_law_out_degrees(10, 3.0, exponent=0.5)
+
+
+class TestCitation:
+    def test_dag_property(self, small_citation_graph):
+        # Citations only point backwards in time (smaller vertex id).
+        assert all(source > target for source, target in small_citation_graph.edges())
+
+    def test_average_degree_close_to_target(self):
+        graph = citation_network(800, average_citations=4.4, seed=3)
+        assert 2.5 < graph.average_in_degree() < 7.0
+
+    def test_patent_like_has_overlap(self):
+        graph = patent_like(num_papers=600)
+        stats = overlap_statistics(graph)
+        assert stats.share_ratio > 0.1
+
+    def test_determinism(self):
+        assert citation_network(100, seed=4) == citation_network(100, seed=4)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            citation_network(10, canonical_share=1.5)
+        with pytest.raises(ConfigurationError):
+            citation_network(10, family_size_range=(3, 2))
+
+
+class TestWebGraph:
+    def test_sizes_and_determinism(self):
+        graph = web_graph(150, 5, seed=1)
+        assert graph.num_vertices == 150
+        assert graph == web_graph(150, 5, seed=1)
+
+    def test_host_structure_creates_duplicate_in_sets(self):
+        graph = web_graph(200, 5, noise_fraction=0.0, seed=2)
+        in_sets = {}
+        for vertex in graph.vertices():
+            in_sets.setdefault(graph.in_neighbors(vertex), []).append(vertex)
+        duplicates = sum(len(group) - 1 for group in in_sets.values() if len(group) > 1)
+        assert duplicates > graph.num_vertices * 0.3
+
+    def test_berkstan_like_average_degree(self):
+        graph = berkstan_like(num_pages=800)
+        assert 5.0 < graph.average_in_degree() < 15.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            web_graph(10, 0)
+        with pytest.raises(ConfigurationError):
+            web_graph(10, 2, directory_probability=2.0)
+
+
+class TestCoauthorship:
+    def test_snapshots_are_cumulative(self):
+        snapshots = dblp_like_snapshots(scale=0.3, seed=1)
+        assert [snapshot.label for snapshot in snapshots] == [
+            "D02",
+            "D05",
+            "D08",
+            "D11",
+        ]
+        sizes = [snapshot.graph.num_vertices for snapshot in snapshots]
+        edges = [snapshot.graph.num_edges for snapshot in snapshots]
+        assert sizes == sorted(sizes)
+        assert edges == sorted(edges)
+
+    def test_graphs_are_symmetric(self):
+        snapshots = dblp_like_snapshots(scale=0.2, seed=2)
+        graph = snapshots[-1].graph
+        for source, target in graph.edges():
+            assert graph.has_edge(target, source)
+
+    def test_author_names_unique_and_deterministic(self):
+        names = [author_name(index) for index in range(2000)]
+        assert len(set(names)) == len(names)
+        assert author_name(17) == author_name(17)
+
+    def test_labels_are_author_names(self):
+        graph = dblp_like_snapshots(scale=0.2, seed=2)[0].graph
+        assert graph.has_labels
+        assert all(isinstance(label, str) for label in graph.labels())

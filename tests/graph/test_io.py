@@ -1,0 +1,93 @@
+"""Unit tests for graph IO (SNAP edge lists and labelled JSON)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphBuildError
+from repro.graph.builders import from_edges
+from repro.graph.io import (
+    read_edge_list,
+    read_labeled_json,
+    write_edge_list,
+    write_labeled_json,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        # read_edge_list remaps ids to first-seen order, so the round trip is
+        # exact up to an isomorphism: sizes and degree sequences must match.
+        graph = from_edges([(0, 1), (2, 1), (1, 3)], n=4, name="roundtrip")
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.num_edges == graph.num_edges
+        original_degrees = sorted(
+            (graph.in_degree(v), graph.out_degree(v)) for v in graph.vertices()
+        )
+        loaded_degrees = sorted(
+            (loaded.in_degree(v), loaded.out_degree(v)) for v in loaded.vertices()
+        )
+        assert original_degrees == loaded_degrees
+
+    def test_roundtrip_identity_when_ids_seen_in_order(self, tmp_path):
+        graph = from_edges([(0, 1), (1, 2), (2, 3)], n=4)
+        path = tmp_path / "ordered.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# a comment\n\n0 1\n5 1\n# another\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 4  # ids remapped densely: 0,1,5,2
+        assert graph.num_edges == 3
+
+    def test_non_contiguous_ids_are_remapped(self, tmp_path):
+        path = tmp_path / "sparse_ids.txt"
+        path.write_text("100 200\n300 200\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 3
+        assert max(v for edge in graph.edges() for v in edge) == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "broken.txt"
+        path.write_text("0 1\njust-one-token\n")
+        with pytest.raises(GraphBuildError):
+            read_edge_list(path)
+
+    def test_header_written(self, tmp_path):
+        graph = from_edges([(0, 1)], n=2, name="header-test")
+        path = tmp_path / "with_header.txt"
+        write_edge_list(graph, path, header=True)
+        content = path.read_text()
+        assert content.startswith("#")
+        assert "Nodes: 2" in content
+
+
+class TestLabeledJson:
+    def test_roundtrip_with_labels(self, tmp_path):
+        graph = from_edges([("alice", "bob"), ("carol", "bob")], name="people")
+        path = tmp_path / "graph.json"
+        write_labeled_json(graph, path)
+        loaded = read_labeled_json(path)
+        assert loaded.num_vertices == 3
+        assert loaded.name == "people"
+        assert loaded.in_degree(loaded.index_of("bob")) == 2
+
+    def test_roundtrip_without_labels(self, tmp_path):
+        graph = from_edges([(0, 1), (1, 2)], n=3)
+        path = tmp_path / "plain.json"
+        write_labeled_json(graph, path)
+        loaded = read_labeled_json(path)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+        assert not loaded.has_labels
+
+    def test_malformed_document_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(GraphBuildError):
+            read_labeled_json(path)

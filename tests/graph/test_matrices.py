@@ -1,0 +1,76 @@
+"""Unit tests for the sparse-matrix views of a graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edges, star_graph
+from repro.graph.matrices import (
+    adjacency_matrix,
+    backward_transition_matrix,
+    forward_transition_matrix,
+    in_degree_vector,
+    out_degree_vector,
+)
+
+
+@pytest.fixture
+def small_graph():
+    # 0 -> 2, 1 -> 2, 2 -> 3, 3 has no out edges, 0 has no in edges.
+    return from_edges([(0, 2), (1, 2), (2, 3)], n=4)
+
+
+class TestAdjacency:
+    def test_entries(self, small_graph):
+        matrix = adjacency_matrix(small_graph).toarray()
+        expected = np.zeros((4, 4))
+        expected[0, 2] = expected[1, 2] = expected[2, 3] = 1
+        assert np.array_equal(matrix, expected)
+
+    def test_degree_vectors(self, small_graph):
+        assert in_degree_vector(small_graph).tolist() == [0, 0, 2, 1]
+        assert out_degree_vector(small_graph).tolist() == [1, 1, 1, 0]
+
+
+class TestBackwardTransition:
+    def test_rows_normalised_by_in_degree(self, small_graph):
+        matrix = backward_transition_matrix(small_graph).toarray()
+        assert matrix[2, 0] == pytest.approx(0.5)
+        assert matrix[2, 1] == pytest.approx(0.5)
+        assert matrix[3, 2] == pytest.approx(1.0)
+
+    def test_rows_without_in_neighbors_are_zero(self, small_graph):
+        matrix = backward_transition_matrix(small_graph).toarray()
+        assert np.all(matrix[0, :] == 0)
+        assert np.all(matrix[1, :] == 0)
+
+    def test_nonzero_rows_sum_to_one(self, small_web_graph):
+        matrix = backward_transition_matrix(small_web_graph)
+        row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+        in_degrees = in_degree_vector(small_web_graph)
+        for vertex, total in enumerate(row_sums):
+            if in_degrees[vertex] > 0:
+                assert total == pytest.approx(1.0)
+            else:
+                assert total == pytest.approx(0.0)
+
+    def test_star_graph_hub_row(self):
+        graph = star_graph(4)
+        matrix = backward_transition_matrix(graph).toarray()
+        assert np.allclose(matrix[0, 1:], 0.25)
+
+
+class TestForwardTransition:
+    def test_rows_normalised_by_out_degree(self, small_graph):
+        matrix = forward_transition_matrix(small_graph).toarray()
+        assert matrix[0, 2] == pytest.approx(1.0)
+        assert matrix[2, 3] == pytest.approx(1.0)
+        assert np.all(matrix[3, :] == 0)
+
+    def test_forward_is_backward_of_reverse(self, small_web_graph):
+        forward = forward_transition_matrix(small_web_graph).toarray()
+        backward_of_reverse = backward_transition_matrix(
+            small_web_graph.reverse()
+        ).toarray()
+        assert np.allclose(forward, backward_of_reverse)

@@ -1,0 +1,72 @@
+"""Unit tests for graph statistics (degree and overlap summaries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builders import from_edges, star_graph
+from repro.graph.properties import (
+    dataset_summary_row,
+    degree_statistics,
+    overlap_statistics,
+)
+
+
+class TestDegreeStatistics:
+    def test_counts_on_small_graph(self):
+        graph = from_edges([(0, 2), (1, 2), (2, 3)], n=5)
+        stats = degree_statistics(graph)
+        assert stats.num_vertices == 5
+        assert stats.num_edges == 3
+        assert stats.average_in_degree == pytest.approx(0.6)
+        assert stats.max_in_degree == 2
+        assert stats.num_sources == 3  # 0, 1 and the isolated vertex 4
+        assert stats.num_sinks == 2  # 3 and the isolated vertex 4
+
+    def test_as_dict_round(self):
+        graph = star_graph(3)
+        summary = degree_statistics(graph).as_dict()
+        assert summary["vertices"] == 4
+        assert summary["max_in_degree"] == 3
+
+    def test_dataset_summary_row(self):
+        graph = star_graph(5, name="star")
+        row = dataset_summary_row(graph)
+        assert row["dataset"] == "star"
+        assert row["vertices"] == 6
+        assert row["edges"] == 5
+
+
+class TestOverlapStatistics:
+    def test_identical_in_sets_share_perfectly(self):
+        # Both 3 and 4 have in-neighbour set {0, 1, 2}.
+        graph = from_edges(
+            [(0, 3), (1, 3), (2, 3), (0, 4), (1, 4), (2, 4)], n=5
+        )
+        stats = overlap_statistics(graph)
+        assert stats.num_nonempty_sets == 2
+        assert stats.num_distinct_sets == 1
+        assert stats.share_ratio == pytest.approx(1.0)
+        assert stats.average_symmetric_difference == pytest.approx(0.0)
+        assert stats.guaranteed_sharing
+
+    def test_disjoint_in_sets_do_not_share(self):
+        graph = from_edges([(0, 2), (1, 3)], n=4)
+        stats = overlap_statistics(graph)
+        assert stats.share_ratio == 0.0
+        assert not stats.guaranteed_sharing
+
+    def test_web_graph_has_high_overlap(self, small_web_graph):
+        stats = overlap_statistics(small_web_graph)
+        assert stats.share_ratio > 0.3
+        assert stats.average_symmetric_difference < stats.average_in_degree
+
+    def test_as_dict_keys(self, small_citation_graph):
+        summary = overlap_statistics(small_citation_graph).as_dict()
+        assert {"nonempty_sets", "avg_sym_diff", "share_ratio"} <= set(summary)
+
+    def test_empty_graph(self):
+        graph = from_edges([], n=3)
+        stats = overlap_statistics(graph)
+        assert stats.num_nonempty_sets == 0
+        assert stats.share_ratio == 0.0

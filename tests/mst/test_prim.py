@@ -1,0 +1,54 @@
+"""Unit tests for the undirected MST helpers (Prim / Kruskal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mst.prim import kruskal_mst, prim_mst, spanning_forest_weight
+
+
+class TestKruskal:
+    def test_simple_triangle(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]
+        chosen = kruskal_mst(3, edges)
+        assert len(chosen) == 2
+        assert sum(edges[i][2] for i in chosen) == 3.0
+
+    def test_forest_on_disconnected_graph(self):
+        edges = [(0, 1, 1.0), (2, 3, 5.0)]
+        chosen = kruskal_mst(4, edges)
+        assert len(chosen) == 2
+        assert spanning_forest_weight(4, edges) == 6.0
+
+    def test_empty_graph(self):
+        assert kruskal_mst(3, []) == []
+        assert spanning_forest_weight(0, []) == 0.0
+
+
+class TestPrim:
+    def test_matches_kruskal_on_connected_graphs(self):
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            num_vertices = int(rng.integers(4, 10))
+            edges = [
+                (i, i + 1, float(rng.integers(1, 10)))
+                for i in range(num_vertices - 1)
+            ]
+            for _ in range(num_vertices * 2):
+                u = int(rng.integers(0, num_vertices))
+                v = int(rng.integers(0, num_vertices))
+                if u != v:
+                    edges.append((u, v, float(rng.integers(1, 10))))
+            prim_weight = sum(edges[i][2] for i in prim_mst(num_vertices, edges))
+            kruskal_weight = sum(edges[i][2] for i in kruskal_mst(num_vertices, edges))
+            assert prim_weight == pytest.approx(kruskal_weight)
+
+    def test_prim_covers_only_start_component(self):
+        edges = [(0, 1, 1.0), (2, 3, 1.0)]
+        chosen = prim_mst(4, edges, start=0)
+        assert len(chosen) == 1
+        assert edges[chosen[0]][:2] == (0, 1)
+
+    def test_empty_graph(self):
+        assert prim_mst(0, []) == []

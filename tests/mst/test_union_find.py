@@ -1,0 +1,51 @@
+"""Unit tests for the union-find structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mst.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        dsu = UnionFind(5)
+        assert len(dsu) == 5
+        assert dsu.num_sets == 5
+        assert not dsu.connected(0, 1)
+
+    def test_union_and_find(self):
+        dsu = UnionFind(6)
+        assert dsu.union(0, 1)
+        assert dsu.union(1, 2)
+        assert not dsu.union(0, 2)  # already connected
+        assert dsu.connected(0, 2)
+        assert not dsu.connected(0, 3)
+        assert dsu.num_sets == 4
+
+    def test_groups(self):
+        dsu = UnionFind(5)
+        dsu.union(0, 4)
+        dsu.union(1, 2)
+        groups = sorted(dsu.groups())
+        assert [0, 4] in groups
+        assert [1, 2] in groups
+        assert [3] in groups
+
+    def test_from_pairs(self):
+        dsu = UnionFind.from_pairs(4, [(0, 1), (2, 3)])
+        assert dsu.connected(0, 1)
+        assert dsu.connected(2, 3)
+        assert not dsu.connected(1, 2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_path_compression_keeps_results_consistent(self):
+        dsu = UnionFind(100)
+        for index in range(99):
+            dsu.union(index, index + 1)
+        root = dsu.find(0)
+        assert all(dsu.find(index) == root for index in range(100))
+        assert dsu.num_sets == 1

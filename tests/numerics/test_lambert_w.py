@@ -1,0 +1,56 @@
+"""Unit tests for the Lambert W implementation and its elementary bounds."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy.special import lambertw as scipy_lambertw
+
+from repro.exceptions import ConfigurationError
+from repro.numerics.lambert_w import (
+    lambert_w,
+    lambert_w_lower_bound,
+    lambert_w_upper_bound,
+)
+
+
+class TestLambertW:
+    def test_known_values(self):
+        assert lambert_w(0.0) == 0.0
+        assert lambert_w(math.e) == pytest.approx(1.0, abs=1e-10)
+        assert lambert_w(2 * math.exp(2)) == pytest.approx(2.0, abs=1e-10)
+
+    @pytest.mark.parametrize(
+        "x", [1e-6, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0, 1e4, 1e8]
+    )
+    def test_matches_scipy(self, x):
+        assert lambert_w(x) == pytest.approx(
+            float(np.real(scipy_lambertw(x))), rel=1e-9, abs=1e-12
+        )
+
+    @pytest.mark.parametrize("x", [0.3, 1.7, 4.2, 33.0, 1e5])
+    def test_defining_equation(self, x):
+        w = lambert_w(x)
+        assert w * math.exp(w) == pytest.approx(x, rel=1e-9)
+
+    def test_negative_argument_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lambert_w(-0.1)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("x", [3.0, 5.0, 10.0, 100.0, 1e6])
+    def test_sandwich(self, x):
+        lower = lambert_w_lower_bound(x)
+        upper = lambert_w_upper_bound(x)
+        value = lambert_w(x)
+        assert lower <= value + 1e-12
+        assert value <= upper + 1e-12
+
+    def test_bounds_require_x_greater_than_e(self):
+        with pytest.raises(ConfigurationError):
+            lambert_w_lower_bound(2.0)
+        with pytest.raises(ConfigurationError):
+            lambert_w_upper_bound(1.0)

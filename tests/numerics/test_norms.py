@@ -1,0 +1,44 @@
+"""Unit tests for the matrix norms used by convergence monitoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.numerics.norms import (
+    frobenius_norm,
+    max_difference,
+    max_norm,
+    relative_max_difference,
+)
+
+
+class TestNorms:
+    def test_max_norm(self):
+        matrix = np.array([[1.0, -3.0], [2.0, 0.5]])
+        assert max_norm(matrix) == 3.0
+        assert max_norm(np.zeros((0, 0))) == 0.0
+
+    def test_max_norm_on_sparse(self):
+        matrix = sparse.csr_matrix(np.array([[0.0, -4.0], [1.0, 0.0]]))
+        assert max_norm(matrix) == 4.0
+
+    def test_frobenius(self):
+        matrix = np.array([[3.0, 4.0]])
+        assert frobenius_norm(matrix) == pytest.approx(5.0)
+
+    def test_max_difference(self):
+        first = np.eye(3)
+        second = np.eye(3) * 0.75
+        assert max_difference(first, second) == pytest.approx(0.25)
+
+    def test_relative_max_difference_clips_denominator(self):
+        first = np.array([[0.1, 2.0]])
+        second = np.array([[0.0, 1.0]])
+        # Entry 0: |0.1 - 0| / max(0, 1) = 0.1; entry 1: 1 / 1 = 1.
+        assert relative_max_difference(first, second) == pytest.approx(1.0)
+        assert relative_max_difference(second, second) == 0.0
+
+    def test_relative_difference_empty(self):
+        assert relative_max_difference(np.zeros((0,)), np.zeros((0,))) == 0.0

@@ -1,0 +1,78 @@
+"""Unit tests for the geometric / exponential series utilities."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.numerics.series import (
+    coefficient_sequence,
+    exponential_coefficients,
+    exponential_tail,
+    exponential_tail_bound,
+    geometric_coefficients,
+    geometric_tail,
+)
+
+
+class TestCoefficients:
+    def test_geometric_coefficients_sum_to_one(self):
+        coefficients = geometric_coefficients(0.6, 200)
+        assert sum(coefficients) == pytest.approx(1.0, abs=1e-12)
+        assert coefficients[0] == pytest.approx(0.4)
+        assert coefficients[1] == pytest.approx(0.24)
+
+    def test_exponential_coefficients_sum_to_one(self):
+        coefficients = exponential_coefficients(0.8, 60)
+        assert sum(coefficients) == pytest.approx(1.0, abs=1e-12)
+        assert coefficients[0] == pytest.approx(math.exp(-0.8))
+        assert coefficients[2] == pytest.approx(math.exp(-0.8) * 0.8**2 / 2)
+
+    def test_exponential_decays_faster_than_geometric(self):
+        geometric = geometric_coefficients(0.8, 30)
+        exponential = exponential_coefficients(0.8, 30)
+        # Beyond the first few terms the exponential coefficients are smaller.
+        assert all(e < g for g, e in zip(geometric[3:], exponential[3:]))
+
+    def test_coefficient_sequence_matches_lists(self):
+        lazy_geometric = list(itertools.islice(coefficient_sequence(0.5), 10))
+        assert lazy_geometric == pytest.approx(geometric_coefficients(0.5, 10))
+        lazy_exponential = list(
+            itertools.islice(coefficient_sequence(0.5, kind="exponential"), 10)
+        )
+        assert lazy_exponential == pytest.approx(exponential_coefficients(0.5, 10))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            geometric_coefficients(1.5, 3)
+        with pytest.raises(ConfigurationError):
+            next(coefficient_sequence(0.5, kind="bogus"))
+
+
+class TestTails:
+    def test_geometric_tail_formula(self):
+        assert geometric_tail(0.6, 0) == pytest.approx(1.0)
+        assert geometric_tail(0.6, 3) == pytest.approx(0.6**3)
+
+    def test_exponential_tail_matches_direct_sum(self):
+        damping = 0.7
+        direct = sum(exponential_coefficients(damping, 200)[5:])
+        assert exponential_tail(damping, 5) == pytest.approx(direct, rel=1e-9)
+
+    def test_tail_bound_dominates_tail(self):
+        # Prop. 7: the bound C^{k+1}/(k+1)! is an upper bound on the true tail
+        # contribution weight e^{-C} * sum_{i>k} C^i/i!.
+        for damping in (0.4, 0.6, 0.8):
+            for iterations in range(0, 10):
+                assert exponential_tail(damping, iterations + 1) <= (
+                    exponential_tail_bound(damping, iterations) + 1e-15
+                )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            geometric_tail(0.6, -1)
+        with pytest.raises(ConfigurationError):
+            exponential_tail_bound(0.0, 2)

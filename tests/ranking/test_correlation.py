@@ -1,0 +1,68 @@
+"""Unit tests for rank-correlation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ranking.correlation import (
+    adjacent_inversions,
+    kendall_tau,
+    ranking_agreement,
+    spearman_rho,
+)
+
+
+class TestKendallAndSpearman:
+    def test_identical_orderings(self):
+        scores = [0.9, 0.5, 0.1, 0.05]
+        assert kendall_tau(scores, scores) == pytest.approx(1.0)
+        assert spearman_rho(scores, scores) == pytest.approx(1.0)
+
+    def test_reversed_orderings(self):
+        first = [1.0, 2.0, 3.0, 4.0]
+        second = [4.0, 3.0, 2.0, 1.0]
+        assert kendall_tau(first, second) == pytest.approx(-1.0)
+        assert spearman_rho(first, second) == pytest.approx(-1.0)
+
+    def test_constant_vectors_treated_as_agreement(self):
+        assert kendall_tau([1.0, 1.0, 1.0], [2.0, 2.0, 2.0]) == 1.0
+        assert spearman_rho([1.0, 1.0], [3.0, 3.0]) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kendall_tau([1.0], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            spearman_rho([1.0], [1.0, 2.0])
+
+    def test_short_vectors(self):
+        assert kendall_tau([1.0], [2.0]) == 1.0
+
+
+class TestAdjacentInversions:
+    def test_identical_lists(self):
+        assert adjacent_inversions(["a", "b", "c"], ["a", "b", "c"]) == 0
+
+    def test_single_adjacent_swap(self):
+        assert adjacent_inversions(["a", "b", "c", "d"], ["a", "c", "b", "d"]) == 1
+
+    def test_full_reversal(self):
+        assert adjacent_inversions(["a", "b", "c"], ["c", "b", "a"]) == 3
+
+    def test_items_missing_from_reference_are_ignored(self):
+        assert adjacent_inversions(["a", "b"], ["x", "b", "a", "y"]) == 1
+
+
+class TestRankingAgreement:
+    def test_full_overlap(self):
+        assert ranking_agreement(["a", "b", "c"], ["c", "a", "b"]) == 1.0
+
+    def test_partial_overlap(self):
+        assert ranking_agreement(["a", "b", "c", "d"], ["a", "b", "x", "y"], k=4) == 0.5
+
+    def test_empty_reference(self):
+        assert ranking_agreement([], ["a"], k=3) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            ranking_agreement(["a"], ["a"], k=0)

@@ -1,0 +1,88 @@
+"""Unit tests for NDCG."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ranking.ndcg import (
+    dcg,
+    graded_relevance_from_ranking,
+    ndcg,
+    ndcg_from_reference,
+)
+
+
+class TestDcg:
+    def test_hand_computed(self):
+        relevances = [3, 2, 0]
+        expected = (2**3 - 1) / math.log2(2) + (2**2 - 1) / math.log2(3)
+        assert dcg(relevances) == pytest.approx(expected)
+
+    def test_cutoff(self):
+        assert dcg([3, 2, 1], p=1) == pytest.approx(7.0)
+
+    def test_empty(self):
+        assert dcg([]) == 0.0
+
+    def test_negative_cutoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dcg([1.0], p=-1)
+
+
+class TestNdcg:
+    def test_ideal_ranking_scores_one(self):
+        assert ndcg([3, 2, 1, 0]) == pytest.approx(1.0)
+
+    def test_reversed_ranking_scores_below_one(self):
+        assert ndcg([0, 1, 2, 3]) < 1.0
+
+    def test_all_zero_relevances(self):
+        assert ndcg([0, 0, 0]) == 1.0
+
+
+class TestGradedRelevance:
+    def test_bands(self):
+        reference = [f"item{i}" for i in range(10)]
+        grades = graded_relevance_from_ranking(reference, num_grades=5)
+        assert grades["item0"] == 5.0
+        assert grades["item9"] == 1.0
+        assert grades["item0"] >= grades["item5"] >= grades["item9"]
+
+    def test_empty_reference(self):
+        assert graded_relevance_from_ranking([]) == {}
+
+    def test_invalid_grades(self):
+        with pytest.raises(ConfigurationError):
+            graded_relevance_from_ranking(["a"], num_grades=0)
+
+
+class TestNdcgFromReference:
+    def test_perfect_reproduction_scores_one(self):
+        reference = ["a", "b", "c", "d", "e", "f"]
+        relevance = graded_relevance_from_ranking(reference)
+        assert ndcg_from_reference(reference, relevance, p=6) == pytest.approx(1.0)
+
+    def test_shuffled_ranking_scores_less(self):
+        reference = [f"v{i}" for i in range(20)]
+        relevance = graded_relevance_from_ranking(reference)
+        shuffled = list(reversed(reference))
+        assert ndcg_from_reference(shuffled, relevance, p=10) < 1.0
+
+    def test_unknown_items_score_zero_gain(self):
+        relevance = {"a": 3.0}
+        assert ndcg_from_reference(["zzz"], relevance, p=1) == 0.0
+
+    def test_adjacent_swap_barely_matters(self):
+        # The paper's observation: one adjacent inversion costs almost nothing.
+        reference = [f"v{i}" for i in range(30)]
+        relevance = graded_relevance_from_ranking(reference)
+        swapped = reference.copy()
+        swapped[22], swapped[23] = swapped[23], swapped[22]
+        assert ndcg_from_reference(swapped, relevance, p=30) > 0.99
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            ndcg_from_reference(["a"], {"a": 1.0}, p=0)

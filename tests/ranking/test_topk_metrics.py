@@ -1,0 +1,89 @@
+"""Unit tests for the result-level top-k comparison helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import SimRankResult
+from repro.graph.digraph import DiGraph
+from repro.ranking.topk_metrics import compare_queries, compare_top_k
+
+
+def _make_result(scores, labels):
+    graph = DiGraph(len(labels), [], labels=labels)
+    return SimRankResult(
+        scores=np.asarray(scores, dtype=float),
+        graph=graph,
+        algorithm="stub",
+        damping=0.6,
+        iterations=1,
+    )
+
+
+@pytest.fixture
+def reference_and_identical():
+    labels = ["q", "a", "b", "c", "d"]
+    scores = np.array(
+        [
+            [1.0, 0.9, 0.7, 0.5, 0.3],
+            [0.9, 1.0, 0.0, 0.0, 0.0],
+            [0.7, 0.0, 1.0, 0.0, 0.0],
+            [0.5, 0.0, 0.0, 1.0, 0.0],
+            [0.3, 0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    return _make_result(scores, labels), _make_result(scores.copy(), labels)
+
+
+class TestCompareTopK:
+    def test_identical_results_are_perfect(self, reference_and_identical):
+        reference, evaluated = reference_and_identical
+        comparison = compare_top_k(reference, evaluated, "q", k=4)
+        assert comparison.ndcg == pytest.approx(1.0)
+        assert comparison.overlap == 1.0
+        assert comparison.kendall == pytest.approx(1.0)
+        assert comparison.inversions == 0
+
+    def test_swapped_scores_are_detected(self, reference_and_identical):
+        reference, _ = reference_and_identical
+        labels = ["q", "a", "b", "c", "d"]
+        swapped_scores = reference.scores.copy()
+        # Swap the ranking of a and d for the query row.
+        swapped_scores[0, 1], swapped_scores[0, 4] = 0.3, 0.9
+        evaluated = _make_result(swapped_scores, labels)
+        comparison = compare_top_k(reference, evaluated, "q", k=4)
+        assert comparison.ndcg < 1.0
+        assert comparison.inversions > 0
+        assert comparison.kendall < 1.0
+
+    def test_as_dict(self, reference_and_identical):
+        reference, evaluated = reference_and_identical
+        row = compare_top_k(reference, evaluated, "q", k=3).as_dict()
+        assert row["query"] == "q"
+        assert row["k"] == 3
+        assert set(row) == {"query", "k", "ndcg", "overlap", "kendall", "inversions"}
+
+
+class TestCompareQueries:
+    def test_sweep_shape(self, reference_and_identical):
+        reference, evaluated = reference_and_identical
+        comparisons = compare_queries(
+            reference, evaluated, ["q", "a"], k_values=(2, 3)
+        )
+        assert len(comparisons) == 4
+        assert {c.k for c in comparisons} == {2, 3}
+
+
+class TestOnRealSolvers:
+    def test_oip_dsr_preserves_oip_sr_order(self, small_web_graph):
+        from repro.core.oip_dsr import oip_dsr
+        from repro.core.oip_sr import oip_sr
+
+        reference = oip_sr(small_web_graph, damping=0.8, accuracy=1e-3)
+        evaluated = oip_dsr(small_web_graph, damping=0.8, accuracy=1e-3)
+        query = max(small_web_graph.vertices(), key=small_web_graph.in_degree)
+        comparison = compare_top_k(reference, evaluated, query, k=10)
+        # The paper's Fig. 6g ballpark: NDCG close to 1 at the top.
+        assert comparison.ndcg > 0.85
+        assert comparison.overlap >= 0.6

@@ -1,0 +1,111 @@
+"""End-to-end integration tests across the whole package.
+
+Each test exercises a realistic pipeline: generate a workload graph, run
+several solvers, and check the cross-cutting claims the paper makes (solver
+agreement, speed-up direction, ranking preservation, persistence round trips).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    differential_simrank,
+    load_dataset,
+    matrix_simrank,
+    monte_carlo_simrank,
+    oip_dsr,
+    oip_sr,
+    psum_simrank,
+    single_source_simrank,
+)
+from repro.graph.io import read_labeled_json, write_labeled_json
+from repro.ranking import compare_top_k, kendall_tau
+
+
+class TestPublicApi:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in ("oip_sr", "oip_dsr", "psum_simrank", "DiGraph", "load_dataset"):
+            assert hasattr(repro, name)
+
+
+class TestSolverAgreementOnWorkloads:
+    @pytest.mark.parametrize("dataset", ["berkstan", "patent", "dblp-d02"])
+    def test_shared_and_unshared_agree(self, dataset):
+        graph = load_dataset(dataset, scale=0.15)
+        shared = oip_sr(graph, damping=0.6, iterations=5)
+        unshared = psum_simrank(graph, damping=0.6, iterations=5)
+        matrix = matrix_simrank(graph, damping=0.6, iterations=5)
+        assert np.allclose(shared.scores, unshared.scores, atol=1e-9)
+        assert np.allclose(shared.scores, matrix.scores, atol=1e-9)
+
+    def test_differential_solvers_agree(self):
+        graph = load_dataset("berkstan", scale=0.15)
+        assert np.allclose(
+            oip_dsr(graph, damping=0.6, iterations=6).scores,
+            differential_simrank(graph, damping=0.6, iterations=6).scores,
+            atol=1e-9,
+        )
+
+
+class TestPaperHeadlineClaims:
+    def test_sharing_reduces_work_on_web_graph(self):
+        graph = load_dataset("berkstan", scale=0.3)
+        baseline = psum_simrank(graph, damping=0.6, iterations=5)
+        shared = oip_sr(graph, damping=0.6, iterations=5)
+        # The BERKSTAN-analogue is the paper's best case: expect a clear win.
+        assert baseline.total_additions > 1.5 * shared.total_additions
+
+    def test_differential_model_converges_much_faster(self):
+        graph = load_dataset("dblp-d02", scale=0.3)
+        conventional = oip_sr(graph, damping=0.8, accuracy=1e-4)
+        differential = oip_dsr(graph, damping=0.8, accuracy=1e-4)
+        assert differential.iterations * 4 < conventional.iterations
+        assert differential.total_additions < conventional.total_additions
+
+    def test_differential_preserves_conventional_ranking(self):
+        graph = load_dataset("dblp-d05", scale=0.3)
+        conventional = oip_sr(graph, damping=0.8, accuracy=1e-3)
+        differential = oip_dsr(graph, damping=0.8, accuracy=1e-3)
+        query = max(graph.vertices(), key=graph.in_degree)
+        comparison = compare_top_k(
+            conventional, differential, graph.label_of(query), k=10
+        )
+        assert comparison.ndcg > 0.85
+
+    def test_monte_carlo_agrees_in_expectation(self):
+        graph = load_dataset("dblp-d02", scale=0.2)
+        exact = matrix_simrank(graph, damping=0.6, iterations=15, diagonal="matrix")
+        estimate = monte_carlo_simrank(graph, damping=0.6, num_walks=200, seed=5)
+        mask = ~np.eye(graph.num_vertices, dtype=bool)
+        mean_error = np.abs(exact.scores - estimate.scores)[mask].mean()
+        assert mean_error < 0.05
+
+    def test_single_source_matches_full_row_ranking(self):
+        graph = load_dataset("patent", scale=0.15)
+        query = max(graph.vertices(), key=graph.in_degree)
+        full = matrix_simrank(graph, damping=0.6, iterations=12, diagonal="matrix")
+        row = single_source_simrank(graph, query, damping=0.6, iterations=12)
+        others = [v for v in graph.vertices() if v != query]
+        tau = kendall_tau(full.scores[query, others], row[others])
+        assert tau > 0.95
+
+
+class TestPersistenceRoundTrip:
+    def test_dataset_roundtrip_preserves_simrank(self, tmp_path):
+        graph = load_dataset("dblp-d02", scale=0.2)
+        path = tmp_path / "dblp.json"
+        write_labeled_json(graph, path)
+        loaded = read_labeled_json(path)
+        original = oip_sr(graph, damping=0.6, iterations=4)
+        reloaded = oip_sr(loaded, damping=0.6, iterations=4)
+        # Same labels -> same scores for the same author pair.
+        authors = [graph.label_of(v) for v in list(graph.vertices())[:5]]
+        for first in authors:
+            for second in authors:
+                assert original.similarity(first, second) == pytest.approx(
+                    reloaded.similarity(first, second), abs=1e-12
+                )

@@ -1,0 +1,92 @@
+"""Unit tests for the dataset registry (Fig. 5 analogues)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.datasets import (
+    PAPER_DATASETS,
+    available_datasets,
+    dblp_snapshots,
+    fig5_table,
+    load_dataset,
+    syn_graph,
+)
+
+
+class TestRegistry:
+    def test_available_names_match_specs(self):
+        assert set(available_datasets()) == set(PAPER_DATASETS)
+
+    def test_every_dataset_loads_at_small_scale(self):
+        for name in available_datasets():
+            graph = load_dataset(name, scale=0.2)
+            assert graph.num_vertices > 10
+            assert graph.num_edges > 0
+
+    def test_loading_is_memoised(self):
+        assert load_dataset("berkstan", scale=0.2) is load_dataset(
+            "berkstan", scale=0.2
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("imaginary-dataset")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("berkstan", scale=0.0)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("patent", scale=0.2)
+        large = load_dataset("patent", scale=0.5)
+        assert large.num_vertices > small.num_vertices
+
+
+class TestStructuralFidelity:
+    def test_berkstan_degree_near_paper(self):
+        graph = load_dataset("berkstan", scale=0.5)
+        assert 5.0 < graph.average_in_degree() < 15.0
+
+    def test_patent_degree_near_paper(self):
+        graph = load_dataset("patent", scale=0.5)
+        assert 2.5 < graph.average_in_degree() < 8.0
+
+    def test_dblp_snapshots_grow(self):
+        snapshots = dblp_snapshots(scale=0.4)
+        sizes = [snapshots[name].num_vertices for name in sorted(snapshots)]
+        assert sizes == sorted(sizes)
+        assert len(snapshots) == 4
+
+    def test_dblp_graphs_have_author_labels(self):
+        graph = load_dataset("dblp-d05", scale=0.3)
+        assert graph.has_labels
+
+    def test_patent_is_a_dag(self):
+        graph = load_dataset("patent", scale=0.3)
+        assert all(source > target for source, target in graph.edges())
+
+
+class TestSynGraph:
+    def test_rmat_model_density(self):
+        graph = syn_graph(num_vertices=128, average_degree=8.0)
+        assert graph.num_vertices == 128
+        assert graph.num_edges > 128 * 4
+
+    def test_uniform_model_exact_edges(self):
+        graph = syn_graph(num_vertices=100, average_degree=5.0, model="uniform")
+        assert graph.num_edges == 500
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            syn_graph(model="other")
+
+
+class TestFig5Table:
+    def test_rows_and_columns(self):
+        rows = fig5_table(scale=0.2)
+        assert len(rows) == len(PAPER_DATASETS)
+        for row in rows:
+            assert {"dataset", "vertices", "edges", "avg_degree", "paper_vertices"} <= set(row)
+            assert row["vertices"] < row["paper_vertices"]

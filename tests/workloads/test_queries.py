@@ -1,0 +1,57 @@
+"""Unit tests for the query workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import (
+    degree_stratified_queries,
+    prolific_author_queries,
+)
+
+
+class TestProlificQueries:
+    def test_returns_highest_degree_vertices(self, small_web_graph):
+        workload = prolific_author_queries(small_web_graph, num_queries=3)
+        assert len(workload.queries) == 3
+        degrees = [
+            small_web_graph.in_degree(small_web_graph.index_of(query))
+            for query in workload.queries
+        ]
+        maximum = max(
+            small_web_graph.in_degree(v) for v in small_web_graph.vertices()
+        )
+        assert degrees[0] == maximum
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_labels_are_author_names_on_dblp(self):
+        graph = load_dataset("dblp-d02", scale=0.3)
+        workload = prolific_author_queries(graph, num_queries=2)
+        assert all(isinstance(query, str) for query in workload.queries)
+
+    def test_invalid_count(self, small_web_graph):
+        with pytest.raises(ConfigurationError):
+            prolific_author_queries(small_web_graph, num_queries=0)
+
+
+class TestStratifiedQueries:
+    def test_bands_cover_degree_range(self, small_web_graph):
+        workload = degree_stratified_queries(small_web_graph, num_queries_per_band=2)
+        assert 2 <= len(workload.queries) <= 6
+        degrees = [
+            small_web_graph.in_degree(small_web_graph.index_of(query))
+            for query in workload.queries
+        ]
+        assert max(degrees) > min(degrees)
+
+    def test_requires_nonempty_graph(self):
+        from repro.graph.builders import empty_graph
+
+        with pytest.raises(ConfigurationError):
+            degree_stratified_queries(empty_graph(5))
+
+    def test_invalid_band_count(self, small_web_graph):
+        with pytest.raises(ConfigurationError):
+            degree_stratified_queries(small_web_graph, num_queries_per_band=0)
