@@ -10,16 +10,24 @@ psum-SR / mtx-SR / Monte-Carlo / naive baselines, the P-Rank extension,
 ranking-quality metrics, and a benchmark harness that regenerates every
 figure and table of the paper's Section V.
 
+All solvers are also reachable through the unified dispatch entry point
+:func:`simrank` (``simrank(graph, method="matrix", backend="sparse")``),
+which selects both the algorithm and the compute backend
+(:mod:`repro.core.backends`) by name; :func:`simrank_top_k` answers batched
+top-k queries without materialising the all-pairs matrix.
+
 Quickstart
 ----------
->>> from repro import generators, oip_sr, oip_dsr
+>>> from repro import generators, oip_sr, oip_dsr, simrank
 >>> graph = generators.web_graph(num_pages=200, num_hosts=8, seed=1)
 >>> conventional = oip_sr(graph, damping=0.6, accuracy=1e-3)
 >>> fast = oip_dsr(graph, damping=0.6, accuracy=1e-3)
+>>> matrix = simrank(graph, method="matrix", backend="sparse", accuracy=1e-3)
 >>> conventional.top_k(0, k=5)  # doctest: +SKIP
 """
 
 from ._version import __version__
+from .api import available_methods, simrank, simrank_top_k
 from .baselines import (
     matrix_simrank,
     monte_carlo_simrank,
@@ -34,7 +42,9 @@ from .baselines import (
 from .core import (
     SharingPlan,
     SimilarityStore,
+    SimRankBackend,
     SimRankResult,
+    available_backends,
     conventional_iterations,
     differential_iterations_exact,
     differential_iterations_lambert,
@@ -53,14 +63,27 @@ from .exceptions import (
     VertexNotFoundError,
 )
 from .extensions import prank, prank_shared
-from .graph import DiGraph, GraphBuilder, from_edges, from_in_neighbor_sets
+from .graph import (
+    DiGraph,
+    EdgeListGraph,
+    GraphBuilder,
+    from_edges,
+    from_in_neighbor_sets,
+)
 from .graph import generators
 from .workloads import load_dataset, syn_graph
 
 __all__ = [
     "__version__",
+    # unified dispatch API
+    "simrank",
+    "simrank_top_k",
+    "available_methods",
+    "available_backends",
+    "SimRankBackend",
     # graph substrate
     "DiGraph",
+    "EdgeListGraph",
     "GraphBuilder",
     "from_edges",
     "from_in_neighbor_sets",

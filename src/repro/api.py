@@ -1,0 +1,269 @@
+"""The unified SimRank entry point: ``simrank(graph, method=..., backend=...)``.
+
+Every solver in the package — the paper's OIP-SR / OIP-DSR, the psum-SR /
+mtx-SR / Monte-Carlo / naive baselines and the matrix-form solvers — is
+reachable through one dispatch function, so benchmarks, the CLI and
+downstream code select algorithms and compute backends by name instead of
+importing solver modules.  The matrix-form methods additionally accept a
+compute ``backend`` from :mod:`repro.core.backends` (``"dense"`` BLAS vs
+``"sparse"`` CSR); per-vertex methods are backend-agnostic and reject an
+explicit ``backend="sparse"`` rather than silently ignoring it.
+
+Examples
+--------
+>>> from repro import simrank, simrank_top_k
+>>> from repro.graph.generators import web_graph
+>>> graph = web_graph(num_pages=200, num_hosts=8, seed=1)
+>>> result = simrank(graph, method="matrix", backend="sparse", iterations=10)
+>>> rankings = simrank_top_k(graph, queries=[0, 5], k=5)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from .baselines.matrix_sr import matrix_simrank
+from .baselines.monte_carlo import monte_carlo_simrank
+from .baselines.mtx_svd_sr import mtx_svd_simrank
+from .baselines.naive import naive_simrank
+from .baselines.psum_sr import psum_simrank
+from .baselines.topk import RankedList
+from .core.backends import SimRankBackend, available_backends, get_backend
+from .core.diff_simrank import differential_simrank
+from .core.instrumentation import Instrumentation
+from .core.iteration_bounds import conventional_iterations
+from .core.oip_dsr import oip_dsr
+from .core.oip_sr import oip_sr
+from .core.result import SimRankResult, validate_damping, validate_iterations
+from .exceptions import ConfigurationError
+from .extensions.prank import prank, prank_shared
+
+__all__ = [
+    "METHODS",
+    "MethodSpec",
+    "available_methods",
+    "method_spec",
+    "simrank",
+    "simrank_top_k",
+]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One dispatchable SimRank method.
+
+    Attributes
+    ----------
+    name:
+        Canonical method name.
+    solver:
+        The underlying solver callable (``solver(graph, **params)``).
+    backends:
+        Compute backends the method can honour.  Per-vertex methods iterate
+        Python adjacency structures and are listed as ``("dense",)`` — their
+        arithmetic is backend-independent.
+    accepts_backend:
+        Whether the solver takes a ``backend=`` keyword (only the
+        matrix-form solver does today).
+    default_backend:
+        Backend used when the caller passes ``backend=None``.
+    needs_adjacency:
+        Whether the solver iterates per-vertex adjacency (and therefore
+        needs a full :class:`~repro.graph.digraph.DiGraph`); an
+        :class:`~repro.graph.edgelist.EdgeListGraph` input is upgraded via
+        ``to_digraph()`` before dispatch.  Matrix-only methods leave the
+        edge list untouched.
+    """
+
+    name: str
+    solver: Callable[..., SimRankResult]
+    backends: tuple[str, ...] = ("dense",)
+    accepts_backend: bool = False
+    default_backend: Optional[str] = None
+    needs_adjacency: bool = True
+
+
+METHODS: dict[str, MethodSpec] = {
+    spec.name: spec
+    for spec in (
+        MethodSpec(
+            name="matrix",
+            solver=matrix_simrank,
+            backends=("dense", "sparse"),
+            accepts_backend=True,
+            default_backend="sparse",
+            needs_adjacency=False,
+        ),
+        MethodSpec(
+            name="mtx-svd",
+            solver=mtx_svd_simrank,
+            backends=("sparse",),
+            needs_adjacency=False,
+        ),
+        MethodSpec(name="oip-sr", solver=oip_sr),
+        MethodSpec(name="oip-dsr", solver=oip_dsr),
+        MethodSpec(name="psum", solver=psum_simrank),
+        MethodSpec(name="naive", solver=naive_simrank),
+        MethodSpec(name="monte-carlo", solver=monte_carlo_simrank),
+        MethodSpec(
+            name="diff-matrix", solver=differential_simrank, needs_adjacency=False
+        ),
+        MethodSpec(name="p-rank", solver=prank),
+        MethodSpec(name="p-rank-shared", solver=prank_shared),
+    )
+}
+"""Registry of dispatchable methods, keyed by canonical name."""
+
+_ALIASES = {
+    "matrix-sr": "matrix",
+    "mtx-sr": "mtx-svd",
+    "psum-sr": "psum",
+}
+
+
+def available_methods() -> tuple[str, ...]:
+    """Return the canonical method names, sorted."""
+    return tuple(sorted(METHODS))
+
+
+def method_spec(method: str) -> MethodSpec:
+    """Resolve ``method`` (canonical name or alias) to its :class:`MethodSpec`."""
+    canonical = _ALIASES.get(method, method)
+    try:
+        return METHODS[canonical]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown method {method!r}; available: {', '.join(available_methods())}"
+        ) from None
+
+
+def _resolve_backend(spec: MethodSpec, backend) -> Optional[str]:
+    if backend is None:
+        return spec.default_backend
+    name = backend.name if isinstance(backend, SimRankBackend) else backend
+    if name not in available_backends():
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    # Methods that forward `backend=` accept any registered backend (that is
+    # the plug-in point); only backend-agnostic methods pin a declared set.
+    if not spec.accepts_backend and name not in spec.backends:
+        raise ConfigurationError(
+            f"method {spec.name!r} does not support backend {name!r}; "
+            f"it supports: {', '.join(spec.backends)}"
+        )
+    return name
+
+
+def simrank(
+    graph,
+    method: str = "matrix",
+    backend: Union[str, SimRankBackend, None] = None,
+    **params,
+) -> SimRankResult:
+    """Compute SimRank on ``graph`` with the named method and backend.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.digraph.DiGraph` (any method) or an
+        :class:`~repro.graph.edgelist.EdgeListGraph` (matrix-form methods).
+    method:
+        One of :func:`available_methods` or an alias (``"matrix-sr"``,
+        ``"mtx-sr"``, ``"psum-sr"``).
+    backend:
+        Compute backend (``"dense"`` or ``"sparse"``) for methods that
+        support one; ``None`` picks the method's default.  Requesting a
+        backend the method cannot honour raises
+        :class:`~repro.exceptions.ConfigurationError`.
+    **params:
+        Forwarded verbatim to the underlying solver (``damping``,
+        ``iterations``, ``accuracy``, ...).
+    """
+    spec = method_spec(method)
+    resolved = _resolve_backend(spec, backend)
+    if spec.accepts_backend and resolved is not None:
+        params["backend"] = resolved
+    if spec.needs_adjacency and hasattr(graph, "to_digraph"):
+        graph = graph.to_digraph()
+    return spec.solver(graph, **params)
+
+
+def simrank_top_k(
+    graph,
+    queries,
+    k: int = 10,
+    damping: float = 0.6,
+    iterations: Optional[int] = None,
+    accuracy: float = 1e-3,
+    backend: Union[str, SimRankBackend] = "sparse",
+    include_self: bool = False,
+    instrumentation: Optional[Instrumentation] = None,
+) -> list[RankedList]:
+    """Answer a batch of top-``k`` queries without materialising all pairs.
+
+    The whole batch shares one transition operator and one series evaluation
+    (:meth:`~repro.core.backends.SimRankBackend.similarity_rows`), so memory
+    stays ``O(K · n · |queries|)`` — the single-source/top-k workload path
+    the paper's quality experiments (Fig. 6g/6h) issue.  Scores follow the
+    matrix-form convention and match the full-matrix answers up to the
+    series-truncation tail ``C^{K+1}``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (:class:`~repro.graph.digraph.DiGraph` or
+        :class:`~repro.graph.edgelist.EdgeListGraph`).
+    queries:
+        A sequence of query vertices (labels or ids).
+    k:
+        Ranking length per query.
+    damping, iterations, accuracy:
+        As for :func:`simrank`; ``iterations`` defaults to the conventional
+        bound for ``accuracy``.
+    backend:
+        Compute backend used for the series evaluation.
+    include_self:
+        Whether the query vertex itself may appear in its ranking.
+    instrumentation:
+        Optional instrumentation collector to record costs into.
+    """
+    damping = validate_damping(damping)
+    if iterations is None:
+        iterations = conventional_iterations(accuracy, damping)
+    iterations = validate_iterations(iterations)
+    if isinstance(queries, (str, bytes)) or not isinstance(
+        queries, (Sequence, np.ndarray)
+    ):
+        queries = [queries]
+
+    engine = get_backend(backend)
+    indices = np.array([graph.index_of(query) for query in queries], dtype=np.int64)
+    transition = engine.transition(graph)
+    rows = engine.similarity_rows(
+        transition,
+        indices,
+        damping=damping,
+        iterations=iterations,
+        instrumentation=instrumentation,
+    )
+
+    vertex_ids = np.arange(transition.n)
+    rankings: list[RankedList] = []
+    for position, query in enumerate(queries):
+        row = rows[position]
+        # Vectorised (-score, id) ordering: lexsort's last key is primary.
+        order = np.lexsort((vertex_ids, -row))
+        entries: list[tuple[object, float]] = []
+        for candidate in order:
+            candidate = int(candidate)
+            if not include_self and candidate == int(indices[position]):
+                continue
+            entries.append((graph.label_of(candidate), float(row[candidate])))
+            if len(entries) == k:
+                break
+        rankings.append(RankedList(query=query, entries=tuple(entries)))
+    return rankings

@@ -1,8 +1,15 @@
-"""Matrix-form SimRank via sparse linear algebra (Eq. 3 of the paper).
+"""Matrix-form SimRank via linear algebra (Eq. 3 of the paper).
 
 The matrix formulation ``S = C·(Q S Qᵀ) + (1 − C)·Iₙ`` (due to Li et al.)
-is the natural "just use BLAS" baseline: every iteration is two sparse-dense
-products.  Two diagonal conventions are supported:
+is the natural "just use BLAS" baseline: every iteration is two matrix
+products.  The arithmetic is delegated to a compute backend from
+:mod:`repro.core.backends` — ``"sparse"`` (the default) keeps ``Q`` in CSR
+form and costs ``O(m · n)`` per iteration, ``"dense"`` materialises ``Q``
+and runs pure-BLAS ``O(n³)`` iterations; both produce identical scores.
+Prefer the unified :func:`repro.simrank` entry point
+(``simrank(graph, method="matrix", backend=...)``) in new code.
+
+Two diagonal conventions are supported:
 
 * ``diagonal="matrix"`` — iterate Eq. 3 literally; diagonal entries end up in
   ``[1 − C, 1]``.
@@ -16,35 +23,33 @@ shared-sums engine on medium graphs where the naive oracle would be too slow.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
-import numpy as np
-
+from ..core.backends import DIAGONAL_MODES, SimRankBackend, get_backend
 from ..core.instrumentation import Instrumentation
 from ..core.iteration_bounds import conventional_iterations
 from ..core.result import SimRankResult, validate_damping, validate_iterations
 from ..exceptions import ConfigurationError
-from ..graph.digraph import DiGraph
-from ..graph.matrices import backward_transition_matrix
 
 __all__ = ["matrix_simrank"]
 
-_DIAGONAL_MODES = ("one", "matrix")
-
 
 def matrix_simrank(
-    graph: DiGraph,
+    graph,
     damping: float = 0.6,
     iterations: Optional[int] = None,
     accuracy: float = 1e-3,
     diagonal: str = "one",
+    backend: Union[str, SimRankBackend] = "sparse",
 ) -> SimRankResult:
     """Compute all-pairs SimRank by iterating the matrix form (Eq. 3).
 
     Parameters
     ----------
     graph:
-        Input graph.
+        Input graph — a :class:`~repro.graph.digraph.DiGraph` or, for the
+        construction fast path, an
+        :class:`~repro.graph.edgelist.EdgeListGraph`.
     damping:
         The damping factor ``C``.
     iterations:
@@ -54,33 +59,31 @@ def matrix_simrank(
     diagonal:
         ``"one"`` to pin the diagonal to 1 each iteration (iterative-form
         convention, Eq. 2), ``"matrix"`` for the literal Eq. 3 iteration.
+    backend:
+        Compute backend name (``"sparse"`` or ``"dense"``) or a
+        :class:`~repro.core.backends.SimRankBackend` instance.
     """
     damping = validate_damping(damping)
-    if diagonal not in _DIAGONAL_MODES:
+    if diagonal not in DIAGONAL_MODES:
+        # Reject up front, before the backend materialises the operator.
         raise ConfigurationError(
-            f"diagonal must be one of {_DIAGONAL_MODES}, got {diagonal!r}"
+            f"diagonal must be one of {DIAGONAL_MODES}, got {diagonal!r}"
         )
     if iterations is None:
         iterations = conventional_iterations(accuracy, damping)
     iterations = validate_iterations(iterations)
+    engine = get_backend(backend)
 
     instrumentation = Instrumentation()
-    n = graph.num_vertices
     with instrumentation.timer.phase("iterate"):
-        transition = backward_transition_matrix(graph)
-        transition_t = transition.T.tocsr()
-        scores = np.eye(n, dtype=np.float64)
-        identity_term = (1.0 - damping) * np.eye(n, dtype=np.float64)
-        for _ in range(iterations):
-            propagated = transition @ scores @ transition_t
-            if hasattr(propagated, "todense"):  # pragma: no cover - sparse corner
-                propagated = np.asarray(propagated.todense())
-            if diagonal == "one":
-                scores = damping * propagated
-                np.fill_diagonal(scores, 1.0)
-            else:
-                scores = damping * propagated + identity_term
-            instrumentation.operations.add("matrix", 2 * graph.num_edges * n)
+        transition = engine.transition(graph)
+        scores = engine.iterate(
+            transition,
+            damping=damping,
+            iterations=iterations,
+            diagonal=diagonal,
+            instrumentation=instrumentation,
+        )
 
     return SimRankResult(
         scores=scores,
@@ -89,5 +92,5 @@ def matrix_simrank(
         damping=damping,
         iterations=iterations,
         instrumentation=instrumentation,
-        extra={"accuracy": accuracy, "diagonal": diagonal},
+        extra={"accuracy": accuracy, "diagonal": diagonal, "backend": engine.name},
     )

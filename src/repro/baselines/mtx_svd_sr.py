@@ -39,8 +39,12 @@ def mtx_svd_simrank(
     graph: DiGraph,
     damping: float = 0.6,
     rank: Optional[int] = None,
+    transition=None,
 ) -> SimRankResult:
     """Approximate all-pairs SimRank with a rank-``rank`` SVD of ``Q``.
+
+    Prefer the unified :func:`repro.simrank` entry point
+    (``simrank(graph, method="mtx-svd")``) in new code.
 
     Parameters
     ----------
@@ -51,6 +55,10 @@ def mtx_svd_simrank(
     rank:
         Target rank ``r``.  Defaults to ``⌈√n⌉`` (the regime Li et al.
         describe), clipped to the largest admissible value ``min(n, m) − 1``.
+    transition:
+        Optional precomputed CSR backward transition matrix (as produced by
+        :func:`~repro.graph.matrices.backward_transition_matrix`), so the
+        operator can be shared with the other matrix-form methods.
 
     Notes
     -----
@@ -69,7 +77,8 @@ def mtx_svd_simrank(
 
     instrumentation = Instrumentation()
     with instrumentation.timer.phase("svd"):
-        transition = backward_transition_matrix(graph)
+        if transition is None:
+            transition = backward_transition_matrix(graph)
         left, singular_values, right_t = svds(transition, k=rank)
         # svds returns singular values in ascending order; order is irrelevant
         # for the reconstruction below.

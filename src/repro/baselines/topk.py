@@ -13,8 +13,6 @@ from __future__ import annotations
 from collections.abc import Hashable
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.result import SimRankResult
 from ..graph.digraph import DiGraph
 from .single_pair import single_source_simrank

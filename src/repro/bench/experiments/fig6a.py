@@ -16,6 +16,8 @@ wall-clock on this one.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...workloads.datasets import load_dataset
 from ..runner import ExperimentReport, measurement_row, run_algorithm
 
@@ -30,6 +32,7 @@ def run(
     quick: bool = False,
     damping: float = 0.6,
     accuracy: float = 1e-3,
+    backend: Optional[str] = None,
 ) -> ExperimentReport:
     """Regenerate the three panels of Fig. 6a."""
     report = ExperimentReport(
@@ -48,7 +51,7 @@ def run(
             params: dict[str, object] = {"damping": damping}
             if algorithm != "mtx-sr":
                 params["accuracy"] = accuracy
-            result = run_algorithm(algorithm, graph, **params)
+            result = run_algorithm(algorithm, graph, backend=backend, **params)
             report.add_row(
                 measurement_row(result, panel="dblp", dataset=name, sweep_K=None)
             )
@@ -61,6 +64,7 @@ def run(
                 result = run_algorithm(
                     algorithm,
                     graph,
+                    backend=backend,
                     damping=damping,
                     iterations=iterations,
                 )

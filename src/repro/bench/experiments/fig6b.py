@@ -9,6 +9,8 @@ the sharing phase while the build cost is unchanged.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...workloads.datasets import load_dataset
 from ..runner import ExperimentReport, measurement_row, run_algorithm
 
@@ -20,6 +22,7 @@ def run(
     quick: bool = False,
     damping: float = 0.6,
     accuracy: float = 1e-3,
+    backend: Optional[str] = None,
 ) -> ExperimentReport:
     """Regenerate the per-phase split of Fig. 6b."""
     report = ExperimentReport(
@@ -31,7 +34,7 @@ def run(
         graph = load_dataset(dataset, scale=scale)
         for algorithm in ("oip-sr", "oip-dsr"):
             result = run_algorithm(
-                algorithm, graph, damping=damping, accuracy=accuracy
+                algorithm, graph, backend=backend, damping=damping, accuracy=accuracy
             )
             row = measurement_row(result, dataset=dataset)
             row["share_sums_share"] = round(

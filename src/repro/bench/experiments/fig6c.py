@@ -8,6 +8,8 @@ in-neighbour-set overlap, annotated as the "share ratio" on the figure).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...core.dmst_reduce import dmst_reduce
 from ...workloads.datasets import syn_graph
 from ..runner import ExperimentReport, measurement_row, run_algorithm
@@ -20,6 +22,7 @@ def run(
     quick: bool = False,
     damping: float = 0.6,
     accuracy: float = 1e-3,
+    backend: Optional[str] = None,
 ) -> ExperimentReport:
     """Regenerate the density sweep of Fig. 6c."""
     report = ExperimentReport(
@@ -34,7 +37,7 @@ def run(
         share_ratio = plan.share_ratio()
         for algorithm in ("psum-sr", "oip-sr", "oip-dsr"):
             result = run_algorithm(
-                algorithm, graph, damping=damping, accuracy=accuracy
+                algorithm, graph, backend=backend, damping=damping, accuracy=accuracy
             )
             report.add_row(
                 measurement_row(

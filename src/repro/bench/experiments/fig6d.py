@@ -14,6 +14,8 @@ make checkable:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...workloads.datasets import load_dataset
 from ..runner import ExperimentReport, measurement_row, run_algorithm
 
@@ -25,6 +27,7 @@ def run(
     quick: bool = False,
     damping: float = 0.6,
     accuracy: float = 1e-3,
+    backend: Optional[str] = None,
 ) -> ExperimentReport:
     """Regenerate the memory panels of Fig. 6d."""
     report = ExperimentReport(
@@ -39,7 +42,7 @@ def run(
             params: dict[str, object] = {"damping": damping}
             if algorithm != "mtx-sr":
                 params["accuracy"] = accuracy
-            result = run_algorithm(algorithm, graph, **params)
+            result = run_algorithm(algorithm, graph, backend=backend, **params)
             report.add_row(
                 measurement_row(result, panel="dblp", dataset=name, sweep_K=None)
             )
@@ -51,7 +54,8 @@ def run(
         for iterations in sweep_iterations:
             for algorithm in ("oip-dsr", "oip-sr", "psum-sr"):
                 result = run_algorithm(
-                    algorithm, graph, damping=damping, iterations=iterations
+                    algorithm, graph, backend=backend, damping=damping,
+                    iterations=iterations,
                 )
                 report.add_row(
                     measurement_row(

@@ -8,7 +8,7 @@ tables.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 
 from .runner import ExperimentReport
 

@@ -4,9 +4,10 @@ The benchmark harness (both the ``benchmarks/`` pytest-benchmark suite and
 the ``repro-simrank`` CLI) needs to run the same four algorithms the paper
 compares — OIP-DSR, OIP-SR, psum-SR, mtx-SR — plus the auxiliary solvers,
 over many graphs and parameter settings, and collect comparable measurement
-rows.  :func:`run_algorithm` is that dispatch point, and
-:class:`ExperimentReport` is the common container every experiment module
-returns.
+rows.  :func:`run_algorithm` forwards to the unified
+:func:`repro.api.simrank` dispatch entry point (so every figure can be
+reproduced on either compute backend), and :class:`ExperimentReport` is the
+common container every experiment module returns.
 """
 
 from __future__ import annotations
@@ -14,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..api import method_spec, simrank
+from ..core.backends import get_backend
 from ..baselines.matrix_sr import matrix_simrank
 from ..baselines.mtx_svd_sr import mtx_svd_simrank
 from ..baselines.naive import naive_simrank
@@ -22,7 +25,6 @@ from ..core.diff_simrank import differential_simrank
 from ..core.oip_dsr import oip_dsr
 from ..core.oip_sr import oip_sr
 from ..core.result import SimRankResult
-from ..exceptions import ConfigurationError
 from ..extensions.prank import prank, prank_shared
 from ..graph.digraph import DiGraph
 
@@ -40,29 +42,39 @@ ALGORITHMS: dict[str, Callable[..., SimRankResult]] = {
     "p-rank": prank,
     "p-rank-shared": prank_shared,
 }
-"""Registry of runnable algorithms, keyed by the names used in the paper."""
+"""Paper-name -> solver map, kept for introspection; dispatch goes via
+:func:`repro.api.simrank` (these names are all accepted aliases there)."""
 
 
-def run_algorithm(name: str, graph: DiGraph, **params) -> SimRankResult:
+def run_algorithm(
+    name: str, graph: DiGraph, backend: Optional[str] = None, **params
+) -> SimRankResult:
     """Run the named algorithm on ``graph`` and return its result.
 
     Parameters
     ----------
     name:
-        One of :data:`ALGORITHMS`.
+        One of :data:`ALGORITHMS` (the paper's names, accepted as dispatch
+        aliases by :func:`repro.api.simrank`).
     graph:
         Input graph.
+    backend:
+        Optional compute backend.  The name must exist in the backend
+        registry (typos raise); it is then forwarded only to methods that
+        can honour it — the experiments sweep many algorithms with one
+        setting, so a *valid* backend request is a preference here, not a
+        hard constraint (call :func:`repro.api.simrank` directly for strict
+        dispatch).
     **params:
         Forwarded verbatim to the underlying solver (``damping``,
         ``iterations``, ``accuracy``, ...).
     """
-    try:
-        solver = ALGORITHMS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown algorithm {name!r}; available: {', '.join(sorted(ALGORITHMS))}"
-        ) from None
-    return solver(graph, **params)
+    spec = method_spec(name)
+    if backend is not None:
+        get_backend(backend)  # unknown names must raise, not silently drop
+        if not spec.accepts_backend and backend not in spec.backends:
+            backend = None
+    return simrank(graph, method=name, backend=backend, **params)
 
 
 def measurement_row(result: SimRankResult, **extra: object) -> dict[str, object]:

@@ -11,6 +11,12 @@ Run everything quickly (small graphs, fewer sweep points)::
 
     repro-simrank all --quick
 
+Reproduce a figure on a specific compute backend, or compare the dense and
+sparse backends head to head::
+
+    repro-simrank fig6a --backend sparse
+    repro-simrank bench-backends --quick
+
 Evaluate the Section IV worked example (K' vs K at C=0.8, ε=1e-4)::
 
     repro-simrank bounds-example
@@ -19,11 +25,13 @@ Evaluate the Section IV worked example (K' vs K at C=0.8, ε=1e-4)::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from collections.abc import Sequence
 
 from .bench.experiments import (
     ablations,
+    backends,
     fig5,
     fig6a,
     fig6b,
@@ -57,6 +65,7 @@ _FIGURE_RUNNERS = {
     "ablation-candidates": ablations.run_candidate_strategy,
     "ablation-budget": ablations.run_candidate_budget,
     "ablation-sharing": ablations.run_sharing_levels,
+    "bench-backends": backends.run,
 }
 
 
@@ -91,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the damping factor C (defaults follow the paper)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("dense", "sparse"),
+        default=None,
+        help=(
+            "compute backend for matrix-form solvers (forwarded to the "
+            "unified simrank() dispatch; algorithms that cannot honour it "
+            "keep their default)"
+        ),
+    )
     return parser
 
 
@@ -99,12 +118,13 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
     kwargs: dict[str, object] = {"scale": args.scale, "quick": args.quick}
     if args.damping is not None:
         kwargs["damping"] = args.damping
-    try:
-        report = runner(**kwargs)
-    except TypeError:
-        # Some experiments (the ablations) do not take a damping override.
-        kwargs.pop("damping", None)
-        report = runner(**kwargs)
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
+    # Experiments accept different option subsets (the ablations take no
+    # damping override, several figures no backend); forward what each takes.
+    accepted = inspect.signature(runner).parameters
+    kwargs = {key: value for key, value in kwargs.items() if key in accepted}
+    report = runner(**kwargs)
     return format_report(report)
 
 

@@ -1,5 +1,12 @@
 """The paper's contribution: OIP-SR, OIP-DSR and their supporting machinery."""
 
+from .backends import (
+    SimRankBackend,
+    TransitionOperator,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .convergence import ConvergenceTrace, iterations_to_accuracy, trace_convergence
 from .diff_simrank import differential_simrank, euler_differential_simrank
 from .dmst_reduce import build_sharing_plan, dmst_reduce
@@ -42,6 +49,11 @@ from .transition_cost import (
 )
 
 __all__ = [
+    "SimRankBackend",
+    "TransitionOperator",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "ConvergenceTrace",
     "iterations_to_accuracy",
     "trace_convergence",

@@ -1,0 +1,34 @@
+"""Compute backends for matrix-form SimRank (dense BLAS vs sparse CSR).
+
+Every matrix-form code path in the package — :func:`repro.simrank` with
+``method="matrix"``, :func:`repro.baselines.matrix_sr.matrix_simrank`, the
+batched top-k query path and the benchmark harness — dispatches through this
+package.  ``dense`` materialises the transition operator as an ``n × n``
+array and iterates with BLAS; ``sparse`` keeps it in CSR form for
+``O(m · n)`` iterations and edge-list-direct construction.  New backends
+(GPU, sharded, ...) plug in via :func:`register_backend`.
+"""
+
+from .base import (
+    BACKENDS,
+    DIAGONAL_MODES,
+    SimRankBackend,
+    TransitionOperator,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .dense import DenseBackend
+from .sparse import SparseBackend
+
+__all__ = [
+    "BACKENDS",
+    "DIAGONAL_MODES",
+    "SimRankBackend",
+    "TransitionOperator",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "DenseBackend",
+    "SparseBackend",
+]

@@ -11,6 +11,11 @@ This is the paper's first contribution: conventional SimRank iterations
 
 which lowers the per-iteration cost from ``O(d n²)`` (psum-SR) to
 ``O(d' n²)`` with ``d'`` governed by the in-neighbour-set overlap.
+
+Reachable through the unified dispatch entry point as
+``repro.simrank(graph, method="oip-sr", ...)``; the per-vertex sharing
+arithmetic is backend-agnostic, so the dispatch layer treats it as a
+``dense``-only method.
 """
 
 from __future__ import annotations

@@ -14,6 +14,7 @@ from .builders import (
     to_networkx,
 )
 from .digraph import DiGraph, GraphBuilder
+from .edgelist import EdgeListGraph
 from .io import (
     read_edge_list,
     read_labeled_json,
@@ -21,8 +22,12 @@ from .io import (
     write_labeled_json,
 )
 from .matrices import (
+    adjacency_from_edges,
     adjacency_matrix,
+    backward_transition_from_edges,
     backward_transition_matrix,
+    edge_arrays,
+    forward_transition_from_edges,
     forward_transition_matrix,
     in_degree_vector,
     out_degree_vector,
@@ -37,6 +42,7 @@ from .properties import (
 
 __all__ = [
     "DiGraph",
+    "EdgeListGraph",
     "GraphBuilder",
     "from_edges",
     "from_edge_list",
@@ -53,8 +59,12 @@ __all__ = [
     "write_edge_list",
     "read_labeled_json",
     "write_labeled_json",
+    "adjacency_from_edges",
     "adjacency_matrix",
+    "backward_transition_from_edges",
     "backward_transition_matrix",
+    "edge_arrays",
+    "forward_transition_from_edges",
     "forward_transition_matrix",
     "in_degree_vector",
     "out_degree_vector",

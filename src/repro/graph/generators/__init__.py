@@ -20,7 +20,7 @@ from .coauthorship import (
 )
 from .powerlaw import power_law_out_degrees, preferential_attachment
 from .random_graphs import gnp_random, uniform_random
-from .rmat import rmat
+from .rmat import rmat, rmat_edge_list
 from .webgraph import berkstan_like, web_graph
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "gnp_random",
     "uniform_random",
     "rmat",
+    "rmat_edge_list",
     "berkstan_like",
     "web_graph",
 ]

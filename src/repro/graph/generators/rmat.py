@@ -14,8 +14,41 @@ import numpy as np
 
 from ...exceptions import ConfigurationError
 from ..digraph import DiGraph
+from ..edgelist import EdgeListGraph
 
-__all__ = ["rmat"]
+__all__ = ["rmat", "rmat_edge_list"]
+
+
+def _validate_parameters(scale: int, num_edges: int, probabilities: np.ndarray) -> None:
+    if scale < 0:
+        raise ConfigurationError("scale must be non-negative")
+    if np.any(probabilities < 0) or abs(probabilities.sum() - 1.0) > 1e-9:
+        raise ConfigurationError("(a, b, c, d) must be non-negative and sum to 1")
+    if num_edges < 0:
+        raise ConfigurationError("num_edges must be non-negative")
+
+
+def _sample_edge_batch(
+    rng: np.random.Generator,
+    batch: int,
+    scale: int,
+    probabilities: np.ndarray,
+    noise: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample one batch of R-MAT edges; each edge needs `scale` quadrant draws."""
+    rows = np.zeros(batch, dtype=np.int64)
+    cols = np.zeros(batch, dtype=np.int64)
+    for level in range(scale):
+        jitter = 1.0 + noise * (rng.random((batch, 4)) - 0.5)
+        level_probabilities = probabilities[None, :] * jitter
+        level_probabilities /= level_probabilities.sum(axis=1, keepdims=True)
+        cumulative = np.cumsum(level_probabilities, axis=1)
+        draws = rng.random(batch)[:, None]
+        quadrant = (draws >= cumulative).sum(axis=1)
+        half = 1 << (scale - level - 1)
+        rows += np.where(quadrant >= 2, half, 0)
+        cols += np.where(quadrant % 2 == 1, half, 0)
+    return rows, cols
 
 
 def rmat(
@@ -52,13 +85,8 @@ def rmat(
     allow_self_loops:
         Whether self-loops are kept.
     """
-    if scale < 0:
-        raise ConfigurationError("scale must be non-negative")
     probabilities = np.array([a, b, c, d], dtype=np.float64)
-    if np.any(probabilities < 0) or abs(probabilities.sum() - 1.0) > 1e-9:
-        raise ConfigurationError("(a, b, c, d) must be non-negative and sum to 1")
-    if num_edges < 0:
-        raise ConfigurationError("num_edges must be non-negative")
+    _validate_parameters(scale, num_edges, probabilities)
 
     num_vertices = 1 << scale
     rng = np.random.default_rng(seed)
@@ -70,18 +98,7 @@ def rmat(
     while len(edges) < num_edges and attempts < max_attempts:
         attempts += 1
         batch = max(num_edges - len(edges), 1)
-        rows = np.zeros(batch, dtype=np.int64)
-        cols = np.zeros(batch, dtype=np.int64)
-        for level in range(scale):
-            jitter = 1.0 + noise * (rng.random((batch, 4)) - 0.5)
-            level_probabilities = probabilities[None, :] * jitter
-            level_probabilities /= level_probabilities.sum(axis=1, keepdims=True)
-            cumulative = np.cumsum(level_probabilities, axis=1)
-            draws = rng.random(batch)[:, None]
-            quadrant = (draws >= cumulative).sum(axis=1)
-            half = 1 << (scale - level - 1)
-            rows += np.where(quadrant >= 2, half, 0)
-            cols += np.where(quadrant % 2 == 1, half, 0)
+        rows, cols = _sample_edge_batch(rng, batch, scale, probabilities, noise)
         for source, target in zip(rows, cols):
             source = int(source)
             target = int(target)
@@ -94,5 +111,50 @@ def rmat(
     return DiGraph(
         num_vertices,
         edges,
+        name=name or f"rmat-s{scale}-m{num_edges}",
+    )
+
+
+def rmat_edge_list(
+    scale: int,
+    num_edges: int,
+    a: float = 0.45,
+    b: float = 0.15,
+    c: float = 0.15,
+    d: float = 0.25,
+    seed: int = 0,
+    noise: float = 0.05,
+    allow_self_loops: bool = False,
+    name: str = "",
+) -> EdgeListGraph:
+    """Generate an R-MAT :class:`~repro.graph.edgelist.EdgeListGraph`.
+
+    This is the vectorised fast path for matrix-only pipelines: edges are
+    sampled in one NumPy batch and de-duplicated with ``np.unique`` — no
+    Python per-edge loop and no sorted adjacency lists, so it scales to
+    millions of edges.  Unlike :func:`rmat` it does not resample to top up
+    collisions, so the graph may have slightly fewer than ``num_edges``
+    distinct edges (the same caveat GTGraph documents).
+    """
+    probabilities = np.array([a, b, c, d], dtype=np.float64)
+    _validate_parameters(scale, num_edges, probabilities)
+
+    num_vertices = 1 << scale
+    rng = np.random.default_rng(seed)
+    rows, cols = _sample_edge_batch(rng, max(num_edges, 1), scale, probabilities, noise)
+    if num_edges == 0:
+        rows = rows[:0]
+        cols = cols[:0]
+    if not allow_self_loops:
+        keep = rows != cols
+        rows = rows[keep]
+        cols = cols[keep]
+    encoded = rows * num_vertices + cols
+    encoded = np.unique(encoded)
+    rows, cols = np.divmod(encoded, num_vertices)
+    return EdgeListGraph.from_arrays(
+        num_vertices,
+        rows,
+        cols,
         name=name or f"rmat-s{scale}-m{num_edges}",
     )

@@ -1,10 +1,24 @@
-"""Sparse-matrix views of a :class:`~repro.graph.digraph.DiGraph`.
+"""Sparse-matrix views of a graph (:class:`DiGraph` or :class:`EdgeListGraph`).
 
 The matrix form of SimRank (Eq. 3 of the paper) is written in terms of the
 *backward transition matrix* ``Q`` with ``Q[i, j] = 1 / |I(i)|`` whenever the
 edge ``j -> i`` exists.  These helpers build ``Q``, the plain adjacency
 matrix and a couple of related normalisations as ``scipy.sparse`` CSR
-matrices so the matrix-form solvers and the SVD baseline can share them.
+matrices so the matrix-form solvers, the SVD baseline and the compute
+backends in :mod:`repro.core.backends` can share them.
+
+Two construction paths are provided:
+
+* graph-based (``adjacency_matrix``, ``backward_transition_matrix``, ...)
+  taking a :class:`DiGraph` (or any object exposing ``edge_arrays``), and
+* edge-list-based (``adjacency_from_edges``, ``backward_transition_from_edges``,
+  ...) building the CSR matrix directly from raw ``(sources, targets)``
+  arrays with vectorised NumPy/SciPy operations — no sorted Python adjacency
+  lists are ever materialised, which is the fast path the sparse backend uses
+  for matrix-only pipelines.
+
+Parallel edges are collapsed in every builder, matching the
+:class:`~repro.graph.digraph.DiGraph` convention.
 """
 
 from __future__ import annotations
@@ -12,27 +26,121 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from ..exceptions import GraphBuildError
 from .digraph import DiGraph
 
 __all__ = [
     "adjacency_matrix",
+    "adjacency_from_edges",
     "backward_transition_matrix",
+    "backward_transition_from_edges",
+    "edge_arrays",
     "forward_transition_matrix",
+    "forward_transition_from_edges",
     "in_degree_vector",
     "out_degree_vector",
+    "validate_edge_arrays",
 ]
 
 
-def adjacency_matrix(graph: DiGraph, dtype: type = np.float64) -> sparse.csr_matrix:
-    """Return the adjacency matrix ``A`` with ``A[i, j] = 1`` iff ``i -> j``."""
+def edge_arrays(graph) -> tuple[np.ndarray, np.ndarray]:
+    """Return the graph's edges as parallel ``(sources, targets)`` arrays.
+
+    :class:`~repro.graph.edgelist.EdgeListGraph` stores the arrays directly;
+    for a :class:`DiGraph` they are assembled from the out-adjacency tuples
+    in one vectorised pass.
+    """
+    own = getattr(graph, "edge_arrays", None)
+    if callable(own):
+        return own()
+    out_adj = graph.out_neighbor_sets()
     n = graph.num_vertices
-    rows: list[int] = []
-    cols: list[int] = []
-    for source, target in graph.edges():
-        rows.append(source)
-        cols.append(target)
-    data = np.ones(len(rows), dtype=dtype)
-    return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+    counts = np.fromiter(
+        (len(neighbors) for neighbors in out_adj), dtype=np.int64, count=n
+    )
+    total = int(counts.sum())
+    targets = np.fromiter(
+        (target for neighbors in out_adj for target in neighbors),
+        dtype=np.int64,
+        count=total,
+    )
+    sources = np.repeat(np.arange(n, dtype=np.int64), counts)
+    return sources, targets
+
+
+def validate_edge_arrays(
+    n: int, sources, targets
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce ``sources``/``targets`` to ``int64`` arrays and bounds-check them.
+
+    The single validation point shared by the CSR builders and
+    :class:`~repro.graph.edgelist.EdgeListGraph`.
+    """
+    sources = np.asarray(sources, dtype=np.int64).ravel()
+    targets = np.asarray(targets, dtype=np.int64).ravel()
+    if sources.shape != targets.shape:
+        raise GraphBuildError(
+            f"sources and targets differ in length: {sources.size} vs {targets.size}"
+        )
+    if sources.size:
+        low = min(int(sources.min()), int(targets.min()))
+        high = max(int(sources.max()), int(targets.max()))
+        if low < 0 or high >= n:
+            raise GraphBuildError(
+                f"edge endpoint out of range for n={n}: saw ids in [{low}, {high}]"
+            )
+    return sources, targets
+
+
+def adjacency_from_edges(
+    n: int, sources, targets, dtype: type = np.float64
+) -> sparse.csr_matrix:
+    """Build ``A`` with ``A[i, j] = 1`` iff ``i -> j`` directly from edge arrays.
+
+    Duplicate ``(source, target)`` pairs are collapsed to a single unit entry.
+    """
+    sources, targets = validate_edge_arrays(n, sources, targets)
+    data = np.ones(sources.size, dtype=dtype)
+    matrix = sparse.csr_matrix((data, (sources, targets)), shape=(n, n))
+    # COO -> CSR summed duplicates; reset them to unit weight.
+    matrix.data[:] = 1
+    return matrix
+
+
+def backward_transition_from_edges(
+    n: int, sources, targets, dtype: type = np.float64
+) -> sparse.csr_matrix:
+    """Build ``Q`` with ``Q[i, j] = 1 / |I(i)|`` directly from edge arrays.
+
+    Rows of vertices with no in-neighbours are all zero, matching the paper's
+    convention that such vertices have similarity 0 with everything but
+    themselves.  Every non-zero row sums to exactly 1.
+    """
+    adjacency = adjacency_from_edges(n, sources, targets, dtype=dtype)
+    transition = adjacency.T.tocsr()
+    return _normalize_rows(transition)
+
+
+def forward_transition_from_edges(
+    n: int, sources, targets, dtype: type = np.float64
+) -> sparse.csr_matrix:
+    """Build ``P`` with ``P[i, j] = 1 / |O(i)|`` directly from edge arrays."""
+    adjacency = adjacency_from_edges(n, sources, targets, dtype=dtype)
+    return _normalize_rows(adjacency)
+
+
+def _normalize_rows(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Divide every non-empty CSR row by its entry count, in place."""
+    row_counts = np.diff(matrix.indptr)
+    if matrix.nnz:
+        matrix.data /= np.repeat(row_counts, row_counts)
+    return matrix
+
+
+def adjacency_matrix(graph, dtype: type = np.float64) -> sparse.csr_matrix:
+    """Return the adjacency matrix ``A`` with ``A[i, j] = 1`` iff ``i -> j``."""
+    sources, targets = edge_arrays(graph)
+    return adjacency_from_edges(graph.num_vertices, sources, targets, dtype=dtype)
 
 
 def in_degree_vector(graph: DiGraph) -> np.ndarray:
@@ -49,54 +157,26 @@ def out_degree_vector(graph: DiGraph) -> np.ndarray:
     )
 
 
-def backward_transition_matrix(
-    graph: DiGraph, dtype: type = np.float64
-) -> sparse.csr_matrix:
+def backward_transition_matrix(graph, dtype: type = np.float64) -> sparse.csr_matrix:
     """Return ``Q`` with ``Q[i, j] = 1 / |I(i)|`` for every edge ``j -> i``.
 
     Rows of vertices with no in-neighbours are all zero, matching the paper's
     convention that such vertices have similarity 0 with everything but
     themselves.  Every non-zero row sums to exactly 1.
     """
-    n = graph.num_vertices
-    rows: list[int] = []
-    cols: list[int] = []
-    data: list[float] = []
-    for vertex in graph.vertices():
-        in_neighbors = graph.in_neighbors(vertex)
-        if not in_neighbors:
-            continue
-        weight = 1.0 / len(in_neighbors)
-        for neighbor in in_neighbors:
-            rows.append(vertex)
-            cols.append(neighbor)
-            data.append(weight)
-    return sparse.csr_matrix(
-        (np.asarray(data, dtype=dtype), (rows, cols)), shape=(n, n)
+    sources, targets = edge_arrays(graph)
+    return backward_transition_from_edges(
+        graph.num_vertices, sources, targets, dtype=dtype
     )
 
 
-def forward_transition_matrix(
-    graph: DiGraph, dtype: type = np.float64
-) -> sparse.csr_matrix:
+def forward_transition_matrix(graph, dtype: type = np.float64) -> sparse.csr_matrix:
     """Return ``P`` with ``P[i, j] = 1 / |O(i)|`` for every edge ``i -> j``.
 
     This is the out-link analogue of :func:`backward_transition_matrix`; it is
     used by the P-Rank extension, which mixes in- and out-link recursions.
     """
-    n = graph.num_vertices
-    rows: list[int] = []
-    cols: list[int] = []
-    data: list[float] = []
-    for vertex in graph.vertices():
-        out_neighbors = graph.out_neighbors(vertex)
-        if not out_neighbors:
-            continue
-        weight = 1.0 / len(out_neighbors)
-        for neighbor in out_neighbors:
-            rows.append(vertex)
-            cols.append(neighbor)
-            data.append(weight)
-    return sparse.csr_matrix(
-        (np.asarray(data, dtype=dtype), (rows, cols)), shape=(n, n)
+    sources, targets = edge_arrays(graph)
+    return forward_transition_from_edges(
+        graph.num_vertices, sources, targets, dtype=dtype
     )

@@ -12,7 +12,7 @@ statistics reported in Fig. 5.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -8,7 +8,6 @@ import pytest
 from repro.baselines.matrix_sr import matrix_simrank
 from repro.baselines.naive import naive_simrank
 from repro.exceptions import ConfigurationError
-from repro.graph.builders import from_edges
 
 
 class TestDiagonalConventions:

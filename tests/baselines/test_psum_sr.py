@@ -3,12 +3,11 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.baselines.naive import naive_simrank
 from repro.baselines.psum_sr import essential_pair_mask, psum_simrank
 from repro.core.oip_sr import oip_sr
-from repro.graph.builders import from_edges, path_graph
+from repro.graph.builders import path_graph
 
 
 class TestCorrectness:

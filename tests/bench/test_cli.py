@@ -28,6 +28,16 @@ class TestParser:
         assert args.quick
         assert args.damping == 0.8
 
+    def test_backend_option(self):
+        args = build_parser().parse_args(["fig6a", "--backend", "sparse"])
+        assert args.backend == "sparse"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6a", "--backend", "gpu"])
+
+    def test_bench_backends_registered(self):
+        args = build_parser().parse_args(["bench-backends", "--quick"])
+        assert args.experiment == "bench-backends"
+
 
 class TestMain:
     def test_bounds_example_output(self, capsys):

@@ -10,6 +10,7 @@ import pytest
 
 from repro.bench.experiments import (
     ablations,
+    backends,
     fig5,
     fig6a,
     fig6b,
@@ -152,3 +153,33 @@ class TestAblations:
         report = ablations.run_sharing_levels(scale=0.2, quick=True)
         totals = [row["total_additions"] for row in report.rows]
         assert totals == sorted(totals, reverse=True)
+
+
+class TestBackendsExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # quick + scale 0.25 shrinks the r-mat to 128 vertices.
+        return backends.run(scale=0.25, quick=True)
+
+    def test_both_backends_measured(self, report):
+        measured = {
+            row["backend"] for row in report.rows if row["algorithm"] == "matrix-sr"
+        }
+        assert measured == {"dense", "sparse"}
+
+    def test_backends_agree(self, report):
+        agreement_note = next(
+            note for note in report.notes if note.startswith("max |dense - sparse|")
+        )
+        difference = float(agreement_note.split("=")[1].split("(")[0].strip())
+        assert difference < 1e-10
+
+    def test_topk_row_present(self, report):
+        assert any(row["algorithm"] == "topk-batched" for row in report.rows)
+
+    def test_single_backend_restriction(self):
+        report = backends.run(scale=0.25, quick=True, backend="sparse")
+        measured = {
+            row["backend"] for row in report.rows if row["algorithm"] == "matrix-sr"
+        }
+        assert measured == {"sparse"}

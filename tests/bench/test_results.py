@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.results import format_report, format_table, speedup
 from repro.bench.runner import ExperimentReport

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.dmst_reduce import build_sharing_plan, dmst_reduce
 from repro.core.instrumentation import Instrumentation

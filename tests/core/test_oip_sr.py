@@ -11,7 +11,7 @@ from repro.core.dmst_reduce import dmst_reduce
 from repro.core.iteration_bounds import conventional_iterations
 from repro.core.oip_sr import oip_sr
 from repro.exceptions import ConfigurationError
-from repro.graph.builders import empty_graph, from_edges
+from repro.graph.builders import empty_graph
 
 
 class TestCorrectness:

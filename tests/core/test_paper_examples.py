@@ -8,7 +8,6 @@ Fig. 4, and the iteration counts of the Section IV example and Fig. 6f.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.baselines.naive import naive_simrank
@@ -153,7 +152,7 @@ class TestFig4OuterPartialSums:
             "d": (0.23, 0.0, 0.08),
         }
         for source_label, expected in expectations.items():
-            in_set = [graph.index_of(l) for l in sorted(
+            in_set = [graph.index_of(label) for label in sorted(
                 {graph.label_of(v) for v in graph.in_neighbors(graph.index_of(source_label))}
             )]
             partial = partial_sum_vector(second_iterate, in_set)
@@ -174,8 +173,8 @@ class TestFig4OuterPartialSums:
             "b": (1.15, 1.23, 0.09, 0.06),
             "d": (0.23, 0.31, 0.02, 0.02),
         }
-        in_a = [graph.index_of(l) for l in ("b", "g")]
-        in_c = [graph.index_of(l) for l in ("b", "d", "g")]
+        in_a = [graph.index_of(label) for label in ("b", "g")]
+        in_c = [graph.index_of(label) for label in ("b", "d", "g")]
         damping = 0.6
         for source_label, expected in expectations.items():
             outer_a_expected, outer_c_expected, sim_a, sim_c = expected

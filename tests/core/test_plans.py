@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.dmst_reduce import dmst_reduce
 from repro.core.neighbor_index import InNeighborIndex
-from repro.core.plans import ROOT, PlanNode, SharingPlan
+from repro.core.plans import ROOT, SharingPlan
 
 
 class TestStructure:

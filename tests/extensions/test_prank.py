@@ -8,7 +8,6 @@ import pytest
 from repro.baselines.naive import naive_simrank
 from repro.exceptions import ConfigurationError
 from repro.extensions.prank import prank, prank_shared
-from repro.graph.builders import from_edges
 
 
 class TestPrankModel:

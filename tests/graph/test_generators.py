@@ -16,6 +16,7 @@ from repro.graph.generators import (
     power_law_out_degrees,
     preferential_attachment,
     rmat,
+    rmat_edge_list,
     uniform_random,
     web_graph,
 )
@@ -81,6 +82,35 @@ class TestRmat:
         # R-MAT concentrates edges on a few hub vertices: the maximum
         # in-degree is a multiple of the mean, unlike a uniform random graph.
         assert in_degrees[0] > 2.5 * (graph.num_edges / graph.num_vertices)
+
+
+class TestRmatEdgeList:
+    def test_vertex_count_and_bounds(self):
+        edge_list = rmat_edge_list(scale=6, num_edges=300, seed=1)
+        assert edge_list.num_vertices == 64
+        sources, targets = edge_list.edge_arrays()
+        assert sources.size == targets.size == edge_list.num_edges
+        if sources.size:
+            assert 0 <= sources.min() and sources.max() < 64
+            assert 0 <= targets.min() and targets.max() < 64
+
+    def test_determinism_and_distinct_edges(self):
+        first = rmat_edge_list(5, 100, seed=3)
+        second = rmat_edge_list(5, 100, seed=3)
+        assert np.array_equal(first.edge_arrays()[0], second.edge_arrays()[0])
+        assert np.array_equal(first.edge_arrays()[1], second.edge_arrays()[1])
+        sources, targets = first.edge_arrays()
+        encoded = sources * first.num_vertices + targets
+        assert np.unique(encoded).size == encoded.size
+        assert not np.any(sources == targets)  # self-loops dropped by default
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rmat_edge_list(4, 10, a=0.9, b=0.2, c=0.2, d=0.2)
+
+    def test_zero_edges(self):
+        edge_list = rmat_edge_list(4, 0, seed=0)
+        assert edge_list.num_edges == 0
 
 
 class TestPowerLaw:

@@ -5,10 +5,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.exceptions import GraphBuildError
 from repro.graph.builders import from_edges, star_graph
+from repro.graph.edgelist import EdgeListGraph
 from repro.graph.matrices import (
+    adjacency_from_edges,
     adjacency_matrix,
+    backward_transition_from_edges,
     backward_transition_matrix,
+    edge_arrays,
+    forward_transition_from_edges,
     forward_transition_matrix,
     in_degree_vector,
     out_degree_vector,
@@ -74,3 +80,79 @@ class TestForwardTransition:
             small_web_graph.reverse()
         ).toarray()
         assert np.allclose(forward, backward_of_reverse)
+
+
+class TestFromEdges:
+    """The vectorised edge-array builders must match the graph-based ones."""
+
+    def test_matches_graph_builders(self, small_web_graph):
+        sources, targets = edge_arrays(small_web_graph)
+        n = small_web_graph.num_vertices
+        assert np.array_equal(
+            adjacency_from_edges(n, sources, targets).toarray(),
+            adjacency_matrix(small_web_graph).toarray(),
+        )
+        assert np.array_equal(
+            backward_transition_from_edges(n, sources, targets).toarray(),
+            backward_transition_matrix(small_web_graph).toarray(),
+        )
+        assert np.array_equal(
+            forward_transition_from_edges(n, sources, targets).toarray(),
+            forward_transition_matrix(small_web_graph).toarray(),
+        )
+
+    def test_duplicate_edges_collapse(self):
+        sources = [0, 0, 0, 1]
+        targets = [2, 2, 2, 2]
+        adjacency = adjacency_from_edges(3, sources, targets).toarray()
+        assert adjacency[0, 2] == 1.0
+        transition = backward_transition_from_edges(3, sources, targets).toarray()
+        # Vertex 2 has two *distinct* in-neighbours despite four edge samples.
+        assert transition[2, 0] == pytest.approx(0.5)
+        assert transition[2, 1] == pytest.approx(0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphBuildError):
+            adjacency_from_edges(2, [0], [5])
+        with pytest.raises(GraphBuildError):
+            backward_transition_from_edges(2, [-1], [0])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(GraphBuildError):
+            adjacency_from_edges(3, [0, 1], [2])
+
+    def test_empty_graph(self):
+        matrix = backward_transition_from_edges(0, [], [])
+        assert matrix.shape == (0, 0)
+
+
+class TestEdgeListGraph:
+    def test_matrices_match_digraph(self, small_web_graph):
+        sources, targets = edge_arrays(small_web_graph)
+        edge_list = EdgeListGraph.from_arrays(
+            small_web_graph.num_vertices, sources, targets
+        )
+        assert np.array_equal(
+            backward_transition_matrix(edge_list).toarray(),
+            backward_transition_matrix(small_web_graph).toarray(),
+        )
+
+    def test_from_pairs_and_round_trip(self):
+        edge_list = EdgeListGraph(4, [(0, 2), (1, 2), (2, 3)])
+        assert edge_list.num_vertices == 4
+        assert edge_list.num_edges == 3
+        assert sorted(edge_list.edges()) == [(0, 2), (1, 2), (2, 3)]
+        graph = edge_list.to_digraph()
+        assert graph.num_vertices == 4
+        assert graph.in_degree(2) == 2
+
+    def test_labels_are_ids(self):
+        edge_list = EdgeListGraph(3, [(0, 1)])
+        assert edge_list.index_of(2) == 2
+        assert edge_list.label_of(1) == 1
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(GraphBuildError):
+            EdgeListGraph(2, [(0, 7)])
+        with pytest.raises(GraphBuildError):
+            EdgeListGraph(-1)
