@@ -16,6 +16,11 @@ which selects both the algorithm and the compute backend
 (:mod:`repro.core.backends`) by name; :func:`simrank_top_k` answers batched
 top-k queries without materialising the all-pairs matrix.
 
+On top of the solvers sits an online serving layer (:mod:`repro.service`):
+:func:`build_index` precomputes a truncated all-pairs index offline and
+:class:`SimilarityService` answers top-k query streams through a tiered
+index → cache → micro-batched-compute path with incremental edge updates.
+
 Quickstart
 ----------
 >>> from repro import generators, oip_sr, oip_dsr, simrank
@@ -24,6 +29,13 @@ Quickstart
 >>> fast = oip_dsr(graph, damping=0.6, accuracy=1e-3)
 >>> matrix = simrank(graph, method="matrix", backend="sparse", accuracy=1e-3)
 >>> conventional.top_k(0, k=5)  # doctest: +SKIP
+
+Serving
+-------
+>>> from repro import SimilarityService, build_index
+>>> index = build_index(graph, index_k=20, accuracy=1e-3)
+>>> service = SimilarityService(graph, index, accuracy=1e-3)
+>>> service.top_k(0, k=5)  # doctest: +SKIP
 """
 
 from ._version import __version__
@@ -71,55 +83,57 @@ from .graph import (
     from_in_neighbor_sets,
 )
 from .graph import generators
-from .workloads import load_dataset, syn_graph
+from .service import SimilarityService, build_index, load_index, save_index
+from .workloads import load_dataset, syn_graph, zipf_query_stream
 
-__all__ = [
-    "__version__",
-    # unified dispatch API
-    "simrank",
-    "simrank_top_k",
-    "available_methods",
-    "available_backends",
-    "SimRankBackend",
-    # graph substrate
-    "DiGraph",
-    "EdgeListGraph",
-    "GraphBuilder",
-    "from_edges",
-    "from_in_neighbor_sets",
-    "generators",
-    # the paper's contribution
-    "oip_sr",
-    "oip_dsr",
-    "dmst_reduce",
-    "SharingPlan",
-    "SimilarityStore",
-    "SimRankResult",
-    "differential_simrank",
-    "conventional_iterations",
-    "differential_iterations_exact",
-    "differential_iterations_lambert",
-    "differential_iterations_log",
-    # baselines and extensions
-    "naive_simrank",
-    "psum_simrank",
-    "matrix_simrank",
-    "mtx_svd_simrank",
-    "monte_carlo_simrank",
-    "single_pair_simrank",
-    "single_source_simrank",
-    "top_k_from_result",
-    "top_k_single_source",
-    "prank",
-    "prank_shared",
-    # workloads
-    "load_dataset",
-    "syn_graph",
-    # exceptions
-    "ReproError",
-    "GraphError",
-    "GraphBuildError",
-    "VertexNotFoundError",
-    "ConfigurationError",
-    "ConvergenceError",
-]
+__all__ = sorted(
+    [
+        "ConfigurationError",
+        "ConvergenceError",
+        "DiGraph",
+        "EdgeListGraph",
+        "GraphBuildError",
+        "GraphBuilder",
+        "GraphError",
+        "ReproError",
+        "SharingPlan",
+        "SimRankBackend",
+        "SimRankResult",
+        "SimilarityService",
+        "SimilarityStore",
+        "VertexNotFoundError",
+        "__version__",
+        "available_backends",
+        "available_methods",
+        "build_index",
+        "conventional_iterations",
+        "differential_iterations_exact",
+        "differential_iterations_lambert",
+        "differential_iterations_log",
+        "differential_simrank",
+        "dmst_reduce",
+        "from_edges",
+        "from_in_neighbor_sets",
+        "generators",
+        "load_dataset",
+        "load_index",
+        "matrix_simrank",
+        "monte_carlo_simrank",
+        "mtx_svd_simrank",
+        "naive_simrank",
+        "oip_dsr",
+        "oip_sr",
+        "prank",
+        "prank_shared",
+        "psum_simrank",
+        "save_index",
+        "simrank",
+        "simrank_top_k",
+        "single_pair_simrank",
+        "single_source_simrank",
+        "syn_graph",
+        "top_k_from_result",
+        "top_k_single_source",
+        "zipf_query_stream",
+    ]
+)

@@ -199,7 +199,7 @@ def simrank_top_k(
     damping: float = 0.6,
     iterations: Optional[int] = None,
     accuracy: float = 1e-3,
-    backend: Union[str, SimRankBackend] = "sparse",
+    backend: Union[str, SimRankBackend, None] = None,
     include_self: bool = False,
     instrumentation: Optional[Instrumentation] = None,
 ) -> list[RankedList]:
@@ -225,7 +225,8 @@ def simrank_top_k(
         As for :func:`simrank`; ``iterations`` defaults to the conventional
         bound for ``accuracy``.
     backend:
-        Compute backend used for the series evaluation.
+        Compute backend used for the series evaluation; ``None`` picks the
+        matrix method's default (the same convention as :func:`simrank`).
     include_self:
         Whether the query vertex itself may appear in its ranking.
     instrumentation:
@@ -240,6 +241,8 @@ def simrank_top_k(
     ):
         queries = [queries]
 
+    if backend is None:
+        backend = METHODS["matrix"].default_backend
     engine = get_backend(backend)
     indices = np.array([graph.index_of(query) for query in queries], dtype=np.int64)
     transition = engine.transition(graph)

@@ -19,6 +19,7 @@ from . import (
     fig6f,
     fig6g,
     fig6h,
+    serving,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "fig6f",
     "fig6g",
     "fig6h",
+    "serving",
 ]

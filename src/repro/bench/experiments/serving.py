@@ -1,0 +1,215 @@
+"""Serving benchmark — QPS and latency percentiles for the tiered query path.
+
+Not a paper figure: this experiment guards the online serving subsystem
+(:mod:`repro.service`).  It replays a Zipf-skewed top-k query stream (hot
+queries repeat, like real similarity traffic) against three service
+configurations over the same r-mat graph:
+
+* **cold** — no index, no cache: every query pays the on-demand truncated
+  series evaluation (micro-batched per call, but nothing is reused);
+* **indexed** — precomputed index, cache disabled: every query is one CSR
+  row lookup;
+* **cached** — index plus LRU cache: hot repeats short-circuit even the
+  row lookup.
+
+For each tier it reports QPS and p50/p95/p99 latency (from the service's
+own per-tier samples, summarised by
+:func:`repro.bench.results.latency_summary`), checks a query sample against
+full-matrix rankings (tiering must never change an answer), and finishes
+with the incremental-update path: a batch of edge inserts followed by
+:meth:`~repro.service.service.SimilarityService.refresh` must serve the
+same rankings as a from-scratch index rebuild.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ...api import simrank
+from ...baselines.topk import top_k_from_result
+from ...graph.generators.rmat import rmat_edge_list
+from ...service import SimilarityService, build_index
+from ...workloads import zipf_query_stream
+from ..results import latency_summary
+from ..runner import ExperimentReport
+
+__all__ = ["run"]
+
+
+def _tier_row(
+    name: str, tier: str, service: SimilarityService, graph, k: int
+) -> dict[str, object]:
+    """Summarise one tier's latency samples into a benchmark row."""
+    samples = service.stats.samples(tier)
+    summary = latency_summary(samples)
+    return {
+        "tier": name,
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "k": k,
+        "queries": summary["count"],
+        "qps": round(1.0 / summary["mean"], 1) if summary["mean"] > 0 else float("inf"),
+        "mean_ms": round(summary["mean"] * 1e3, 4),
+        "p50_ms": round(summary["p50"] * 1e3, 4),
+        "p95_ms": round(summary["p95"] * 1e3, 4),
+        "p99_ms": round(summary["p99"] * 1e3, 4),
+    }
+
+
+def run(
+    scale: float = 1.0,
+    quick: bool = False,
+    damping: float = 0.6,
+    backend: Optional[str] = None,
+) -> ExperimentReport:
+    """Benchmark the serving tiers on an r-mat graph with Zipf traffic."""
+    report = ExperimentReport(
+        experiment="serving",
+        title="Online serving: cold vs indexed vs cached tiers (r-mat, Zipf stream)",
+    )
+    log_vertices = 8 if quick else 11
+    if scale != 1.0:
+        log_vertices = max(6, log_vertices + int(round(np.log2(max(scale, 1e-9)))))
+    num_vertices = 1 << log_vertices
+    num_edges = 3 * num_vertices
+    # The series length every path shares; 25 keeps the truncation tail far
+    # below ranking resolution (same choice as the backend face-off).
+    iterations = 25
+    k = 10
+    index_k = 50
+    stream_length = 400 if quick else 4000
+    cold_queries = 50 if quick else 200
+
+    graph = rmat_edge_list(log_vertices, num_edges, seed=7)
+    stream = zipf_query_stream(graph, stream_length, exponent=1.0, seed=11)
+
+    started = time.perf_counter()
+    index = build_index(
+        graph, index_k=index_k, damping=damping,
+        iterations=iterations, backend=backend,
+    )
+    build_seconds = time.perf_counter() - started
+    report.add_row(
+        {
+            "tier": "index-build",
+            "n": num_vertices,
+            "m": graph.num_edges,
+            "k": index_k,
+            "queries": num_vertices,
+            "qps": round(num_vertices / build_seconds, 1),
+            "mean_ms": round(build_seconds / num_vertices * 1e3, 4),
+            "p50_ms": "",
+            "p95_ms": "",
+            "p99_ms": "",
+        }
+    )
+    report.add_note(
+        f"offline index build: {num_vertices} rows x top-{index_k} in "
+        f"{build_seconds:.2f}s ({index.num_stored_scores} stored scores, "
+        f"{index.memory_bytes() / 1e6:.1f} MB)"
+    )
+
+    # Cold tier: no index, no cache — every query is an on-demand series
+    # evaluation (issued one at a time: the worst case the index amortises).
+    cold = SimilarityService(
+        graph, None, k=k, damping=damping, iterations=iterations,
+        backend=backend, cache_size=0, auto_warm=False,
+    )
+    for query in stream[:cold_queries]:
+        cold.top_k(query)
+    report.add_row(_tier_row("cold", "compute", cold, graph, k))
+
+    # Indexed tier: every stream query is a fresh CSR row lookup.
+    indexed = SimilarityService(
+        graph, index, k=k, damping=damping, iterations=iterations,
+        backend=backend, cache_size=0,
+    )
+    for query in stream:
+        indexed.top_k(query)
+    report.add_row(_tier_row("indexed", "index", indexed, graph, k))
+
+    # Cached tier: same stream against index + LRU; hot repeats hit the cache.
+    cached = SimilarityService(
+        graph, build_index(
+            graph, index_k=index_k, damping=damping,
+            iterations=iterations, backend=backend,
+        ),
+        k=k, damping=damping, iterations=iterations, backend=backend,
+        cache_size=1024,
+    )
+    for query in stream:
+        cached.top_k(query)
+    report.add_row(_tier_row("cached", "cache", cached, graph, k))
+    snapshot = cached.stats.snapshot()
+    report.add_note(
+        f"cached tier hit mix over {len(stream)} Zipf queries: "
+        f"{snapshot['cache_hits']} cache / {snapshot['index_hits']} index / "
+        f"{snapshot['compute_hits']} compute"
+    )
+
+    cold_mean = float(np.mean(cold.stats.samples("compute")))
+    indexed_mean = float(np.mean(indexed.stats.samples("index")))
+    cached_mean = float(np.mean(cached.stats.samples("cache")))
+    report.add_note(
+        f"mean latency speed-up over cold on-demand: "
+        f"indexed {cold_mean / indexed_mean:.0f}x, "
+        f"cached {cold_mean / cached_mean:.0f}x"
+    )
+
+    # Consistency: tiered answers must equal the full-matrix rankings.
+    full = simrank(
+        graph, method="matrix", backend=backend or "sparse", damping=damping,
+        iterations=iterations, diagonal="matrix",
+    )
+    sample = list(dict.fromkeys(stream))[:16]
+    matches = sum(
+        1
+        for query in sample
+        if indexed.top_k(query).labels()
+        == top_k_from_result(full, query, k=k).labels()
+        == cached.top_k(query).labels()
+    )
+    report.add_note(
+        f"served top-{k} rankings matching full-matrix answers: "
+        f"{matches}/{len(sample)}"
+    )
+
+    # Incremental updates: a batch of edge inserts + dirty-row refresh must
+    # serve exactly what a from-scratch rebuild serves.
+    rng = np.random.default_rng(23)
+    inserted = 0
+    while inserted < 8:
+        source = int(rng.integers(num_vertices))
+        target = int(rng.integers(num_vertices))
+        if source != target and cached.add_edge(source, target):
+            inserted += 1
+    dirty = set(cached.dirty_vertices)
+    refresh_started = time.perf_counter()
+    refreshed = cached.refresh()
+    refresh_seconds = time.perf_counter() - refresh_started
+    rebuilt = SimilarityService(
+        cached.current_graph(),
+        build_index(
+            cached.current_graph(), index_k=index_k, damping=damping,
+            iterations=iterations, backend=backend,
+        ),
+        k=k, damping=damping, iterations=iterations, backend=backend,
+    )
+    update_sample = sorted(
+        dirty | set(range(0, num_vertices, max(num_vertices // 16, 1)))
+    )
+    update_matches = sum(
+        1
+        for query in update_sample
+        if cached.top_k(query).labels() == rebuilt.top_k(query).labels()
+    )
+    report.add_note(
+        f"after {inserted} edge inserts: refreshed {refreshed} dirty rows in "
+        f"{refresh_seconds:.3f}s (vs {build_seconds:.2f}s full rebuild); "
+        f"incremental vs rebuilt rankings agree on "
+        f"{update_matches}/{len(update_sample)} queries"
+    )
+    return report

@@ -8,11 +8,24 @@ tables.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Sequence
+from pathlib import Path
+from typing import Union
 
+import numpy as np
+
+from ..exceptions import ConfigurationError
 from .runner import ExperimentReport
 
-__all__ = ["format_table", "format_report", "speedup"]
+__all__ = [
+    "format_table",
+    "format_report",
+    "latency_summary",
+    "percentile",
+    "speedup",
+    "write_reports_json",
+]
 
 
 def _format_value(value: object) -> str:
@@ -73,3 +86,61 @@ def speedup(baseline: float, improved: float) -> float:
     if improved <= 0:
         return float("inf") if baseline > 0 else 1.0
     return baseline / improved
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile of ``samples`` (linear interpolation).
+
+    ``q`` is on the 0–100 scale; an empty sample set raises — serving
+    benchmarks must not silently report a latency for a tier that was
+    never exercised.
+    """
+    if not 0 <= q <= 100:
+        raise ConfigurationError(f"percentile must lie in [0, 100], got {q}")
+    data = np.asarray(list(samples), dtype=np.float64)
+    if data.size == 0:
+        raise ConfigurationError("cannot take a percentile of no samples")
+    return float(np.percentile(data, q))
+
+
+def latency_summary(
+    samples: Sequence[float], percentiles: Sequence[float] = (50, 95, 99)
+) -> dict[str, float]:
+    """Summarise raw latency samples into count/mean/percentile columns.
+
+    Returns a flat dict (``count``, ``mean`` and one ``pXX`` key per
+    requested percentile, all in the samples' own unit) that drops
+    straight into a benchmark-table row — the serving experiment's
+    replacement for ad-hoc percentile math.
+    """
+    data = np.asarray(list(samples), dtype=np.float64)
+    if data.size == 0:
+        raise ConfigurationError("cannot summarise an empty latency sample set")
+    summary: dict[str, float] = {
+        "count": int(data.size),
+        "mean": float(data.mean()),
+    }
+    for q in percentiles:
+        label = f"p{q:g}".replace(".", "_")
+        summary[label] = percentile(data, q)
+    return summary
+
+
+def write_reports_json(
+    reports: Union[ExperimentReport, Sequence[ExperimentReport]],
+    path: Union[str, Path],
+) -> Path:
+    """Serialise one or more experiment reports to a JSON file.
+
+    The CI benchmark-smoke job uploads this file as a workflow artifact, so
+    the schema stays deliberately plain: a list of
+    :meth:`~repro.bench.runner.ExperimentReport.to_dict` payloads.
+    """
+    if isinstance(reports, ExperimentReport):
+        reports = [reports]
+    path = Path(path)
+    path.write_text(
+        json.dumps([report.to_dict() for report in reports], indent=2, default=str)
+        + "\n"
+    )
+    return path

@@ -134,3 +134,12 @@ class ExperimentReport:
     def column(self, key: str, **criteria: object) -> list[object]:
         """Return one column from the matching rows."""
         return [row.get(key) for row in self.filter(**criteria)]
+
+    def to_dict(self) -> dict[str, object]:
+        """Return a JSON-serialisable payload of the whole report."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }

@@ -17,6 +17,12 @@ sparse backends head to head::
     repro-simrank fig6a --backend sparse
     repro-simrank bench-backends --quick
 
+Build a serving index offline, then benchmark the tiered online query path
+(cold vs indexed vs cached) and dump the rows as JSON::
+
+    repro-simrank index-build --out index.npz --rmat-scale 11 --index-k 50
+    repro-simrank serve-bench --quick --json serving.json
+
 Evaluate the Section IV worked example (K' vs K at C=0.8, ε=1e-4)::
 
     repro-simrank bounds-example
@@ -27,6 +33,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
+import time
 from collections.abc import Sequence
 
 from .bench.experiments import (
@@ -41,8 +48,9 @@ from .bench.experiments import (
     fig6f,
     fig6g,
     fig6h,
+    serving,
 )
-from .bench.results import format_report
+from .bench.results import format_report, write_reports_json
 from .core.iteration_bounds import (
     conventional_iterations,
     differential_iterations_exact,
@@ -66,6 +74,7 @@ _FIGURE_RUNNERS = {
     "ablation-budget": ablations.run_candidate_budget,
     "ablation-sharing": ablations.run_sharing_levels,
     "bench-backends": backends.run,
+    "serving": serving.run,
 }
 
 
@@ -80,8 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_FIGURE_RUNNERS) + ["all", "bounds-example"],
-        help="which figure/table to regenerate ('all' runs every one)",
+        choices=sorted(_FIGURE_RUNNERS) + [
+            "all",
+            "bounds-example",
+            "index-build",
+            "serve-bench",
+        ],
+        help=(
+            "which figure/table to regenerate ('all' runs every one); "
+            "'index-build' precomputes a serving index, 'serve-bench' runs "
+            "the serving tier benchmark"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -110,10 +128,53 @@ def build_parser() -> argparse.ArgumentParser:
             "keep their default)"
         ),
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write the experiment report(s) to PATH as JSON (experiment "
+            "runs only; ignored by index-build and bounds-example, which "
+            "produce no report)"
+        ),
+    )
+    serving_options = parser.add_argument_group(
+        "serving options", "only used by the index-build subcommand"
+    )
+    serving_options.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="output .npz path for the built index (required by index-build)",
+    )
+    serving_options.add_argument(
+        "--rmat-scale",
+        type=int,
+        default=11,
+        help="log2 vertex count of the generated r-mat graph (default 11)",
+    )
+    serving_options.add_argument(
+        "--edge-factor",
+        type=int,
+        default=3,
+        help="edges per vertex of the generated r-mat graph (default 3)",
+    )
+    serving_options.add_argument(
+        "--index-k",
+        type=int,
+        default=50,
+        help="scores kept per vertex in the built index (default 50)",
+    )
+    serving_options.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="graph-generation seed (default 7)",
+    )
     return parser
 
 
-def _run_one(name: str, args: argparse.Namespace) -> str:
+def _run_one(name: str, args: argparse.Namespace):
     runner = _FIGURE_RUNNERS[name]
     kwargs: dict[str, object] = {"scale": args.scale, "quick": args.quick}
     if args.damping is not None:
@@ -124,8 +185,34 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
     # damping override, several figures no backend); forward what each takes.
     accepted = inspect.signature(runner).parameters
     kwargs = {key: value for key, value in kwargs.items() if key in accepted}
-    report = runner(**kwargs)
-    return format_report(report)
+    return runner(**kwargs)
+
+
+def _index_build(args: argparse.Namespace) -> int:
+    """Precompute a serving index for an r-mat graph and write it to disk."""
+    from .graph.generators.rmat import rmat_edge_list
+    from .service import build_index, save_index
+
+    if args.out is None:
+        print("index-build requires --out PATH", file=sys.stderr)
+        return 2
+    damping = args.damping if args.damping is not None else 0.6
+    graph = rmat_edge_list(
+        args.rmat_scale, args.edge_factor * (1 << args.rmat_scale), seed=args.seed
+    )
+    started = time.perf_counter()
+    index = build_index(
+        graph, index_k=args.index_k, damping=damping, backend=args.backend
+    )
+    elapsed = time.perf_counter() - started
+    save_index(index, args.out)
+    print(
+        f"built top-{args.index_k} index for n={graph.num_vertices} "
+        f"m={graph.num_edges} in {elapsed:.2f}s "
+        f"({index.num_stored_scores} stored scores, "
+        f"{index.memory_bytes() / 1e6:.1f} MB) -> {args.out}"
+    )
+    return 0
 
 
 def _bounds_example(damping: float = 0.8, accuracy: float = 1e-4) -> str:
@@ -152,13 +239,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         damping = args.damping if args.damping is not None else 0.8
         print(_bounds_example(damping=damping))
         return 0
+    if args.experiment == "index-build":
+        return _index_build(args)
 
-    names = (
-        sorted(_FIGURE_RUNNERS) if args.experiment == "all" else [args.experiment]
-    )
+    if args.experiment == "all":
+        names = sorted(_FIGURE_RUNNERS)
+    elif args.experiment == "serve-bench":
+        names = ["serving"]
+    else:
+        names = [args.experiment]
+    reports = []
     for name in names:
-        print(_run_one(name, args))
+        report = _run_one(name, args)
+        reports.append(report)
+        print(format_report(report))
         print()
+    if args.json is not None:
+        path = write_reports_json(reports, args.json)
+        print(f"wrote {len(reports)} report(s) to {path}")
     return 0
 
 

@@ -7,11 +7,18 @@ only the scores that survive — or only each vertex's top-k — are retained.
 surviving off-diagonal scores plus the implicit unit diagonal, with the query
 operations the examples and workloads need (pair lookup, row retrieval,
 top-k) and a compressed on-disk round trip via ``numpy``'s ``.npz`` format.
+
+The store doubles as the persisted index format of the online serving layer
+(:mod:`repro.service`), which needs two row-granular mutations on top of the
+read path: :meth:`invalidate_rows` (drop the scores of vertices whose
+neighbourhood changed) and :meth:`merge_rows` (splice freshly recomputed
+rows back in without rebuilding the whole matrix).
 """
 
 from __future__ import annotations
 
-from collections.abc import Hashable
+import json
+from collections.abc import Hashable, Sequence
 from pathlib import Path
 from typing import Optional, Union
 
@@ -22,9 +29,34 @@ from ..exceptions import ConfigurationError
 from ..graph.digraph import DiGraph
 from .result import SimRankResult
 
-__all__ = ["SimilarityStore"]
+__all__ = ["SimilarityStore", "row_top_k"]
 
 PathLike = Union[str, Path]
+
+
+def row_top_k(
+    row: np.ndarray, k: Optional[int], threshold: float = 0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return the ``(columns, values)`` of the ``k`` best scores in ``row``.
+
+    Selection keeps strictly positive scores at or above ``threshold`` and
+    orders candidates by ``(-score, column)`` — the deterministic tie-break
+    every ranking path in the package uses — so a truncated row's prefix is
+    always exactly the prefix of the full ranking.  The returned columns are
+    sorted ascending (canonical CSR order).  ``k=None`` keeps every
+    surviving score.
+    """
+    row = np.asarray(row, dtype=np.float64).ravel()
+    keep = row > 0.0
+    if threshold > 0.0:
+        keep &= row >= threshold
+    candidates = np.flatnonzero(keep)
+    if k is not None and candidates.size > k:
+        # (-score, column) order via lexsort: the last key is primary.
+        order = np.lexsort((candidates, -row[candidates]))[:k]
+        candidates = candidates[order]
+    candidates = np.sort(candidates)
+    return candidates.astype(np.int64), row[candidates]
 
 
 class SimilarityStore:
@@ -42,6 +74,7 @@ class SimilarityStore:
         graph: DiGraph,
         algorithm: str = "",
         damping: float = 0.0,
+        extra: Optional[dict[str, object]] = None,
     ) -> None:
         if matrix.shape[0] != matrix.shape[1]:
             raise ConfigurationError("similarity matrix must be square")
@@ -53,6 +86,7 @@ class SimilarityStore:
         self.graph = graph
         self.algorithm = algorithm
         self.damping = damping
+        self.extra: dict[str, object] = dict(extra) if extra else {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -83,18 +117,29 @@ class SimilarityStore:
             raise ConfigurationError("top_k must be positive when given")
         scores = np.array(result.scores, copy=True)
         np.fill_diagonal(scores, 0.0)
-        if threshold > 0.0:
-            scores[scores < threshold] = 0.0
-        if top_k is not None and top_k < scores.shape[1]:
-            # Keep exactly the k largest entries per row (ties broken
-            # arbitrarily); rows with fewer than k non-zero scores simply
-            # keep what they have.
-            keep = np.argpartition(scores, -top_k, axis=1)[:, -top_k:]
-            mask = np.zeros(scores.shape, dtype=bool)
-            mask[np.arange(scores.shape[0])[:, None], keep] = True
-            scores[~mask] = 0.0
-        matrix = sparse.csr_matrix(scores)
-        matrix.eliminate_zeros()
+        # Row-wise :func:`row_top_k` truncation: ties at the k-th position
+        # resolve by vertex id, so every stored row is exactly a prefix of
+        # the full deterministic ranking (rows with fewer than k surviving
+        # scores simply keep what they have).
+        n = scores.shape[0]
+        columns_parts: list[np.ndarray] = []
+        data_parts: list[np.ndarray] = []
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for vertex in range(n):
+            columns, values = row_top_k(scores[vertex], top_k, threshold=threshold)
+            columns_parts.append(columns)
+            data_parts.append(values)
+            indptr[vertex + 1] = indptr[vertex] + columns.size
+        matrix = sparse.csr_matrix(
+            (
+                np.concatenate(data_parts) if data_parts else np.empty(0),
+                np.concatenate(columns_parts)
+                if columns_parts
+                else np.empty(0, np.int64),
+                indptr,
+            ),
+            shape=(n, n),
+        )
         return cls(
             matrix,
             result.graph,
@@ -153,6 +198,101 @@ class SimilarityStore:
         ]
 
     # ------------------------------------------------------------------ #
+    # Row-granular mutation (the serving layer's incremental-update hooks)
+    # ------------------------------------------------------------------ #
+    def invalidate_rows(self, rows: Sequence[int]) -> int:
+        """Drop every stored score in the given rows; return how many fell.
+
+        Used by the serving layer when a graph mutation makes the stored
+        rows of the affected vertices untrustworthy: the rows become empty
+        (queries against them see only the implicit unit diagonal) until
+        :meth:`merge_rows` splices refreshed scores back in.
+        """
+        indices = self._validate_rows(rows)
+        if indices.size == 0:
+            return 0
+        lengths = np.diff(self._matrix.indptr)
+        hit = np.zeros(self.num_vertices, dtype=bool)
+        hit[indices] = True
+        mask = np.repeat(hit, lengths)
+        dropped = int(np.count_nonzero(self._matrix.data[mask]))
+        self._matrix.data[mask] = 0.0
+        self._matrix.eliminate_zeros()
+        return dropped
+
+    def merge_rows(
+        self,
+        rows: Sequence[int],
+        dense_rows: np.ndarray,
+        top_k: Optional[int] = None,
+        threshold: float = 0.0,
+    ) -> None:
+        """Replace the given rows with (truncated) freshly computed scores.
+
+        Parameters
+        ----------
+        rows:
+            Row indices to replace; one per row of ``dense_rows``.
+        dense_rows:
+            ``(len(rows), n)`` array of similarity rows.  Diagonal entries
+            are ignored (the diagonal is implicit and always 1).
+        top_k, threshold:
+            Truncation applied to each refreshed row before it is stored,
+            with the same semantics as :meth:`from_result`.
+        """
+        indices = self._validate_rows(rows)
+        dense_rows = np.atleast_2d(np.asarray(dense_rows, dtype=np.float64))
+        if dense_rows.shape != (indices.size, self.num_vertices):
+            raise ConfigurationError(
+                f"expected dense_rows of shape {(indices.size, self.num_vertices)}, "
+                f"got {dense_rows.shape}"
+            )
+        if indices.size != np.unique(indices).size:
+            raise ConfigurationError("rows to merge must be distinct")
+
+        # Keep the untouched rows' entries, re-emit the replaced rows, and
+        # rebuild the CSR once from COO parts — no per-row matrix surgery.
+        lengths = np.diff(self._matrix.indptr)
+        replaced = np.zeros(self.num_vertices, dtype=bool)
+        replaced[indices] = True
+        keep = ~np.repeat(replaced, lengths)
+        kept_rows = np.repeat(np.arange(self.num_vertices), lengths)[keep]
+        kept_cols = self._matrix.indices[keep]
+        kept_data = self._matrix.data[keep]
+
+        new_rows: list[np.ndarray] = [kept_rows]
+        new_cols: list[np.ndarray] = [kept_cols]
+        new_data: list[np.ndarray] = [kept_data]
+        for position, row_index in enumerate(indices):
+            fresh = dense_rows[position].copy()
+            fresh[row_index] = 0.0
+            columns, values = row_top_k(fresh, top_k, threshold=threshold)
+            new_rows.append(np.full(columns.size, row_index, dtype=np.int64))
+            new_cols.append(columns)
+            new_data.append(values)
+
+        merged = sparse.coo_matrix(
+            (
+                np.concatenate(new_data),
+                (np.concatenate(new_rows), np.concatenate(new_cols)),
+            ),
+            shape=self._matrix.shape,
+        ).tocsr()
+        merged.eliminate_zeros()
+        self._matrix = merged
+
+    def _validate_rows(self, rows: Sequence[int]) -> np.ndarray:
+        indices = np.asarray(list(rows), dtype=np.int64).ravel()
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.num_vertices
+        ):
+            raise ConfigurationError(
+                f"row indices must lie in [0, {self.num_vertices}), got "
+                f"range [{indices.min()}, {indices.max()}]"
+            )
+        return indices
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: PathLike) -> None:
@@ -166,6 +306,7 @@ class SimilarityStore:
             shape=np.asarray(self._matrix.shape),
             algorithm=np.asarray(self.algorithm),
             damping=np.asarray(self.damping),
+            extra=np.asarray(json.dumps(self.extra)),
         )
 
     @classmethod
@@ -179,7 +320,11 @@ class SimilarityStore:
             )
             algorithm = str(archive["algorithm"])
             damping = float(archive["damping"])
-        return cls(matrix, graph, algorithm=algorithm, damping=damping)
+            # Stores written before the metadata field carry no "extra" key.
+            extra = (
+                json.loads(str(archive["extra"])) if "extra" in archive else {}
+            )
+        return cls(matrix, graph, algorithm=algorithm, damping=damping, extra=extra)
 
     def __repr__(self) -> str:
         return (

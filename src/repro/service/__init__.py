@@ -1,0 +1,29 @@
+"""Online similarity serving: precomputed index, cache, micro-batched compute.
+
+The paper frames SimRank as the engine behind online top-k similarity
+queries; this package is the layer that actually *serves* such a query
+stream.  It follows the precompute-then-serve architecture of production
+similarity systems: an offline builder (:func:`build_index`) turns the
+batched series evaluation into a truncated all-pairs index, and an
+in-process :class:`SimilarityService` answers queries through a tiered
+path — index row lookup, LRU result cache, micro-batched on-demand
+compute — while supporting incremental edge updates with dirty-row
+refresh instead of full rebuilds.
+"""
+
+from .batcher import MicroBatcher, PendingResult
+from .cache import LRUCache
+from .index import build_index, load_index, save_index
+from .service import ServiceStats, SimilarityService, TierStats
+
+__all__ = [
+    "LRUCache",
+    "MicroBatcher",
+    "PendingResult",
+    "ServiceStats",
+    "SimilarityService",
+    "TierStats",
+    "build_index",
+    "load_index",
+    "save_index",
+]

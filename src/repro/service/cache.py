@@ -1,0 +1,102 @@
+"""A small LRU cache for top-k query results.
+
+The serving tier order is *index → cache → on-demand compute*; this cache is
+the middle tier.  Real similarity traffic is heavily repeated (hot queries
+follow a Zipf law — see :func:`repro.workloads.zipf_query_stream`), so even a
+modest least-recently-used cache absorbs most of the stream once warm.
+
+The implementation is a plain ``OrderedDict`` with move-to-front on hit —
+O(1) get/put — plus hit/miss counters and predicate-based invalidation so
+the service can evict exactly the entries a graph mutation poisoned.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A least-recently-used mapping with a fixed capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries.  ``0`` disables the cache entirely
+        (every :meth:`get` misses, every :meth:`put` is a no-op), which is
+        how the service runs cache-less benchmarks without branching.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ConfigurationError(
+                f"cache capacity must be non-negative, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        # Membership does not promote: probing must not perturb recency.
+        return key in self._entries
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Return the cached value for ``key`` (promoting it), else ``default``."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert or refresh ``key``, evicting the least recently used entry."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(
+        self, predicate: Optional[Callable[[Hashable], bool]] = None
+    ) -> int:
+        """Drop entries whose key satisfies ``predicate`` (all when ``None``).
+
+        Returns the number of entries dropped.
+        """
+        if predicate is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never probed)."""
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<LRUCache size={len(self._entries)}/{self.capacity} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

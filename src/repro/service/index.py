@@ -1,0 +1,146 @@
+"""Offline similarity-index construction for the serving layer.
+
+The precompute-then-serve split: a batch job walks every vertex through the
+backend's batched series evaluation (``similarity_rows`` — ``O(K · n · b)``
+memory per chunk of ``b`` queries, never the full ``n × n`` matrix), keeps
+each vertex's ``index_k`` best scores, and persists the truncation as a
+:class:`~repro.core.similarity_store.SimilarityStore` ``.npz``.  The online
+:class:`~repro.service.service.SimilarityService` then answers top-k queries
+with one CSR row lookup instead of a series evaluation.
+
+The stored rows follow the exact score convention of
+:func:`repro.api.simrank_top_k` (matrix-form series, self-similarity
+excluded), so any served ``k ≤ index_k`` prefix equals the full-matrix
+ranking — the index is a cache of answers, not an approximation of them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+from scipy import sparse
+
+from ..api import METHODS
+from ..core.backends import SimRankBackend, get_backend
+from ..core.instrumentation import Instrumentation
+from ..core.iteration_bounds import conventional_iterations
+from ..core.result import validate_damping, validate_iterations
+from ..core.similarity_store import PathLike, SimilarityStore, row_top_k
+from ..exceptions import ConfigurationError
+
+__all__ = ["build_index", "load_index", "save_index"]
+
+
+def _resolve_backend(backend: Union[str, SimRankBackend, None]) -> SimRankBackend:
+    if backend is None:
+        backend = METHODS["matrix"].default_backend
+    return get_backend(backend)
+
+
+def build_index(
+    graph,
+    index_k: int = 50,
+    damping: float = 0.6,
+    iterations: Optional[int] = None,
+    accuracy: float = 1e-3,
+    backend: Union[str, SimRankBackend, None] = None,
+    chunk_size: int = 256,
+    instrumentation: Optional[Instrumentation] = None,
+) -> SimilarityStore:
+    """Precompute a truncated all-pairs similarity index for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.digraph.DiGraph` or
+        :class:`~repro.graph.edgelist.EdgeListGraph`.
+    index_k:
+        Scores kept per vertex.  Serving a top-k query from the index is
+        exact for every ``k ≤ index_k``.
+    damping, iterations, accuracy:
+        Series parameters; ``iterations`` defaults to the conventional bound
+        for ``accuracy`` (as everywhere else in the package).
+    backend:
+        Compute backend for the batched evaluation; ``None`` means the
+        matrix method's default (sparse CSR).
+    chunk_size:
+        Vertices evaluated per backend call — bounds peak memory at
+        ``O(K · n · chunk_size)`` floats.
+    instrumentation:
+        Optional collector; the backend records its series costs into it.
+    """
+    if index_k <= 0:
+        raise ConfigurationError(f"index_k must be positive, got {index_k}")
+    if chunk_size <= 0:
+        raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
+    damping = validate_damping(damping)
+    if iterations is None:
+        iterations = conventional_iterations(accuracy, damping)
+    iterations = validate_iterations(iterations)
+
+    engine = _resolve_backend(backend)
+    transition = engine.transition(graph)
+    n = transition.n
+
+    columns_parts: list[np.ndarray] = []
+    data_parts: list[np.ndarray] = []
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for start in range(0, n, chunk_size):
+        chunk = np.arange(start, min(start + chunk_size, n), dtype=np.int64)
+        rows = engine.similarity_rows(
+            transition,
+            chunk,
+            damping=damping,
+            iterations=iterations,
+            instrumentation=instrumentation,
+        )
+        for position, vertex in enumerate(chunk):
+            row = rows[position]
+            row[vertex] = 0.0  # the diagonal is implicit in the store
+            kept_columns, kept_values = row_top_k(row, index_k)
+            columns_parts.append(kept_columns)
+            data_parts.append(kept_values)
+            indptr[vertex + 1] = indptr[vertex] + kept_columns.size
+
+    matrix = sparse.csr_matrix(
+        (
+            np.concatenate(data_parts) if data_parts else np.empty(0),
+            np.concatenate(columns_parts) if columns_parts else np.empty(0, np.int64),
+            indptr,
+        ),
+        shape=(n, n),
+    )
+    return SimilarityStore(
+        matrix,
+        graph,
+        algorithm="series-topk",
+        damping=damping,
+        extra={
+            "index_k": int(index_k),
+            "iterations": int(iterations),
+            "backend": engine.name,
+        },
+    )
+
+
+def save_index(store: SimilarityStore, path: PathLike) -> None:
+    """Persist a built index to ``path`` (``.npz``, compressed)."""
+    store.save(path)
+
+
+def load_index(path: PathLike, graph) -> SimilarityStore:
+    """Load an index written by :func:`save_index`.
+
+    The graph must be the one the index was built on (it supplies vertex
+    labels and the vertex count the stored matrix is validated against); a
+    mismatched vertex count raises
+    :class:`~repro.exceptions.ConfigurationError`.
+    """
+    store = SimilarityStore.load(path, graph)
+    if "index_k" not in store.extra:
+        raise ConfigurationError(
+            f"{path} is a SimilarityStore but not a serving index "
+            "(missing index_k metadata); build one with build_index()"
+        )
+    return store

@@ -1,0 +1,518 @@
+"""The online similarity-serving engine.
+
+:class:`SimilarityService` turns the repository's offline solvers into a
+query server with the tiered answer path of production similarity systems:
+
+1. **index** — a precomputed, truncated all-pairs index
+   (:func:`~repro.service.index.build_index`) answers ``k ≤ index_k``
+   queries with one CSR row lookup;
+2. **cache** — an LRU of recently served rankings
+   (:class:`~repro.service.cache.LRUCache`) absorbs the repeated hot
+   queries of skewed traffic;
+3. **compute** — everything else falls through to an on-demand
+   truncated-series evaluation, micro-batched
+   (:class:`~repro.service.batcher.MicroBatcher`) so concurrent misses
+   share one backend call, and the fresh rows are merged back into the
+   index so the same miss never computes twice.
+
+Every tier produces the *same* ranking: index rows, cached entries and
+on-demand rows all follow the score convention of
+:func:`repro.api.simrank_top_k` with ``(-score, vertex id)`` tie-breaking,
+so tiering is purely a latency decision, never a quality one.
+
+**Incremental updates.**  SimRank is a global measure — inserting one edge
+perturbs, in principle, every score (that is why the incremental-SimRank
+literature tracks score *deltas* rather than pruned vertex sets).  The
+service therefore does not pretend a mutation is local: :meth:`add_edge` /
+:meth:`remove_edge` bump the graph version, which atomically invalidates
+the whole cache and stamps every index row stale, and mark the edge
+endpoints *dirty*.  :meth:`refresh` then eagerly recomputes only the dirty
+rows (batched, at the current version), while every other row is lazily
+recomputed-and-merged the first time it is queried.  Served answers are
+consequently always exact with respect to the current graph — identical to
+a from-scratch rebuild — but the up-front cost of a mutation is
+``O(dirty)`` rows instead of ``O(n)``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from ..baselines.topk import RankedList
+from ..core.backends import SimRankBackend, get_backend
+from ..core.iteration_bounds import conventional_iterations
+from ..core.result import validate_damping, validate_iterations
+from ..core.similarity_store import SimilarityStore
+from ..exceptions import ConfigurationError
+from ..graph.edgelist import EdgeListGraph
+from .batcher import MicroBatcher
+from .cache import LRUCache
+from .index import build_index as _build_index
+
+__all__ = ["ServiceStats", "SimilarityService", "TierStats"]
+
+TIERS = ("index", "cache", "compute")
+"""Answer tiers in their probe order (cache is probed first at run time
+because a cached entry is strictly cheaper than an index row lookup; the
+name order here mirrors the architecture diagram: index → cache → compute)."""
+
+
+SAMPLE_WINDOW = 100_000
+"""Latency samples retained per tier for percentile reporting.  Counts and
+totals stream exactly forever; the sample window bounds memory for a
+long-lived service (retaining every sample would grow without limit)."""
+
+
+@dataclass
+class TierStats:
+    """Hit count, streaming totals and recent latency samples for one tier."""
+
+    count: int = 0
+    total: float = 0.0
+    seconds: deque = field(default_factory=lambda: deque(maxlen=SAMPLE_WINDOW))
+
+    def record(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        self.seconds.append(elapsed)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class ServiceStats:
+    """Per-tier hit/latency statistics plus update counters."""
+
+    tiers: dict[str, TierStats] = field(
+        default_factory=lambda: {tier: TierStats() for tier in TIERS}
+    )
+    queries: int = 0
+    updates: int = 0
+    refreshed_rows: int = 0
+
+    def record(self, tier: str, elapsed: float) -> None:
+        self.queries += 1
+        self.tiers[tier].record(elapsed)
+
+    def samples(self, tier: str) -> list[float]:
+        """Raw latency samples (seconds) for one tier."""
+        return list(self.tiers[tier].seconds)
+
+    def snapshot(self) -> dict[str, object]:
+        """A flat summary dict (counts, hit shares, mean latencies)."""
+        summary: dict[str, object] = {
+            "queries": self.queries,
+            "updates": self.updates,
+            "refreshed_rows": self.refreshed_rows,
+        }
+        for tier in TIERS:
+            stats = self.tiers[tier]
+            summary[f"{tier}_hits"] = stats.count
+            summary[f"{tier}_share"] = (
+                stats.count / self.queries if self.queries else 0.0
+            )
+            summary[f"{tier}_mean_seconds"] = stats.mean_seconds
+        return summary
+
+
+class SimilarityService:
+    """Serve top-k SimRank queries over a mutable graph.
+
+    Parameters
+    ----------
+    graph:
+        The initial graph (:class:`~repro.graph.digraph.DiGraph` or
+        :class:`~repro.graph.edgelist.EdgeListGraph`).  The service takes a
+        snapshot of its edge set; labels keep resolving through the
+        original object (the vertex set is fixed — the service mutates
+        edges, not vertices).
+    index:
+        Optional precomputed index for the *current* graph (built with
+        :func:`~repro.service.index.build_index` or loaded with
+        :func:`~repro.service.index.load_index`).  Its damping/iterations
+        metadata must match the service's, otherwise the tiers would serve
+        inconsistent rankings — a mismatch raises.
+    k:
+        Default ranking length for :meth:`top_k` / :meth:`top_k_many`.
+    damping, iterations, accuracy:
+        Series parameters shared by every tier; ``iterations`` defaults to
+        the conventional bound for ``accuracy``.
+    backend:
+        Compute backend for on-demand evaluation (``None`` = sparse).
+    cache_size:
+        LRU capacity for served rankings; ``0`` disables the cache tier.
+    max_batch:
+        Micro-batcher auto-flush threshold for on-demand misses.
+    auto_warm:
+        When an index is attached, merge on-demand rows back into it so a
+        miss is only ever computed once per graph version.
+    """
+
+    def __init__(
+        self,
+        graph,
+        index: Optional[SimilarityStore] = None,
+        *,
+        k: int = 10,
+        damping: float = 0.6,
+        iterations: Optional[int] = None,
+        accuracy: float = 1e-3,
+        backend: Union[str, SimRankBackend, None] = None,
+        cache_size: int = 1024,
+        max_batch: int = 64,
+        auto_warm: bool = True,
+    ) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self.damping = validate_damping(damping)
+        if iterations is None:
+            iterations = conventional_iterations(accuracy, self.damping)
+        self.iterations = validate_iterations(iterations)
+        self._engine = get_backend(backend if backend is not None else "sparse")
+        self.auto_warm = auto_warm
+
+        self._graph = graph
+        self._n = graph.num_vertices
+        self._edges: set[tuple[int, int]] = {
+            (int(source), int(target)) for source, target in graph.edges()
+        }
+        self._version = 0
+        self._dirty: set[int] = set()
+        self._compute_graph: Optional[EdgeListGraph] = None
+        self._transition = None
+
+        self.cache = LRUCache(cache_size)
+        self.batcher = MicroBatcher(self._compute_rows, max_batch=max_batch)
+        self.stats = ServiceStats()
+
+        self._index: Optional[SimilarityStore] = None
+        self._row_version: Optional[np.ndarray] = None
+        if index is not None:
+            self.attach_index(index)
+
+    # ------------------------------------------------------------------ #
+    # Graph state
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices served (fixed for the service's lifetime)."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed edges in the served graph."""
+        return len(self._edges)
+
+    @property
+    def version(self) -> int:
+        """Graph version; bumped by every effective edge mutation."""
+        return self._version
+
+    @property
+    def dirty_vertices(self) -> frozenset[int]:
+        """Vertices marked dirty by mutations and not yet refreshed."""
+        return frozenset(self._dirty)
+
+    def current_graph(self) -> EdgeListGraph:
+        """The served graph at the current version, as an edge list."""
+        if self._compute_graph is None:
+            if self._edges:
+                pairs = np.fromiter(
+                    (value for edge in self._edges for value in edge),
+                    dtype=np.int64,
+                    count=2 * len(self._edges),
+                ).reshape(-1, 2)
+                sources, targets = pairs[:, 0], pairs[:, 1]
+            else:
+                sources = np.empty(0, dtype=np.int64)
+                targets = np.empty(0, dtype=np.int64)
+            self._compute_graph = EdgeListGraph.from_arrays(
+                self._n, sources, targets, name=getattr(self._graph, "name", "")
+            )
+        return self._compute_graph
+
+    def has_edge(self, source: Hashable, target: Hashable) -> bool:
+        """Whether the directed edge exists in the served graph."""
+        return (
+            self._graph.index_of(source),
+            self._graph.index_of(target),
+        ) in self._edges
+
+    # ------------------------------------------------------------------ #
+    # Index management
+    # ------------------------------------------------------------------ #
+    @property
+    def index(self) -> Optional[SimilarityStore]:
+        """The attached similarity index, if any."""
+        return self._index
+
+    @property
+    def index_k(self) -> int:
+        """Per-row truncation of the attached index (0 when none)."""
+        if self._index is None:
+            return 0
+        return int(self._index.extra.get("index_k", 0))
+
+    def attach_index(self, index: SimilarityStore) -> None:
+        """Attach ``index`` (built for the *current* graph version).
+
+        The index's series parameters must match the service's — rankings
+        served from the index and rankings computed on demand must be the
+        same answers.
+        """
+        if index.num_vertices != self._n:
+            raise ConfigurationError(
+                f"index covers {index.num_vertices} vertices, service graph "
+                f"has {self._n}"
+            )
+        if abs(index.damping - self.damping) > 1e-12:
+            raise ConfigurationError(
+                f"index damping {index.damping} != service damping {self.damping}"
+            )
+        stored_iterations = index.extra.get("iterations")
+        if stored_iterations is not None and int(stored_iterations) != self.iterations:
+            raise ConfigurationError(
+                f"index iterations {stored_iterations} != service "
+                f"iterations {self.iterations}"
+            )
+        if "index_k" not in index.extra:
+            raise ConfigurationError(
+                "index has no index_k metadata; build it with build_index()"
+            )
+        self._index = index
+        self._row_version = np.full(self._n, self._version, dtype=np.int64)
+
+    def build_index(self, index_k: int = 50, chunk_size: int = 256) -> SimilarityStore:
+        """Build (or rebuild) the index for the current graph and attach it."""
+        index = _build_index(
+            self.current_graph(),
+            index_k=index_k,
+            damping=self.damping,
+            iterations=self.iterations,
+            backend=self._engine,
+            chunk_size=chunk_size,
+        )
+        # Serve labels through the original graph, not the edge-list snapshot.
+        index.graph = self._graph
+        self.attach_index(index)
+        self._dirty.clear()
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Query path
+    # ------------------------------------------------------------------ #
+    def top_k(self, query: Hashable, k: Optional[int] = None) -> RankedList:
+        """Answer one top-k query through the tiered path."""
+        return self.top_k_many([query], k=k)[0]
+
+    def top_k_many(
+        self, queries: Sequence[Hashable], k: Optional[int] = None
+    ) -> list[RankedList]:
+        """Answer a batch of queries, coalescing every miss into one flush.
+
+        Cache and index hits are answered inline; the remaining misses are
+        submitted to the micro-batcher and resolved with a single backend
+        call, which amortises the shared series evaluation across the whole
+        miss set.
+        """
+        k = self.k if k is None else int(k)
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+
+        answers: list[Optional[RankedList]] = [None] * len(queries)
+        misses: list[tuple[int, Hashable, int, object]] = []
+        # Timing starts at the first submit so backend work triggered by the
+        # batcher's auto-flush (misses beyond max_batch) is attributed too.
+        compute_started: Optional[float] = None
+        for position, query in enumerate(queries):
+            vertex = self._graph.index_of(query)
+            started = time.perf_counter()
+            key = (vertex, k)
+            cached = self.cache.get(key)
+            if cached is not None:
+                answers[position] = self._relabel(cached, query)
+                self.stats.record("cache", time.perf_counter() - started)
+                continue
+            if self._index_row_fresh(vertex) and k <= self.index_k:
+                ranking = self._rank_from_index(query, vertex, k)
+                answers[position] = ranking
+                self.cache.put(key, ranking)
+                self.stats.record("index", time.perf_counter() - started)
+                continue
+            if compute_started is None:
+                compute_started = started
+            misses.append((position, query, vertex, self.batcher.submit(vertex)))
+
+        if misses:
+            self.batcher.flush()
+            fresh: dict[int, np.ndarray] = {}
+            for position, query, vertex, handle in misses:
+                row = handle.result()
+                ranking = self._rank_row(row, query, vertex, k)
+                answers[position] = ranking
+                self.cache.put((vertex, k), ranking)
+                fresh.setdefault(vertex, row)
+            if self.auto_warm and self._index is not None:
+                self._merge_fresh(list(fresh), np.stack(list(fresh.values())))
+            # One flush (plus warm-back) served every miss; attribute the
+            # elapsed wall-clock evenly so tiers stay per-query comparable.
+            share = (time.perf_counter() - compute_started) / len(misses)
+            for _ in misses:
+                self.stats.record("compute", share)
+        return [answer for answer in answers if answer is not None]
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates
+    # ------------------------------------------------------------------ #
+    def add_edge(self, source: Hashable, target: Hashable) -> bool:
+        """Insert a directed edge; returns ``False`` when already present."""
+        edge = (self._graph.index_of(source), self._graph.index_of(target))
+        if edge in self._edges:
+            return False
+        self._edges.add(edge)
+        self._note_mutation(edge)
+        return True
+
+    def remove_edge(self, source: Hashable, target: Hashable) -> bool:
+        """Delete a directed edge; returns ``False`` when absent."""
+        edge = (self._graph.index_of(source), self._graph.index_of(target))
+        if edge not in self._edges:
+            return False
+        self._edges.remove(edge)
+        self._note_mutation(edge)
+        return True
+
+    def refresh(self, vertices: Optional[Iterable[Hashable]] = None) -> int:
+        """Eagerly recompute stale index rows; return how many were refreshed.
+
+        ``vertices`` defaults to the dirty set (mutation endpoints).  The
+        rows are evaluated in one batched backend call at the current graph
+        version and merged into the index; rows outside the set stay lazily
+        refreshed on their next query.  Without an attached index there is
+        nothing to refresh eagerly (every answer is already computed on
+        demand) — the dirty set is simply cleared.
+        """
+        if vertices is None:
+            targets = sorted(self._dirty)
+        else:
+            targets = sorted({self._graph.index_of(vertex) for vertex in vertices})
+        if self._index is None or not targets:
+            self._dirty.difference_update(targets)
+            return 0
+        rows = self._compute_rows(np.asarray(targets, dtype=np.int64))
+        self._merge_fresh(targets, rows)
+        self._dirty.difference_update(targets)
+        self.stats.refreshed_rows += len(targets)
+        return len(targets)
+
+    def _note_mutation(self, edge: tuple[int, int]) -> None:
+        self._version += 1
+        self._compute_graph = None
+        self._transition = None
+        self._dirty.update(edge)
+        # SimRank edits are global: every cached ranking and every index row
+        # is potentially affected, so invalidation is version-based and
+        # total.  Recomputation, not invalidation, is what stays local.  The
+        # endpoint rows are additionally dropped from the index outright —
+        # their stored scores are the most wrong, and keeping them would
+        # only occupy memory until refresh()/lazy recompute replaces them.
+        if self._index is not None:
+            self._index.invalidate_rows(sorted(set(edge)))
+        self.cache.invalidate()
+        self.stats.updates += 1
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _compute_rows(self, indices: np.ndarray) -> np.ndarray:
+        if self._transition is None:
+            self._transition = self._engine.transition(self.current_graph())
+        return self._engine.similarity_rows(
+            self._transition,
+            indices,
+            damping=self.damping,
+            iterations=self.iterations,
+        )
+
+    def _index_row_fresh(self, vertex: int) -> bool:
+        return (
+            self._index is not None
+            and self._row_version is not None
+            and int(self._row_version[vertex]) == self._version
+        )
+
+    def _merge_fresh(self, vertices: Sequence[int], rows: np.ndarray) -> None:
+        """Splice freshly computed rows into the index in one batched merge."""
+        assert self._index is not None and self._row_version is not None
+        self._index.merge_rows(list(vertices), rows, top_k=self.index_k)
+        self._row_version[list(vertices)] = self._version
+
+    def _rank_from_index(self, query: Hashable, vertex: int, k: int) -> RankedList:
+        entries = self._index.top_k(vertex, k=k)  # type: ignore[union-attr]
+        if len(entries) < k:
+            entries = self._pad_entries(entries, vertex, k)
+        return RankedList(query=query, entries=tuple(entries))
+
+    def _rank_row(
+        self, row: np.ndarray, query: Hashable, vertex: int, k: int
+    ) -> RankedList:
+        order = np.lexsort((np.arange(self._n), -row))
+        entries: list[tuple[Hashable, float]] = []
+        for candidate in order:
+            candidate = int(candidate)
+            if candidate == vertex:
+                continue
+            entries.append((self._graph.label_of(candidate), float(row[candidate])))
+            if len(entries) == k:
+                break
+        return RankedList(query=query, entries=tuple(entries))
+
+    def _pad_entries(
+        self, entries: list[tuple[Hashable, float]], vertex: int, k: int
+    ) -> list[tuple[Hashable, float]]:
+        # A truncated row can hold fewer than k positive scores only when
+        # the true row does too; the full ranking then continues with
+        # zero-score vertices in id order, which is reproduced here.
+        padded = list(entries)
+        used = {label for label, _ in padded}
+        for candidate in range(self._n):
+            if len(padded) == k:
+                break
+            if candidate == vertex:
+                continue
+            label = self._graph.label_of(candidate)
+            if label in used:
+                continue
+            padded.append((label, 0.0))
+        return padded
+
+    @staticmethod
+    def _relabel(ranking: RankedList, query: Hashable) -> RankedList:
+        # Cache keys are vertex ids; echo back the caller's query handle
+        # (label or id) so batch answers line up with the submitted batch.
+        if ranking.query == query:
+            return ranking
+        return RankedList(query=query, entries=ranking.entries)
+
+    def __repr__(self) -> str:
+        index_state = (
+            f"index_k={self.index_k}" if self._index is not None else "no-index"
+        )
+        return (
+            f"<SimilarityService n={self._n} m={self.num_edges} "
+            f"version={self._version} {index_state} "
+            f"queries={self.stats.queries}>"
+        )

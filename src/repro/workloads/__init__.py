@@ -13,6 +13,7 @@ from .queries import (
     QueryWorkload,
     degree_stratified_queries,
     prolific_author_queries,
+    zipf_query_stream,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "QueryWorkload",
     "degree_stratified_queries",
     "prolific_author_queries",
+    "zipf_query_stream",
 ]

@@ -13,10 +13,17 @@ from __future__ import annotations
 from collections.abc import Hashable
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 from ..graph.digraph import DiGraph
 
-__all__ = ["QueryWorkload", "prolific_author_queries", "degree_stratified_queries"]
+__all__ = [
+    "QueryWorkload",
+    "prolific_author_queries",
+    "degree_stratified_queries",
+    "zipf_query_stream",
+]
 
 
 @dataclass(frozen=True)
@@ -82,3 +89,60 @@ def degree_stratified_queries(
         k_values=tuple(k_values),
         description="degree-stratified query set",
     )
+
+
+def zipf_query_stream(
+    graph,
+    num_queries: int,
+    exponent: float = 1.0,
+    seed: int = 0,
+) -> tuple[Hashable, ...]:
+    """Sample a Zipf-skewed stream of query vertices (with repetition).
+
+    Real similarity traffic repeats hot queries: a few entities attract most
+    lookups while the tail is queried rarely.  This generator reproduces
+    that shape for the serving benchmarks — vertex popularity ranks follow
+    the in-degree order (hubs are the natural hot queries, matching the
+    paper's choice of prolific authors), and query ``r``-th-ranked vertex
+    with probability proportional to ``1 / (r + 1)^exponent``.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.digraph.DiGraph` or
+        :class:`~repro.graph.edgelist.EdgeListGraph` (any object with
+        ``num_vertices`` and either ``in_degree`` or ``edge_arrays``).
+    num_queries:
+        Stream length (must be positive).
+    exponent:
+        Skew of the Zipf law; larger values concentrate the stream on
+        fewer distinct vertices.  Must be positive.
+    seed:
+        Deterministic sampling seed.
+
+    Returns
+    -------
+    tuple
+        ``num_queries`` vertex labels, hot vertices repeated often.
+    """
+    if num_queries <= 0:
+        raise ConfigurationError("num_queries must be positive")
+    if exponent <= 0:
+        raise ConfigurationError("exponent must be positive")
+    n = graph.num_vertices
+    if n == 0:
+        raise ConfigurationError("graph has no vertices to query")
+
+    if hasattr(graph, "in_degree"):
+        degrees = np.array([graph.in_degree(vertex) for vertex in graph.vertices()])
+    else:
+        _, targets = graph.edge_arrays()
+        degrees = np.bincount(targets, minlength=n)
+    # Highest in-degree first; ties by vertex id for determinism.
+    popularity = np.lexsort((np.arange(n), -degrees))
+
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), exponent)
+    weights /= weights.sum()
+    rng = np.random.default_rng(seed)
+    ranks = rng.choice(n, size=num_queries, p=weights)
+    return tuple(graph.label_of(int(vertex)) for vertex in popularity[ranks])

@@ -56,3 +56,45 @@ class TestMain:
         assert main(["fig5", "--quick", "--scale", "0.2"]) == 0
         output = capsys.readouterr().out
         assert "berkstan" in output
+
+
+class TestServingCli:
+    def test_serving_experiment_registered(self):
+        args = build_parser().parse_args(["serving", "--quick"])
+        assert args.experiment == "serving"
+
+    def test_serve_bench_and_index_build_accepted(self):
+        assert build_parser().parse_args(["serve-bench"]).experiment == "serve-bench"
+        args = build_parser().parse_args(
+            ["index-build", "--out", "x.npz", "--rmat-scale", "7", "--index-k", "9"]
+        )
+        assert args.out == "x.npz"
+        assert args.rmat_scale == 7
+        assert args.index_k == 9
+
+    def test_index_build_requires_out(self, capsys):
+        assert main(["index-build"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_index_build_writes_archive(self, tmp_path, capsys):
+        out = tmp_path / "index.npz"
+        code = main(
+            [
+                "index-build",
+                "--out", str(out),
+                "--rmat-scale", "6",
+                "--index-k", "5",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "top-5 index" in capsys.readouterr().out
+
+    def test_json_dump_option(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main(["fig6f", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload[0]["experiment"] == "fig6f"
+        assert "wrote 1 report(s)" in capsys.readouterr().out

@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     fig6f,
     fig6g,
     fig6h,
+    serving,
 )
 
 
@@ -183,3 +184,33 @@ class TestBackendsExperiment:
             row["backend"] for row in report.rows if row["algorithm"] == "matrix-sr"
         }
         assert measured == {"sparse"}
+
+
+class TestServingExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # quick + scale 0.25 shrinks the r-mat to 64 vertices.
+        return serving.run(scale=0.25, quick=True)
+
+    def test_all_tiers_reported(self, report):
+        tiers = [row["tier"] for row in report.rows]
+        assert tiers == ["index-build", "cold", "indexed", "cached"]
+
+    def test_latency_columns_present(self, report):
+        for row in report.rows[1:]:
+            for column in ("qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+                assert isinstance(row[column], float)
+
+    def test_served_rankings_match_full_matrix(self, report):
+        note = next(
+            note for note in report.notes if "matching full-matrix" in note
+        )
+        counts = note.split(":")[-1].strip().split("/")
+        assert counts[0] == counts[1]
+
+    def test_incremental_refresh_matches_rebuild(self, report):
+        note = next(
+            note for note in report.notes if "incremental vs rebuilt" in note
+        )
+        matched, total = note.split("agree on")[-1].split()[0].split("/")
+        assert matched == total

@@ -2,9 +2,20 @@
 
 from __future__ import annotations
 
+import json
 
-from repro.bench.results import format_report, format_table, speedup
+import pytest
+
+from repro.bench.results import (
+    format_report,
+    format_table,
+    latency_summary,
+    percentile,
+    speedup,
+    write_reports_json,
+)
 from repro.bench.runner import ExperimentReport
+from repro.exceptions import ConfigurationError
 
 
 class TestFormatTable:
@@ -51,3 +62,59 @@ class TestSpeedup:
     def test_zero_denominator(self):
         assert speedup(1.0, 0.0) == float("inf")
         assert speedup(0.0, 0.0) == 1.0
+
+
+class TestPercentiles:
+    def test_percentile_interpolates(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 4.0
+        assert percentile(samples, 50) == 2.5
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_latency_summary_fields(self):
+        samples = list(range(1, 101))  # 1..100
+        summary = latency_summary(samples)
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_latency_summary_custom_percentiles(self):
+        summary = latency_summary([1.0, 2.0], percentiles=(25, 99.9))
+        assert set(summary) == {"count", "mean", "p25", "p99_9"}
+
+    def test_latency_summary_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            latency_summary([])
+
+
+class TestReportJson:
+    def test_write_single_report(self, tmp_path):
+        report = ExperimentReport(experiment="serving", title="T")
+        report.add_row({"tier": "cold", "mean_ms": 1.5})
+        report.add_note("a note")
+        path = write_reports_json(report, tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        assert payload == [
+            {
+                "experiment": "serving",
+                "title": "T",
+                "rows": [{"tier": "cold", "mean_ms": 1.5}],
+                "notes": ["a note"],
+            }
+        ]
+
+    def test_write_many_reports(self, tmp_path):
+        reports = [
+            ExperimentReport(experiment=name, title=name) for name in ("a", "b")
+        ]
+        path = write_reports_json(reports, tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        assert [entry["experiment"] for entry in payload] == ["a", "b"]

@@ -86,3 +86,125 @@ class TestPersistence:
             dense_result.graph.vertices(), key=dense_result.graph.in_degree
         )
         assert loaded.top_k(query, k=5) == store.top_k(query, k=5)
+
+
+class TestRowTopK:
+    def test_deterministic_tie_break_and_order(self):
+        from repro.core.similarity_store import row_top_k
+
+        row = np.array([0.0, 0.5, 0.5, 0.9, 0.1, 0.0])
+        columns, values = row_top_k(row, 3)
+        # Top 3 by (-score, column): 3 (0.9), then 1 and 2 (tied 0.5).
+        assert columns.tolist() == [1, 2, 3]
+        assert values.tolist() == [0.5, 0.5, 0.9]
+
+    def test_threshold_and_zero_dropping(self):
+        from repro.core.similarity_store import row_top_k
+
+        row = np.array([0.0, 0.04, 0.5, -0.1])
+        columns, _ = row_top_k(row, None, threshold=0.05)
+        assert columns.tolist() == [2]
+        columns, _ = row_top_k(row, None)
+        assert columns.tolist() == [1, 2]
+
+
+class TestRowMutation:
+    def test_invalidate_rows_empties_them(self, dense_result):
+        store = SimilarityStore.from_result(dense_result, top_k=5)
+        before = store.num_stored_scores
+        dropped = store.invalidate_rows([0, 3])
+        assert dropped > 0
+        assert store.num_stored_scores == before - dropped
+        assert store.top_k(0, k=5) == []
+        assert store.top_k(3, k=5) == []
+        # The diagonal stays implicit even for invalidated rows.
+        assert store.similarity(0, 0) == 1.0
+
+    def test_invalidate_out_of_range_rejected(self, dense_result):
+        from repro.exceptions import ConfigurationError as CfgError
+
+        store = SimilarityStore.from_result(dense_result, top_k=5)
+        with pytest.raises(CfgError):
+            store.invalidate_rows([store.num_vertices])
+
+    def test_merge_rows_round_trips_an_invalidation(self, dense_result):
+        store = SimilarityStore.from_result(dense_result, top_k=5)
+        reference = SimilarityStore.from_result(dense_result, top_k=5)
+        rows = [2, 7, 11]
+        store.invalidate_rows(rows)
+        dense = np.stack([dense_result.scores[row] for row in rows])
+        store.merge_rows(rows, dense, top_k=5)
+        for row in rows:
+            assert store.top_k(row, k=5) == reference.top_k(row, k=5)
+        assert store.num_stored_scores == reference.num_stored_scores
+
+    def test_merge_leaves_other_rows_untouched(self, dense_result):
+        store = SimilarityStore.from_result(dense_result, top_k=5)
+        untouched_before = store.top_k(1, k=5)
+        store.merge_rows([4], dense_result.scores[4][np.newaxis, :], top_k=2)
+        assert store.top_k(1, k=5) == untouched_before
+        assert len(store.top_k(4, k=5)) <= 2
+
+    def test_merge_shape_and_duplicate_validation(self, dense_result):
+        from repro.exceptions import ConfigurationError as CfgError
+
+        store = SimilarityStore.from_result(dense_result, top_k=5)
+        with pytest.raises(CfgError):
+            store.merge_rows([0], np.zeros((2, store.num_vertices)))
+        with pytest.raises(CfgError):
+            store.merge_rows([0, 0], np.zeros((2, store.num_vertices)))
+
+
+class TestExtraMetadataPersistence:
+    def test_extra_round_trips(self, dense_result, tmp_path):
+        store = SimilarityStore.from_result(dense_result, top_k=4)
+        store.extra = {"index_k": 4, "iterations": 6, "backend": "sparse"}
+        path = tmp_path / "with-extra.npz"
+        store.save(path)
+        loaded = SimilarityStore.load(path, dense_result.graph)
+        assert loaded.extra == store.extra
+
+    def test_missing_extra_defaults_to_empty(self, dense_result, tmp_path):
+        store = SimilarityStore.from_result(dense_result, top_k=4)
+        path = tmp_path / "no-extra.npz"
+        store.save(path)
+        loaded = SimilarityStore.load(path, dense_result.graph)
+        # Loading always yields a dict, even for pre-metadata archives.
+        assert isinstance(loaded.extra, dict)
+
+
+class TestRmatEquivalence:
+    """ISSUE satellite: exact .npz round trip + store-vs-full-matrix ranking
+    agreement on a random r-mat graph."""
+
+    @pytest.fixture(scope="class")
+    def rmat_result(self):
+        from repro.api import simrank
+        from repro.graph.generators.rmat import rmat_edge_list
+
+        graph = rmat_edge_list(7, 3 * 128, seed=13)
+        return simrank(
+            graph, method="matrix", backend="sparse", damping=0.6, iterations=12
+        )
+
+    def test_round_trip_preserves_scores_exactly(self, rmat_result, tmp_path):
+        store = SimilarityStore.from_result(rmat_result, top_k=15)
+        path = tmp_path / "rmat.npz"
+        store.save(path)
+        loaded = SimilarityStore.load(path, rmat_result.graph)
+        for vertex in range(0, store.num_vertices, 5):
+            assert np.array_equal(
+                loaded.similarity_row(vertex), store.similarity_row(vertex)
+            )
+
+    def test_store_rankings_match_full_matrix(self, rmat_result):
+        store = SimilarityStore.from_result(rmat_result, top_k=15)
+        for vertex in range(0, rmat_result.graph.num_vertices, 3):
+            stored = store.top_k(vertex, k=10)
+            full = rmat_result.top_k(vertex, k=10)
+            # The stored ranking is exactly the positive-score prefix of the
+            # full one; the remainder of the full ranking is zero padding.
+            assert [label for label, _ in stored] == [
+                label for label, _ in full[: len(stored)]
+            ]
+            assert all(score == 0.0 for _, score in full[len(stored):])

@@ -1,0 +1,34 @@
+"""Shared fixtures for the serving-layer tests: one r-mat graph + oracle.
+
+Every service test pins the same series parameters (C=0.6, K=25) so index
+rows, on-demand rows and the full-matrix oracle are directly comparable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import simrank
+from repro.graph.generators.rmat import rmat_edge_list
+
+ITERATIONS = 25
+DAMPING = 0.6
+
+
+@pytest.fixture(scope="session")
+def served_graph():
+    """A 128-vertex r-mat edge-list graph (sparse, skewed degrees)."""
+    return rmat_edge_list(7, 3 * 128, seed=7)
+
+
+@pytest.fixture(scope="session")
+def full_result(served_graph):
+    """Full-matrix oracle with the exact series convention the service uses."""
+    return simrank(
+        served_graph,
+        method="matrix",
+        backend="sparse",
+        damping=DAMPING,
+        iterations=ITERATIONS,
+        diagonal="matrix",
+    )

@@ -1,0 +1,85 @@
+"""Unit tests for the LRU result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import LRUCache
+
+
+class TestBasics:
+    def test_put_get_round_trip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(4)
+        assert cache.get("absent") is None
+        assert cache.get("absent", default="fallback") == "fallback"
+        assert cache.misses == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(-1)
+
+
+class TestEviction:
+    def test_least_recently_used_falls_out(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # promote "a"; "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_contains_does_not_promote(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # membership probe, not a use
+        cache.put("c", 3)
+        assert "a" not in cache  # "a" was still the LRU entry
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+
+class TestInvalidation:
+    def test_full_clear(self):
+        cache = LRUCache(4)
+        for key in range(4):
+            cache.put(key, key)
+        assert cache.invalidate() == 4
+        assert len(cache) == 0
+
+    def test_predicate_clear(self):
+        cache = LRUCache(8)
+        for vertex in range(4):
+            cache.put((vertex, 10), vertex)
+        dropped = cache.invalidate(lambda key: key[0] % 2 == 0)
+        assert dropped == 2
+        assert (1, 10) in cache and (0, 10) not in cache
+
+    def test_hit_rate(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate == 0.5
+        assert "hits=1" in repr(cache)

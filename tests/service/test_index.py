@@ -1,0 +1,97 @@
+"""Unit tests for the offline index builder and its persistence helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.topk import top_k_from_result
+from repro.core.similarity_store import SimilarityStore
+from repro.exceptions import ConfigurationError
+from repro.service import build_index, load_index, save_index
+
+ITERATIONS = 25
+DAMPING = 0.6
+
+
+@pytest.fixture(scope="module")
+def index(served_graph):
+    return build_index(
+        served_graph, index_k=20, damping=DAMPING, iterations=ITERATIONS
+    )
+
+
+class TestBuild:
+    def test_metadata_recorded(self, index):
+        assert index.extra["index_k"] == 20
+        assert index.extra["iterations"] == ITERATIONS
+        assert index.extra["backend"] == "sparse"
+        assert index.algorithm == "series-topk"
+        assert index.damping == DAMPING
+
+    def test_truncation_bound(self, index, served_graph):
+        assert index.num_stored_scores <= 20 * served_graph.num_vertices
+
+    def test_rankings_match_full_matrix(self, index, full_result, served_graph):
+        for query in range(0, served_graph.num_vertices, 9):
+            stored = [label for label, _ in index.top_k(query, k=10)]
+            oracle = top_k_from_result(full_result, query, k=10).labels()
+            assert stored == oracle[: len(stored)]
+
+    def test_scores_match_full_matrix(self, index, full_result):
+        # The fixed-point iterate and the truncated series differ only by
+        # the tail beyond K=25 terms (~C^K); rankings are compared exactly
+        # in test_rankings_match_full_matrix.
+        for query in (0, 5, 17):
+            for label, score in index.top_k(query, k=10):
+                assert score == pytest.approx(
+                    float(full_result.scores[query, label]), abs=1e-6
+                )
+
+    def test_chunking_is_invisible(self, served_graph, index):
+        chunked = build_index(
+            served_graph,
+            index_k=20,
+            damping=DAMPING,
+            iterations=ITERATIONS,
+            chunk_size=7,
+        )
+        assert chunked.num_stored_scores == index.num_stored_scores
+        for query in range(0, served_graph.num_vertices, 13):
+            assert chunked.top_k(query, k=20) == index.top_k(query, k=20)
+
+    def test_invalid_parameters(self, served_graph):
+        with pytest.raises(ConfigurationError):
+            build_index(served_graph, index_k=0)
+        with pytest.raises(ConfigurationError):
+            build_index(served_graph, index_k=5, chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            build_index(served_graph, index_k=5, backend="gpu")
+
+
+class TestPersistence:
+    def test_round_trip_preserves_everything(self, index, served_graph, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path, served_graph)
+        assert loaded.extra == index.extra
+        assert loaded.num_stored_scores == index.num_stored_scores
+        for query in range(0, served_graph.num_vertices, 11):
+            assert loaded.top_k(query, k=20) == index.top_k(query, k=20)
+
+    def test_non_index_store_rejected(self, full_result, served_graph, tmp_path):
+        # A plain truncated store lacks the serving metadata on purpose.
+        plain = SimilarityStore.from_result(full_result, threshold=0.05)
+        path = tmp_path / "plain.npz"
+        plain.save(path)
+        with pytest.raises(ConfigurationError):
+            load_index(path, served_graph)
+
+    def test_scores_bitwise_identical(self, index, served_graph, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path, served_graph)
+        for query in (0, 3, 64):
+            assert np.array_equal(
+                loaded.similarity_row(query), index.similarity_row(query)
+            )

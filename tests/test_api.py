@@ -116,6 +116,21 @@ class TestTopKValidation:
         with pytest.raises(ConfigurationError):
             simrank_top_k(paper_graph, ["a"], damping=1.5)
 
+    def test_backend_none_means_method_default(self, paper_graph):
+        # Same convention as simrank(): None resolves to the matrix
+        # method's default backend instead of requiring an explicit name.
+        implicit = simrank_top_k(paper_graph, ["a", "b"], k=3, iterations=10)
+        explicit = simrank_top_k(
+            paper_graph, ["a", "b"], k=3, iterations=10, backend="sparse"
+        )
+        assert [ranking.entries for ranking in implicit] == [
+            ranking.entries for ranking in explicit
+        ]
+
+    def test_unknown_backend_rejected(self, paper_graph):
+        with pytest.raises(ConfigurationError):
+            simrank_top_k(paper_graph, ["a"], backend="gpu", iterations=5)
+
 
 class TestBackendPluggability:
     def test_registered_backend_reaches_matrix_dispatch(self, paper_graph):

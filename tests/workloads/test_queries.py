@@ -9,6 +9,7 @@ from repro.workloads.datasets import load_dataset
 from repro.workloads.queries import (
     degree_stratified_queries,
     prolific_author_queries,
+    zipf_query_stream,
 )
 
 
@@ -55,3 +56,49 @@ class TestStratifiedQueries:
     def test_invalid_band_count(self, small_web_graph):
         with pytest.raises(ConfigurationError):
             degree_stratified_queries(small_web_graph, num_queries_per_band=0)
+
+
+class TestZipfQueryStream:
+    def test_length_and_determinism(self, small_web_graph):
+        stream = zipf_query_stream(small_web_graph, 200, seed=5)
+        again = zipf_query_stream(small_web_graph, 200, seed=5)
+        assert len(stream) == 200
+        assert stream == again
+        assert stream != zipf_query_stream(small_web_graph, 200, seed=6)
+
+    def test_hot_queries_repeat(self, small_web_graph):
+        stream = zipf_query_stream(small_web_graph, 500, exponent=1.2, seed=1)
+        counts = {}
+        for query in stream:
+            counts[query] = counts.get(query, 0) + 1
+        # Skewed traffic: far fewer distinct queries than stream entries,
+        # and the hottest query dominates the median one.
+        assert len(counts) < len(stream) / 2
+        assert max(counts.values()) >= 10 * sorted(counts.values())[len(counts) // 2]
+
+    def test_hottest_query_is_a_hub(self, small_web_graph):
+        stream = zipf_query_stream(small_web_graph, 500, exponent=1.0, seed=2)
+        counts = {}
+        for query in stream:
+            counts[query] = counts.get(query, 0) + 1
+        hottest = max(counts, key=counts.get)
+        top_degree = max(
+            small_web_graph.in_degree(v) for v in small_web_graph.vertices()
+        )
+        assert small_web_graph.in_degree(
+            small_web_graph.index_of(hottest)
+        ) == top_degree
+
+    def test_works_on_edge_list_graphs(self):
+        from repro.graph.generators.rmat import rmat_edge_list
+
+        graph = rmat_edge_list(6, 150, seed=3)
+        stream = zipf_query_stream(graph, 50, seed=0)
+        assert len(stream) == 50
+        assert all(0 <= query < graph.num_vertices for query in stream)
+
+    def test_invalid_parameters(self, small_web_graph):
+        with pytest.raises(ConfigurationError):
+            zipf_query_stream(small_web_graph, 0)
+        with pytest.raises(ConfigurationError):
+            zipf_query_stream(small_web_graph, 10, exponent=0.0)
