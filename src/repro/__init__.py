@@ -83,6 +83,7 @@ from .graph import (
     from_in_neighbor_sets,
 )
 from .graph import generators
+from .parallel import ParallelExecutor, plan_shards, resolve_workers
 from .service import SimilarityService, build_index, load_index, save_index
 from .workloads import load_dataset, syn_graph, zipf_query_stream
 
@@ -117,15 +118,18 @@ __all__ = sorted(
         "generators",
         "load_dataset",
         "load_index",
+        "ParallelExecutor",
         "matrix_simrank",
         "monte_carlo_simrank",
         "mtx_svd_simrank",
         "naive_simrank",
         "oip_dsr",
         "oip_sr",
+        "plan_shards",
         "prank",
         "prank_shared",
         "psum_simrank",
+        "resolve_workers",
         "save_index",
         "simrank",
         "simrank_top_k",

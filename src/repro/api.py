@@ -40,6 +40,7 @@ from .core.oip_sr import oip_sr
 from .core.result import SimRankResult, validate_damping, validate_iterations
 from .exceptions import ConfigurationError
 from .extensions.prank import prank, prank_shared
+from .parallel import ParallelExecutor, resolve_workers
 
 __all__ = [
     "METHODS",
@@ -68,6 +69,10 @@ class MethodSpec:
     accepts_backend:
         Whether the solver takes a ``backend=`` keyword (only the
         matrix-form solver does today).
+    accepts_workers:
+        Whether the solver takes a ``workers=`` keyword for process-parallel
+        execution (the matrix-form solver; per-vertex solvers iterate Python
+        adjacency and stay serial).
     default_backend:
         Backend used when the caller passes ``backend=None``.
     needs_adjacency:
@@ -82,6 +87,7 @@ class MethodSpec:
     solver: Callable[..., SimRankResult]
     backends: tuple[str, ...] = ("dense",)
     accepts_backend: bool = False
+    accepts_workers: bool = False
     default_backend: Optional[str] = None
     needs_adjacency: bool = True
 
@@ -94,6 +100,7 @@ METHODS: dict[str, MethodSpec] = {
             solver=matrix_simrank,
             backends=("dense", "sparse"),
             accepts_backend=True,
+            accepts_workers=True,
             default_backend="sparse",
             needs_adjacency=False,
         ),
@@ -162,6 +169,7 @@ def simrank(
     graph,
     method: str = "matrix",
     backend: Union[str, SimRankBackend, None] = None,
+    workers: Optional[int] = None,
     **params,
 ) -> SimRankResult:
     """Compute SimRank on ``graph`` with the named method and backend.
@@ -179,6 +187,12 @@ def simrank(
         support one; ``None`` picks the method's default.  Requesting a
         backend the method cannot honour raises
         :class:`~repro.exceptions.ConfigurationError`.
+    workers:
+        Process-parallel worker count for methods that support it
+        (``method="matrix"``); ``None``/1 is serial, ``0``/negative means
+        all cores.  Requesting parallelism from a serial-only method raises
+        :class:`~repro.exceptions.ConfigurationError` rather than silently
+        running serial.
     **params:
         Forwarded verbatim to the underlying solver (``damping``,
         ``iterations``, ``accuracy``, ...).
@@ -187,6 +201,17 @@ def simrank(
     resolved = _resolve_backend(spec, backend)
     if spec.accepts_backend and resolved is not None:
         params["backend"] = resolved
+    if workers is not None:
+        if spec.accepts_workers:
+            params["workers"] = workers
+        elif resolve_workers(workers) > 1:
+            raise ConfigurationError(
+                f"method {spec.name!r} does not support parallel execution; "
+                "methods accepting workers: "
+                + ", ".join(
+                    sorted(name for name, s in METHODS.items() if s.accepts_workers)
+                )
+            )
     if spec.needs_adjacency and hasattr(graph, "to_digraph"):
         graph = graph.to_digraph()
     return spec.solver(graph, **params)
@@ -201,6 +226,7 @@ def simrank_top_k(
     accuracy: float = 1e-3,
     backend: Union[str, SimRankBackend, None] = None,
     include_self: bool = False,
+    workers: Optional[int] = None,
     instrumentation: Optional[Instrumentation] = None,
 ) -> list[RankedList]:
     """Answer a batch of top-``k`` queries without materialising all pairs.
@@ -229,6 +255,10 @@ def simrank_top_k(
         matrix method's default (the same convention as :func:`simrank`).
     include_self:
         Whether the query vertex itself may appear in its ranking.
+    workers:
+        Process-parallel worker count for the series evaluation
+        (``None``/1 = serial).  Query shards are merged in submission
+        order, so rankings never depend on the worker count.
     instrumentation:
         Optional instrumentation collector to record costs into.
     """
@@ -246,13 +276,25 @@ def simrank_top_k(
     engine = get_backend(backend)
     indices = np.array([graph.index_of(query) for query in queries], dtype=np.int64)
     transition = engine.transition(graph)
-    rows = engine.similarity_rows(
-        transition,
-        indices,
-        damping=damping,
-        iterations=iterations,
-        instrumentation=instrumentation,
-    )
+    if resolve_workers(workers) > 1:
+        with ParallelExecutor(
+            transition,
+            damping=damping,
+            iterations=iterations,
+            backend=engine,
+            workers=workers,
+        ) as executor:
+            rows = executor.similarity_rows(
+                indices, instrumentation=instrumentation
+            )
+    else:
+        rows = engine.similarity_rows(
+            transition,
+            indices,
+            damping=damping,
+            iterations=iterations,
+            instrumentation=instrumentation,
+        )
 
     vertex_ids = np.arange(transition.n)
     rankings: list[RankedList] = []

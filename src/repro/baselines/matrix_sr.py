@@ -30,6 +30,7 @@ from ..core.instrumentation import Instrumentation
 from ..core.iteration_bounds import conventional_iterations
 from ..core.result import SimRankResult, validate_damping, validate_iterations
 from ..exceptions import ConfigurationError
+from ..parallel import ParallelExecutor, resolve_workers
 
 __all__ = ["matrix_simrank"]
 
@@ -41,6 +42,7 @@ def matrix_simrank(
     accuracy: float = 1e-3,
     diagonal: str = "one",
     backend: Union[str, SimRankBackend] = "sparse",
+    workers: Optional[int] = None,
 ) -> SimRankResult:
     """Compute all-pairs SimRank by iterating the matrix form (Eq. 3).
 
@@ -62,6 +64,14 @@ def matrix_simrank(
     backend:
         Compute backend name (``"sparse"`` or ``"dense"``) or a
         :class:`~repro.core.backends.SimRankBackend` instance.
+    workers:
+        Process-parallel worker count (``None``/1 = serial, ``0``/negative
+        = all cores).  The parallel path shards the columns of each
+        iteration's two ``operator @ dense`` products across a
+        :class:`~repro.parallel.ParallelExecutor` pool with shared-memory
+        score buffers; on the sparse backend the scores are bit-identical
+        to the serial iteration for any worker count (within ``1e-12`` on
+        the dense backend, where BLAS blocking varies with shard shape).
     """
     damping = validate_damping(damping)
     if diagonal not in DIAGONAL_MODES:
@@ -74,16 +84,29 @@ def matrix_simrank(
     iterations = validate_iterations(iterations)
     engine = get_backend(backend)
 
+    resolved_workers = resolve_workers(workers)
     instrumentation = Instrumentation()
     with instrumentation.timer.phase("iterate"):
         transition = engine.transition(graph)
-        scores = engine.iterate(
-            transition,
-            damping=damping,
-            iterations=iterations,
-            diagonal=diagonal,
-            instrumentation=instrumentation,
-        )
+        if resolved_workers > 1:
+            with ParallelExecutor(
+                transition,
+                damping=damping,
+                iterations=iterations,
+                backend=engine,
+                workers=resolved_workers,
+            ) as executor:
+                scores = executor.iterate(
+                    diagonal=diagonal, instrumentation=instrumentation
+                )
+        else:
+            scores = engine.iterate(
+                transition,
+                damping=damping,
+                iterations=iterations,
+                diagonal=diagonal,
+                instrumentation=instrumentation,
+            )
 
     return SimRankResult(
         scores=scores,
@@ -92,5 +115,10 @@ def matrix_simrank(
         damping=damping,
         iterations=iterations,
         instrumentation=instrumentation,
-        extra={"accuracy": accuracy, "diagonal": diagonal, "backend": engine.name},
+        extra={
+            "accuracy": accuracy,
+            "diagonal": diagonal,
+            "backend": engine.name,
+            "workers": resolved_workers,
+        },
     )

@@ -19,6 +19,7 @@ from . import (
     fig6f,
     fig6g,
     fig6h,
+    scaling,
     serving,
 )
 
@@ -34,5 +35,6 @@ __all__ = [
     "fig6f",
     "fig6g",
     "fig6h",
+    "scaling",
     "serving",
 ]

@@ -1,0 +1,169 @@
+"""Scaling benchmark — parallel speedup and efficiency of the sharded engine.
+
+Not a paper figure: this experiment guards the process-parallel execution
+layer (:mod:`repro.parallel`).  It sweeps the worker count over the two
+parallel compute paths on one r-mat graph:
+
+* **index-build** — the offline all-pairs index sweep of
+  :func:`~repro.service.index.build_index` (embarrassingly parallel row
+  shards through one pool);
+* **all-pairs** — ``simrank(method="matrix", workers=N)`` (barrier-synced
+  column-sharded iteration over shared-memory score buffers).
+
+For every worker count it reports wall-clock seconds, speedup over the
+1-worker run and parallel efficiency (``speedup / workers``), and — the
+part that must never regress — the maximum absolute difference between the
+parallel and the serial result.  On the sparse backend that difference is
+exactly 0.0 (bit-identical merges); anything above ``1e-12`` is a
+correctness bug, not a tuning problem.  Speedup itself is hardware-bound:
+on a single-core runner the sweep degenerates to measuring pool overhead,
+which is why CI runs this with ``--quick`` for the determinism check and
+treats the speedup column as informational.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+import numpy as np
+
+from ...api import simrank
+from ...graph.generators.rmat import rmat_edge_list
+from ...parallel import resolve_workers
+from ...service import build_index
+from ..runner import ExperimentReport
+
+__all__ = ["run"]
+
+
+def _max_abs_diff(first, second) -> float:
+    """Maximum absolute entry difference between two same-shape matrices."""
+    delta = first - second
+    if hasattr(delta, "nnz"):  # sparse difference
+        return float(np.abs(delta.data).max()) if delta.nnz else 0.0
+    return float(np.abs(delta).max()) if delta.size else 0.0
+
+
+def run(
+    scale: float = 1.0,
+    quick: bool = False,
+    damping: float = 0.6,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Sweep worker counts over the parallel index-build and all-pairs paths.
+
+    ``workers`` caps the sweep (default 1/2/4/8, or 1/2 with ``--quick``);
+    passing e.g. ``workers=4`` sweeps 1/2/4, and ``0``/negative means all
+    cores — the same convention as everywhere else ``workers`` appears.
+    """
+    report = ExperimentReport(
+        experiment="scaling",
+        title="Parallel sharded execution: speedup and efficiency vs workers",
+    )
+    log_vertices = 8 if quick else 11
+    if scale != 1.0:
+        log_vertices = max(6, log_vertices + int(round(np.log2(max(scale, 1e-9)))))
+    num_vertices = 1 << log_vertices
+    num_edges = 3 * num_vertices
+    iterations = 10 if quick else 25
+    index_k = 50
+    sweep = (1, 2) if quick else (1, 2, 4, 8)
+    if workers is not None:
+        cap = resolve_workers(workers)  # 0/negative -> all cores
+        sweep = tuple(sorted({1, *(w for w in sweep if w < cap), cap}))
+
+    graph = rmat_edge_list(log_vertices, num_edges, seed=7)
+    report.add_note(
+        f"r-mat graph: n={num_vertices}, m={graph.num_edges}, K={iterations}; "
+        f"host reports {os.cpu_count()} cpu core(s)"
+    )
+
+    # --- index build: embarrassingly parallel row shards ---------------- #
+    serial_index = None
+    serial_seconds = 0.0
+    for count in sweep:
+        started = time.perf_counter()
+        index = build_index(
+            graph,
+            index_k=index_k,
+            damping=damping,
+            iterations=iterations,
+            backend=backend,
+            workers=count,
+        )
+        elapsed = time.perf_counter() - started
+        if serial_index is None:
+            serial_index = index
+            serial_seconds = elapsed
+        report.add_row(
+            {
+                "path": "index-build",
+                "workers": count,
+                "n": num_vertices,
+                "m": graph.num_edges,
+                "seconds": round(elapsed, 4),
+                "speedup": round(serial_seconds / elapsed, 2),
+                "efficiency": round(serial_seconds / elapsed / count, 2),
+                "max_abs_diff": _max_abs_diff(index.matrix, serial_index.matrix),
+            }
+        )
+
+    # --- all-pairs matrix: barrier-synced column shards ----------------- #
+    serial_scores = None
+    serial_matrix_seconds = 0.0
+    for count in sweep:
+        result = simrank(
+            graph,
+            method="matrix",
+            backend=backend or "sparse",
+            damping=damping,
+            iterations=iterations,
+            workers=count,
+        )
+        if serial_scores is None:
+            serial_scores = result.scores
+            serial_matrix_seconds = result.elapsed_seconds
+        report.add_row(
+            {
+                "path": "all-pairs",
+                "workers": count,
+                "n": num_vertices,
+                "m": graph.num_edges,
+                "seconds": round(result.elapsed_seconds, 4),
+                "speedup": round(
+                    serial_matrix_seconds / max(result.elapsed_seconds, 1e-12), 2
+                ),
+                "efficiency": round(
+                    serial_matrix_seconds
+                    / max(result.elapsed_seconds, 1e-12)
+                    / count,
+                    2,
+                ),
+                "max_abs_diff": _max_abs_diff(result.scores, serial_scores),
+            }
+        )
+
+    worst = max(row["max_abs_diff"] for row in report.rows)
+    if worst > 1e-12:
+        # This experiment is the determinism guard CI leans on: a violation
+        # must fail the run (nonzero CLI exit), not hide in a note.
+        raise RuntimeError(
+            f"parallel results diverged from serial: max |diff| = {worst:.3e} "
+            "> 1e-12 — a shard-merge correctness bug, not a tuning problem"
+        )
+    best = max(
+        (row for row in report.rows if row["path"] == "index-build"),
+        key=lambda row: row["speedup"],
+    )
+    report.add_note(
+        f"determinism: max |parallel - serial| over every path/worker count "
+        f"= {worst:.3e} (must be <= 1e-12; 0.0 means bit-identical)"
+    )
+    report.add_note(
+        f"best index-build speedup: {best['speedup']}x at "
+        f"{best['workers']} workers (parallel efficiency {best['efficiency']})"
+    )
+    return report

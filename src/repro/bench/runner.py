@@ -47,7 +47,11 @@ ALGORITHMS: dict[str, Callable[..., SimRankResult]] = {
 
 
 def run_algorithm(
-    name: str, graph: DiGraph, backend: Optional[str] = None, **params
+    name: str,
+    graph: DiGraph,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    **params,
 ) -> SimRankResult:
     """Run the named algorithm on ``graph`` and return its result.
 
@@ -65,6 +69,11 @@ def run_algorithm(
         setting, so a *valid* backend request is a preference here, not a
         hard constraint (call :func:`repro.api.simrank` directly for strict
         dispatch).
+    workers:
+        Optional process-parallel worker count, forwarded — like
+        ``backend`` — only to methods that can honour it (the matrix-form
+        solver); serial-only methods keep running serial rather than
+        raising, matching the sweep-many-algorithms semantics above.
     **params:
         Forwarded verbatim to the underlying solver (``damping``,
         ``iterations``, ``accuracy``, ...).
@@ -74,7 +83,9 @@ def run_algorithm(
         get_backend(backend)  # unknown names must raise, not silently drop
         if not spec.accepts_backend and backend not in spec.backends:
             backend = None
-    return simrank(graph, method=name, backend=backend, **params)
+    if workers is not None and not spec.accepts_workers:
+        workers = None
+    return simrank(graph, method=name, backend=backend, workers=workers, **params)
 
 
 def measurement_row(result: SimRankResult, **extra: object) -> dict[str, object]:

@@ -48,6 +48,7 @@ from .bench.experiments import (
     fig6f,
     fig6g,
     fig6h,
+    scaling,
     serving,
 )
 from .bench.results import format_report, write_reports_json
@@ -74,6 +75,7 @@ _FIGURE_RUNNERS = {
     "ablation-budget": ablations.run_candidate_budget,
     "ablation-sharing": ablations.run_sharing_levels,
     "bench-backends": backends.run,
+    "scaling": scaling.run,
     "serving": serving.run,
 }
 
@@ -129,6 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "process-parallel worker count for the sharded execution engine "
+            "(forwarded to index-build and to experiments that sweep or use "
+            "workers, e.g. 'scaling' and 'serving'; 0 means all cores)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -181,6 +194,8 @@ def _run_one(name: str, args: argparse.Namespace):
         kwargs["damping"] = args.damping
     if args.backend is not None:
         kwargs["backend"] = args.backend
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
     # Experiments accept different option subsets (the ablations take no
     # damping override, several figures no backend); forward what each takes.
     accepted = inspect.signature(runner).parameters
@@ -202,7 +217,11 @@ def _index_build(args: argparse.Namespace) -> int:
     )
     started = time.perf_counter()
     index = build_index(
-        graph, index_k=args.index_k, damping=damping, backend=args.backend
+        graph,
+        index_k=args.index_k,
+        damping=damping,
+        backend=args.backend,
+        workers=args.workers,
     )
     elapsed = time.perf_counter() - started
     save_index(index, args.out)

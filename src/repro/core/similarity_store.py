@@ -151,6 +151,17 @@ class SimilarityStore:
     # Queries
     # ------------------------------------------------------------------ #
     @property
+    def matrix(self) -> sparse.csr_matrix:
+        """The stored off-diagonal scores as a CSR matrix (no copy).
+
+        Exposed for whole-store comparisons (the scaling benchmark checks a
+        parallel build against a serial one entry for entry) and for bulk
+        analytics; mutate through :meth:`invalidate_rows` / :meth:`merge_rows`
+        instead of writing to this matrix directly.
+        """
+        return self._matrix
+
+    @property
     def num_vertices(self) -> int:
         """Number of vertices covered by the store."""
         return self._matrix.shape[0]

@@ -1,0 +1,21 @@
+"""Process-parallel sharded execution for the matrix-form compute paths.
+
+The package's hot paths — offline index construction, batched top-k series
+rows, all-pairs matrix SimRank — are all shard-decomposable; this package
+supplies the shard planner (:func:`plan_shards`) and the pooled executor
+(:class:`ParallelExecutor`) that the three paths dispatch through when
+called with ``workers=N``.  Parallel results are deterministic: merges
+happen in shard order and, on the sparse backend, are bit-identical to the
+serial computation for any worker count.
+"""
+
+from .executor import ParallelExecutor, resolve_workers
+from .sharding import Shard, plan_shards, split_indices
+
+__all__ = [
+    "ParallelExecutor",
+    "Shard",
+    "plan_shards",
+    "resolve_workers",
+    "split_indices",
+]

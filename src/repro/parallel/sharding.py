@@ -1,0 +1,110 @@
+"""Shard planning: split a range or index set into balanced contiguous pieces.
+
+Every parallel code path in the package reduces to "evaluate something for a
+contiguous block of vertices/queries" — series rows per query shard, matrix
+columns per column shard — so the planner's only job is to cut ``total``
+items into contiguous shards whose sizes differ by at most one (the
+``numpy.array_split`` balance guarantee), optionally capped by a per-shard
+size so a memory bound like ``build_index``'s ``chunk_size`` survives the
+parallel rewrite.  Contiguity matters: merged results are written back by
+``[start:stop)`` slice, which keeps the merge deterministic and allocation-
+free regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["Shard", "plan_shards", "split_indices"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous work range ``[start, stop)``.
+
+    Attributes
+    ----------
+    index:
+        Position of the shard in the plan (0-based); merges happen in this
+        order, which is what makes parallel results deterministic.
+    start, stop:
+        Half-open item range covered by the shard.
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        """Number of items in the shard."""
+        return self.stop - self.start
+
+    def indices(self) -> np.ndarray:
+        """The shard's item indices as an ``int64`` array."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+
+def plan_shards(
+    total: int,
+    shards: int,
+    max_size: int | None = None,
+) -> list[Shard]:
+    """Split ``total`` items into up to ``shards`` balanced contiguous shards.
+
+    Parameters
+    ----------
+    total:
+        Number of items to cover (0 yields an empty plan).
+    shards:
+        Target shard count — usually the worker count.  The plan never
+        contains more shards than items, and never an empty shard.
+    max_size:
+        Optional upper bound on any shard's size (e.g. a memory-driven chunk
+        size); the shard count grows beyond ``shards`` when needed to honour
+        it.
+
+    Returns
+    -------
+    list of :class:`Shard`
+        Disjoint, contiguous, in-order shards covering ``[0, total)`` whose
+        sizes differ by at most one.
+    """
+    if total < 0:
+        raise ConfigurationError(f"total must be non-negative, got {total}")
+    if shards <= 0:
+        raise ConfigurationError(f"shards must be positive, got {shards}")
+    if max_size is not None and max_size <= 0:
+        raise ConfigurationError(f"max_size must be positive, got {max_size}")
+    if total == 0:
+        return []
+    count = min(shards, total)
+    if max_size is not None:
+        count = max(count, -(-total // max_size))  # ceil division
+    # array_split balance: the first (total % count) shards get one extra item.
+    base, extra = divmod(total, count)
+    plan: list[Shard] = []
+    start = 0
+    for index in range(count):
+        stop = start + base + (1 if index < extra else 0)
+        plan.append(Shard(index=index, start=start, stop=stop))
+        start = stop
+    return plan
+
+
+def split_indices(indices: np.ndarray, shards: int) -> list[np.ndarray]:
+    """Split an explicit index array into balanced contiguous sub-arrays.
+
+    The concatenation of the returned pieces is exactly ``indices`` (order
+    preserved), so a shard-by-shard merge reproduces the unsharded result
+    row for row.
+    """
+    indices = np.asarray(indices, dtype=np.int64).ravel()
+    return [
+        indices[shard.start : shard.stop]
+        for shard in plan_shards(indices.size, shards)
+    ]

@@ -125,11 +125,12 @@ class MicroBatcher:
     @property
     def amortisation(self) -> float:
         """Queries answered per backend row computed (≥ 1 once warm)."""
-        return (
-            self.queries_submitted / self.rows_computed
-            if self.rows_computed
-            else 0.0
-        )
+        with self._lock:  # one consistent read of the two counters
+            return (
+                self.queries_submitted / self.rows_computed
+                if self.rows_computed
+                else 0.0
+            )
 
     def __repr__(self) -> str:
         return (

@@ -7,11 +7,15 @@ modest least-recently-used cache absorbs most of the stream once warm.
 
 The implementation is a plain ``OrderedDict`` with move-to-front on hit —
 O(1) get/put — plus hit/miss counters and predicate-based invalidation so
-the service can evict exactly the entries a graph mutation poisoned.
+the service can evict exactly the entries a graph mutation poisoned.  A
+small internal lock makes every operation atomic (a ``get`` is a lookup
+*plus* a promotion plus a counter bump), so concurrent readers and an
+invalidating mutator can share one cache without torn recency state.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from typing import Optional
@@ -40,38 +44,43 @@ class LRUCache:
                 f"cache capacity must be non-negative, got {capacity}"
             )
         self.capacity = int(capacity)
+        self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
         # Membership does not promote: probing must not perturb recency.
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable, default: object = None) -> object:
         """Return the cached value for ``key`` (promoting it), else ``default``."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: object) -> None:
         """Insert or refresh ``key``, evicting the least recently used entry."""
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(
         self, predicate: Optional[Callable[[Hashable], bool]] = None
@@ -80,14 +89,15 @@ class LRUCache:
 
         Returns the number of entries dropped.
         """
-        if predicate is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-            return dropped
-        doomed = [key for key in self._entries if predicate(key)]
-        for key in doomed:
-            del self._entries[key]
-        return len(doomed)
+        with self._lock:
+            if predicate is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     @property
     def hit_rate(self) -> float:

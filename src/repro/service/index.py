@@ -26,8 +26,9 @@ from ..core.backends import SimRankBackend, get_backend
 from ..core.instrumentation import Instrumentation
 from ..core.iteration_bounds import conventional_iterations
 from ..core.result import validate_damping, validate_iterations
-from ..core.similarity_store import PathLike, SimilarityStore, row_top_k
+from ..core.similarity_store import PathLike, SimilarityStore
 from ..exceptions import ConfigurationError
+from ..parallel import ParallelExecutor
 
 __all__ = ["build_index", "load_index", "save_index"]
 
@@ -46,6 +47,8 @@ def build_index(
     accuracy: float = 1e-3,
     backend: Union[str, SimRankBackend, None] = None,
     chunk_size: int = 256,
+    workers: Optional[int] = None,
+    mp_context: Optional[str] = None,
     instrumentation: Optional[Instrumentation] = None,
 ) -> SimilarityStore:
     """Precompute a truncated all-pairs similarity index for ``graph``.
@@ -66,9 +69,22 @@ def build_index(
         matrix method's default (sparse CSR).
     chunk_size:
         Vertices evaluated per backend call — bounds peak memory at
-        ``O(K · n · chunk_size)`` floats.
+        ``O(K · n · chunk_size)`` floats (per worker when parallel).
+    workers:
+        Process-parallel worker count for the row sweep (``None``/1 =
+        serial, ``0``/negative = all cores).  The vertex range is sharded
+        contiguously across a :class:`~repro.parallel.ParallelExecutor`
+        pool — the CSR operator ships once per pool — and rows are merged
+        in shard order, so the built index is bit-identical to a serial
+        build for every worker count.
+    mp_context:
+        Multiprocessing start-method for the pool (``None`` prefers
+        ``fork``).  Callers building from a *multithreaded* process — the
+        serving engine's rebuild path — pass ``"forkserver"``; forking a
+        threaded process can deadlock the children.
     instrumentation:
-        Optional collector; the backend records its series costs into it.
+        Optional collector; the series costs are recorded into it (by the
+        parent process when parallel — the cost model is deterministic).
     """
     if index_k <= 0:
         raise ConfigurationError(f"index_k must be positive, got {index_k}")
@@ -83,25 +99,32 @@ def build_index(
     transition = engine.transition(graph)
     n = transition.n
 
+    # One sweep over the vertex range, sharded by the executor (serial when
+    # workers resolves to 1 — same shards, same arithmetic, no pool).  Each
+    # shard returns already-truncated (columns, values) rows, merged here in
+    # vertex order, so the stored CSR never depends on the worker count.
+    with ParallelExecutor(
+        transition,
+        damping=damping,
+        iterations=iterations,
+        backend=engine,
+        workers=workers,
+        context=mp_context,
+    ) as executor:
+        parts = executor.topk_rows(
+            np.arange(n, dtype=np.int64),
+            index_k,
+            max_shard_size=chunk_size,
+            instrumentation=instrumentation,
+        )
+
     columns_parts: list[np.ndarray] = []
     data_parts: list[np.ndarray] = []
     indptr = np.zeros(n + 1, dtype=np.int64)
-    for start in range(0, n, chunk_size):
-        chunk = np.arange(start, min(start + chunk_size, n), dtype=np.int64)
-        rows = engine.similarity_rows(
-            transition,
-            chunk,
-            damping=damping,
-            iterations=iterations,
-            instrumentation=instrumentation,
-        )
-        for position, vertex in enumerate(chunk):
-            row = rows[position]
-            row[vertex] = 0.0  # the diagonal is implicit in the store
-            kept_columns, kept_values = row_top_k(row, index_k)
-            columns_parts.append(kept_columns)
-            data_parts.append(kept_values)
-            indptr[vertex + 1] = indptr[vertex] + kept_columns.size
+    for vertex, (kept_columns, kept_values) in enumerate(parts):
+        columns_parts.append(kept_columns)
+        data_parts.append(kept_values)
+        indptr[vertex + 1] = indptr[vertex] + kept_columns.size
 
     matrix = sparse.csr_matrix(
         (

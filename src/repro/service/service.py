@@ -32,12 +32,26 @@ recomputed-and-merged the first time it is queried.  Served answers are
 consequently always exact with respect to the current graph — identical to
 a from-scratch rebuild — but the up-front cost of a mutation is
 ``O(dirty)`` rows instead of ``O(n)``.
+
+**Thread safety.**  The service is safe for concurrent readers and a
+concurrent mutator.  One re-entrant lock guards all shared state (edge
+set, version, dirty set, index row versions, cache, stats); the expensive
+series evaluations run *outside* that lock, so readers keep answering
+from the cache and index while a :meth:`refresh` or another reader's miss
+computes.  Every write-back of computed data — cache fills, index merges,
+refresh merges — is *version-gated*: the rows are applied only when the
+graph version they were computed at is still current, so a racing mutation
+can never poison the cache or the index with stale scores.  Lock ordering
+is ``batcher → service → (stats, cache)``; the service never calls into
+the batcher while holding its own lock.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
+from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Optional, Union
@@ -51,6 +65,7 @@ from ..core.result import validate_damping, validate_iterations
 from ..core.similarity_store import SimilarityStore
 from ..exceptions import ConfigurationError
 from ..graph.edgelist import EdgeListGraph
+from ..parallel import ParallelExecutor, resolve_workers
 from .batcher import MicroBatcher
 from .cache import LRUCache
 from .index import build_index as _build_index
@@ -93,7 +108,13 @@ class TierStats:
 
 @dataclass
 class ServiceStats:
-    """Per-tier hit/latency statistics plus update counters."""
+    """Per-tier hit/latency statistics plus update counters.
+
+    All mutation goes through the ``record``/``note_*`` methods, which hold
+    an internal lock, so the invariant *sum of tier hits == queries* holds
+    at every instant even under concurrent recording — a
+    :meth:`snapshot` taken mid-traffic is internally consistent.
+    """
 
     tiers: dict[str, TierStats] = field(
         default_factory=lambda: {tier: TierStats() for tier in TIERS}
@@ -102,29 +123,45 @@ class ServiceStats:
     updates: int = 0
     refreshed_rows: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record(self, tier: str, elapsed: float) -> None:
-        self.queries += 1
-        self.tiers[tier].record(elapsed)
+        with self._lock:
+            self.queries += 1
+            self.tiers[tier].record(elapsed)
+
+    def note_update(self) -> None:
+        """Count one effective graph mutation."""
+        with self._lock:
+            self.updates += 1
+
+    def note_refreshed(self, rows: int) -> None:
+        """Count ``rows`` eagerly refreshed index rows."""
+        with self._lock:
+            self.refreshed_rows += rows
 
     def samples(self, tier: str) -> list[float]:
         """Raw latency samples (seconds) for one tier."""
-        return list(self.tiers[tier].seconds)
+        with self._lock:
+            return list(self.tiers[tier].seconds)
 
     def snapshot(self) -> dict[str, object]:
         """A flat summary dict (counts, hit shares, mean latencies)."""
-        summary: dict[str, object] = {
-            "queries": self.queries,
-            "updates": self.updates,
-            "refreshed_rows": self.refreshed_rows,
-        }
-        for tier in TIERS:
-            stats = self.tiers[tier]
-            summary[f"{tier}_hits"] = stats.count
-            summary[f"{tier}_share"] = (
-                stats.count / self.queries if self.queries else 0.0
-            )
-            summary[f"{tier}_mean_seconds"] = stats.mean_seconds
-        return summary
+        with self._lock:
+            summary: dict[str, object] = {
+                "queries": self.queries,
+                "updates": self.updates,
+                "refreshed_rows": self.refreshed_rows,
+            }
+            for tier in TIERS:
+                stats = self.tiers[tier]
+                summary[f"{tier}_hits"] = stats.count
+                summary[f"{tier}_share"] = (
+                    stats.count / self.queries if self.queries else 0.0
+                )
+                summary[f"{tier}_mean_seconds"] = stats.mean_seconds
+            return summary
 
 
 class SimilarityService:
@@ -158,6 +195,16 @@ class SimilarityService:
     auto_warm:
         When an index is attached, merge on-demand rows back into it so a
         miss is only ever computed once per graph version.
+    workers:
+        Process-parallel worker count for on-demand/refresh row computation
+        and for :meth:`build_index` (``None``/1 = serial).  The worker pool
+        is bound to the current transition operator and retired on every
+        mutation; parallel rows are bit-identical to serial ones.  The pool
+        uses the ``forkserver`` start method (safe to create from a
+        threaded process), which requires an importable ``__main__``; in
+        environments without one (``python -c``, stdin) the first pool
+        failure trips a circuit breaker and the service computes serially
+        (see :attr:`pool_failures`).
     """
 
     def __init__(
@@ -173,6 +220,7 @@ class SimilarityService:
         cache_size: int = 1024,
         max_batch: int = 64,
         auto_warm: bool = True,
+        workers: Optional[int] = None,
     ) -> None:
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k}")
@@ -183,7 +231,9 @@ class SimilarityService:
         self.iterations = validate_iterations(iterations)
         self._engine = get_backend(backend if backend is not None else "sparse")
         self.auto_warm = auto_warm
+        self.workers = resolve_workers(workers)
 
+        self._lock = threading.RLock()
         self._graph = graph
         self._n = graph.num_vertices
         self._edges: set[tuple[int, int]] = {
@@ -193,6 +243,14 @@ class SimilarityService:
         self._dirty: set[int] = set()
         self._compute_graph: Optional[EdgeListGraph] = None
         self._transition = None
+        self._executor: Optional[ParallelExecutor] = None
+        self._pool_disabled = False
+        self.pool_failures = 0
+        """Worker pools lost to dead workers (OOM kill, unimportable
+        ``__main__`` under the forkserver start method, ...).  The first
+        failure trips a circuit breaker: the service stops creating pools
+        and computes serially — correct answers, no parallelism, no
+        per-compute respawn storm."""
 
         self.cache = LRUCache(cache_size)
         self.batcher = MicroBatcher(self._compute_rows, max_batch=max_batch)
@@ -214,42 +272,45 @@ class SimilarityService:
     @property
     def num_edges(self) -> int:
         """Number of distinct directed edges in the served graph."""
-        return len(self._edges)
+        with self._lock:
+            return len(self._edges)
 
     @property
     def version(self) -> int:
         """Graph version; bumped by every effective edge mutation."""
-        return self._version
+        with self._lock:
+            return self._version
 
     @property
     def dirty_vertices(self) -> frozenset[int]:
         """Vertices marked dirty by mutations and not yet refreshed."""
-        return frozenset(self._dirty)
+        with self._lock:
+            return frozenset(self._dirty)
 
     def current_graph(self) -> EdgeListGraph:
         """The served graph at the current version, as an edge list."""
-        if self._compute_graph is None:
-            if self._edges:
-                pairs = np.fromiter(
-                    (value for edge in self._edges for value in edge),
-                    dtype=np.int64,
-                    count=2 * len(self._edges),
-                ).reshape(-1, 2)
-                sources, targets = pairs[:, 0], pairs[:, 1]
-            else:
-                sources = np.empty(0, dtype=np.int64)
-                targets = np.empty(0, dtype=np.int64)
-            self._compute_graph = EdgeListGraph.from_arrays(
-                self._n, sources, targets, name=getattr(self._graph, "name", "")
-            )
-        return self._compute_graph
+        with self._lock:
+            if self._compute_graph is None:
+                if self._edges:
+                    pairs = np.fromiter(
+                        (value for edge in self._edges for value in edge),
+                        dtype=np.int64,
+                        count=2 * len(self._edges),
+                    ).reshape(-1, 2)
+                    sources, targets = pairs[:, 0], pairs[:, 1]
+                else:
+                    sources = np.empty(0, dtype=np.int64)
+                    targets = np.empty(0, dtype=np.int64)
+                self._compute_graph = EdgeListGraph.from_arrays(
+                    self._n, sources, targets, name=getattr(self._graph, "name", "")
+                )
+            return self._compute_graph
 
     def has_edge(self, source: Hashable, target: Hashable) -> bool:
         """Whether the directed edge exists in the served graph."""
-        return (
-            self._graph.index_of(source),
-            self._graph.index_of(target),
-        ) in self._edges
+        edge = (self._graph.index_of(source), self._graph.index_of(target))
+        with self._lock:
+            return edge in self._edges
 
     # ------------------------------------------------------------------ #
     # Index management
@@ -292,24 +353,83 @@ class SimilarityService:
             raise ConfigurationError(
                 "index has no index_k metadata; build it with build_index()"
             )
-        self._index = index
-        self._row_version = np.full(self._n, self._version, dtype=np.int64)
+        with self._lock:
+            self._index = index
+            self._row_version = np.full(self._n, self._version, dtype=np.int64)
 
-    def build_index(self, index_k: int = 50, chunk_size: int = 256) -> SimilarityStore:
-        """Build (or rebuild) the index for the current graph and attach it."""
-        index = _build_index(
-            self.current_graph(),
-            index_k=index_k,
-            damping=self.damping,
-            iterations=self.iterations,
-            backend=self._engine,
-            chunk_size=chunk_size,
-        )
-        # Serve labels through the original graph, not the edge-list snapshot.
-        index.graph = self._graph
-        self.attach_index(index)
-        self._dirty.clear()
-        return index
+    def build_index(
+        self,
+        index_k: int = 50,
+        chunk_size: int = 256,
+        workers: Optional[int] = None,
+    ) -> SimilarityStore:
+        """Build (or rebuild) the index for the current graph and attach it.
+
+        ``workers`` defaults to the service's own worker count; the build is
+        bit-identical for any value.  Like every other write-back, the
+        attach is version-gated: if a mutation lands while the (unlocked)
+        build sweep runs, the stale result is discarded and the build
+        restarts from the new graph, so an attached index always matches
+        the version it is stamped with.  After two discarded sweeps the
+        final attempt holds the service lock for the build's duration —
+        mutations (and queries) block briefly, but a sustained mutator can
+        never starve the rebuild forever.
+        """
+
+        def sweep(graph) -> SimilarityStore:
+            count = self.workers if workers is None else workers
+            with self._lock:
+                if self._pool_disabled:
+                    count = 1  # the circuit breaker covers this path too
+            try:
+                index = _build_index(
+                    graph,
+                    index_k=index_k,
+                    damping=self.damping,
+                    iterations=self.iterations,
+                    backend=self._engine,
+                    chunk_size=chunk_size,
+                    workers=count,
+                    # This build may run from a process with live reader
+                    # threads; fork would be unsafe (see _current_transition).
+                    mp_context="forkserver",
+                )
+            except BrokenProcessPool:
+                # Same contract as _compute_rows_versioned: a dead pool
+                # trips the breaker and the build falls back to serial.
+                with self._lock:
+                    self.pool_failures += 1
+                    self._pool_disabled = True
+                index = _build_index(
+                    graph,
+                    index_k=index_k,
+                    damping=self.damping,
+                    iterations=self.iterations,
+                    backend=self._engine,
+                    chunk_size=chunk_size,
+                    workers=1,
+                )
+            # Serve labels through the original graph, not the edge-list
+            # snapshot.
+            index.graph = self._graph
+            return index
+
+        for _ in range(2):
+            with self._lock:
+                version = self._version
+                graph = self.current_graph()
+            index = sweep(graph)
+            with self._lock:
+                if self._version != version:
+                    continue  # a mutation raced the sweep; rebuild
+                self.attach_index(index)
+                self._dirty.clear()
+                return index
+        with self._lock:  # final attempt: block mutations, guarantee progress
+            index = sweep(self.current_graph())
+            self.attach_index(index)
+            self._dirty.clear()
+            return index
 
     # ------------------------------------------------------------------ #
     # Query path
@@ -323,10 +443,12 @@ class SimilarityService:
     ) -> list[RankedList]:
         """Answer a batch of queries, coalescing every miss into one flush.
 
-        Cache and index hits are answered inline; the remaining misses are
-        submitted to the micro-batcher and resolved with a single backend
-        call, which amortises the shared series evaluation across the whole
-        miss set.
+        Cache and index hits are answered inline under the service lock;
+        the remaining misses are submitted to the micro-batcher *outside*
+        the lock and resolved with a single backend call.  Computed rows
+        are written back to the cache/index only if the graph version is
+        unchanged since the first miss was probed — a concurrent mutation
+        turns the write-back into a no-op instead of a stale merge.
         """
         k = self.k if k is None else int(k)
         if k <= 0:
@@ -337,23 +459,33 @@ class SimilarityService:
         # Timing starts at the first submit so backend work triggered by the
         # batcher's auto-flush (misses beyond max_batch) is attributed too.
         compute_started: Optional[float] = None
+        version_before: Optional[int] = None
         for position, query in enumerate(queries):
             vertex = self._graph.index_of(query)
             started = time.perf_counter()
             key = (vertex, k)
-            cached = self.cache.get(key)
-            if cached is not None:
-                answers[position] = self._relabel(cached, query)
-                self.stats.record("cache", time.perf_counter() - started)
-                continue
-            if self._index_row_fresh(vertex) and k <= self.index_k:
-                ranking = self._rank_from_index(query, vertex, k)
-                answers[position] = ranking
-                self.cache.put(key, ranking)
-                self.stats.record("index", time.perf_counter() - started)
+            hit = False
+            with self._lock:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    answers[position] = self._relabel(cached, query)
+                    self.stats.record("cache", time.perf_counter() - started)
+                    hit = True
+                elif self._index_row_fresh(vertex) and k <= self.index_k:
+                    ranking = self._rank_from_index(query, vertex, k)
+                    answers[position] = ranking
+                    self.cache.put(key, ranking)
+                    self.stats.record("index", time.perf_counter() - started)
+                    hit = True
+                elif version_before is None:
+                    version_before = self._version
+            if hit:
                 continue
             if compute_started is None:
                 compute_started = started
+            # Submitted outside the service lock: the batcher's compute
+            # callback re-enters the service, and holding both locks here
+            # would invert the batcher → service lock order.
             misses.append((position, query, vertex, self.batcher.submit(vertex)))
 
         if misses:
@@ -363,15 +495,22 @@ class SimilarityService:
                 row = handle.result()
                 ranking = self._rank_row(row, query, vertex, k)
                 answers[position] = ranking
-                self.cache.put((vertex, k), ranking)
                 fresh.setdefault(vertex, row)
-            if self.auto_warm and self._index is not None:
-                self._merge_fresh(list(fresh), np.stack(list(fresh.values())))
-            # One flush (plus warm-back) served every miss; attribute the
-            # elapsed wall-clock evenly so tiers stay per-query comparable.
             share = (time.perf_counter() - compute_started) / len(misses)
-            for _ in misses:
-                self.stats.record("compute", share)
+            with self._lock:
+                # Version gate: write computed answers back only when no
+                # mutation raced the computation (see class docstring).
+                if self._version == version_before:
+                    for position, query, vertex, handle in misses:
+                        self.cache.put((vertex, k), answers[position])
+                    if self.auto_warm and self._index is not None:
+                        self._merge_fresh(
+                            list(fresh), np.stack(list(fresh.values()))
+                        )
+                # One flush (plus warm-back) served every miss; attribute the
+                # elapsed wall-clock evenly so tiers stay per-query comparable.
+                for _ in misses:
+                    self.stats.record("compute", share)
         return [answer for answer in answers if answer is not None]
 
     # ------------------------------------------------------------------ #
@@ -380,48 +519,69 @@ class SimilarityService:
     def add_edge(self, source: Hashable, target: Hashable) -> bool:
         """Insert a directed edge; returns ``False`` when already present."""
         edge = (self._graph.index_of(source), self._graph.index_of(target))
-        if edge in self._edges:
-            return False
-        self._edges.add(edge)
-        self._note_mutation(edge)
-        return True
+        with self._lock:
+            if edge in self._edges:
+                return False
+            self._edges.add(edge)
+            self._note_mutation(edge)
+            return True
 
     def remove_edge(self, source: Hashable, target: Hashable) -> bool:
         """Delete a directed edge; returns ``False`` when absent."""
         edge = (self._graph.index_of(source), self._graph.index_of(target))
-        if edge not in self._edges:
-            return False
-        self._edges.remove(edge)
-        self._note_mutation(edge)
-        return True
+        with self._lock:
+            if edge not in self._edges:
+                return False
+            self._edges.remove(edge)
+            self._note_mutation(edge)
+            return True
 
     def refresh(self, vertices: Optional[Iterable[Hashable]] = None) -> int:
         """Eagerly recompute stale index rows; return how many were refreshed.
 
         ``vertices`` defaults to the dirty set (mutation endpoints).  The
         rows are evaluated in one batched backend call at the current graph
-        version and merged into the index; rows outside the set stay lazily
-        refreshed on their next query.  Without an attached index there is
-        nothing to refresh eagerly (every answer is already computed on
-        demand) — the dirty set is simply cleared.
+        version — *outside* the service lock, so concurrent readers keep
+        being served — and merged into the index only if no further
+        mutation raced the computation (otherwise the refresh is abandoned,
+        returns 0, and the vertices stay dirty for the next call).  Without
+        an attached index there is nothing to refresh eagerly (every answer
+        is already computed on demand) — the dirty set is simply cleared.
         """
-        if vertices is None:
-            targets = sorted(self._dirty)
-        else:
-            targets = sorted({self._graph.index_of(vertex) for vertex in vertices})
-        if self._index is None or not targets:
+        with self._lock:
+            if vertices is None:
+                targets = sorted(self._dirty)
+            else:
+                targets = sorted(
+                    {self._graph.index_of(vertex) for vertex in vertices}
+                )
+            if self._index is None or not targets:
+                self._dirty.difference_update(targets)
+                return 0
+        rows, version = self._compute_rows_versioned(
+            np.asarray(targets, dtype=np.int64)
+        )
+        with self._lock:
+            if self._version != version:
+                return 0
+            self._merge_fresh(targets, rows)
             self._dirty.difference_update(targets)
-            return 0
-        rows = self._compute_rows(np.asarray(targets, dtype=np.int64))
-        self._merge_fresh(targets, rows)
-        self._dirty.difference_update(targets)
-        self.stats.refreshed_rows += len(targets)
+        self.stats.note_refreshed(len(targets))
         return len(targets)
 
     def _note_mutation(self, edge: tuple[int, int]) -> None:
+        # Caller holds the service lock.
         self._version += 1
         self._compute_graph = None
         self._transition = None
+        if self._executor is not None:
+            # The pool is bound to the now-stale transition operator.  A
+            # reader racing this shutdown falls back to a serial compute
+            # (see _compute_rows_versioned); its result is version-gated
+            # away anyway.  wait=False: never block the mutation (which
+            # holds the service lock) on an in-flight compute.
+            self._executor.close(wait=False)
+            self._executor = None
         self._dirty.update(edge)
         # SimRank edits are global: every cached ranking and every index row
         # is potentially affected, so invalidation is version-based and
@@ -432,22 +592,71 @@ class SimilarityService:
         if self._index is not None:
             self._index.invalidate_rows(sorted(set(edge)))
         self.cache.invalidate()
-        self.stats.updates += 1
+        self.stats.note_update()
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _compute_rows(self, indices: np.ndarray) -> np.ndarray:
-        if self._transition is None:
-            self._transition = self._engine.transition(self.current_graph())
-        return self._engine.similarity_rows(
-            self._transition,
+    def _current_transition(self):
+        """The transition operator, executor and version, as one snapshot."""
+        with self._lock:
+            if self._transition is None:
+                self._transition = self._engine.transition(self.current_graph())
+            if (
+                self._executor is None
+                and self.workers > 1
+                and not self._pool_disabled
+            ):
+                # forkserver, not fork: this pool is created from a process
+                # with live reader threads, and forking one can clone locks
+                # in a held state (see parallel.executor._pool_context).
+                self._executor = ParallelExecutor(
+                    self._transition,
+                    damping=self.damping,
+                    iterations=self.iterations,
+                    backend=self._engine,
+                    workers=self.workers,
+                    context="forkserver",
+                )
+            return self._transition, self._executor, self._version
+
+    def _compute_rows_versioned(
+        self, indices: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Compute similarity rows plus the graph version they belong to."""
+        transition, executor, version = self._current_transition()
+        if executor is not None:
+            try:
+                return executor.similarity_rows(indices), version
+            except BrokenProcessPool:
+                # A worker died (OOM kill, segfault, or — with stdin/-c
+                # parents — the forkserver child failing to re-import
+                # __main__).  Trip the circuit breaker: discard the pool,
+                # stop creating new ones for this service, and fall back
+                # to the serial evaluation on the snapshot.
+                with self._lock:
+                    self.pool_failures += 1
+                    self._pool_disabled = True
+                    if self._executor is executor:
+                        self._executor = None
+                executor.close(wait=False)
+            except RuntimeError:
+                # The pool was retired by a concurrent mutation mid-submit;
+                # fall through to a serial evaluation on the snapshot.
+                pass
+        rows = self._engine.similarity_rows(
+            transition,
             indices,
             damping=self.damping,
             iterations=self.iterations,
         )
+        return rows, version
+
+    def _compute_rows(self, indices: np.ndarray) -> np.ndarray:
+        return self._compute_rows_versioned(indices)[0]
 
     def _index_row_fresh(self, vertex: int) -> bool:
+        # Caller holds the service lock.
         return (
             self._index is not None
             and self._row_version is not None
@@ -455,7 +664,10 @@ class SimilarityService:
         )
 
     def _merge_fresh(self, vertices: Sequence[int], rows: np.ndarray) -> None:
-        """Splice freshly computed rows into the index in one batched merge."""
+        """Splice freshly computed rows into the index in one batched merge.
+
+        Caller holds the service lock and has already version-gated.
+        """
         assert self._index is not None and self._row_version is not None
         self._index.merge_rows(list(vertices), rows, top_k=self.index_k)
         self._row_version[list(vertices)] = self._version
@@ -507,12 +719,28 @@ class SimilarityService:
             return ranking
         return RankedList(query=query, entries=ranking.entries)
 
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the service's worker pool, if any (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "SimilarityService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         index_state = (
             f"index_k={self.index_k}" if self._index is not None else "no-index"
         )
         return (
             f"<SimilarityService n={self._n} m={self.num_edges} "
-            f"version={self._version} {index_state} "
+            f"version={self.version} {index_state} "
             f"queries={self.stats.queries}>"
         )

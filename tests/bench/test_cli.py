@@ -98,3 +98,39 @@ class TestServingCli:
         payload = json.loads(path.read_text())
         assert payload[0]["experiment"] == "fig6f"
         assert "wrote 1 report(s)" in capsys.readouterr().out
+
+
+class TestWorkersCli:
+    def test_workers_option_parsed(self):
+        args = build_parser().parse_args(["scaling", "--quick", "--workers", "4"])
+        assert args.experiment == "scaling"
+        assert args.workers == 4
+        assert build_parser().parse_args(["fig6a"]).workers is None
+
+    def test_scaling_runs_and_prints_table(self, capsys):
+        assert main(["scaling", "--quick", "--scale", "0.25", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "scaling" in output
+        assert "efficiency" in output
+        assert "determinism" in output
+
+    def test_index_build_accepts_workers(self, tmp_path, capsys):
+        out = tmp_path / "index.npz"
+        code = main(
+            [
+                "index-build",
+                "--out", str(out),
+                "--rmat-scale", "6",
+                "--index-k", "5",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "top-5 index" in capsys.readouterr().out
+
+    def test_workers_ignored_by_experiments_without_support(self, capsys):
+        # fig6f takes no workers parameter; the CLI filters the kwarg out
+        # instead of crashing.
+        assert main(["fig6f", "--workers", "2"]) == 0
+        assert "fig6f" in capsys.readouterr().out

@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     fig6f,
     fig6g,
     fig6h,
+    scaling,
     serving,
 )
 
@@ -214,3 +215,40 @@ class TestServingExperiment:
         )
         matched, total = note.split("agree on")[-1].split()[0].split("/")
         assert matched == total
+
+
+class TestScalingExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # quick + scale 0.25 shrinks the r-mat to 64 vertices; the worker
+        # cap keeps the sweep at 1/2 so the pool cost stays test-sized.
+        return scaling.run(scale=0.25, quick=True, workers=2)
+
+    def test_both_paths_swept(self, report):
+        paths = {row["path"] for row in report.rows}
+        assert paths == {"index-build", "all-pairs"}
+
+    def test_worker_sweep_includes_serial_baseline(self, report):
+        for path in ("index-build", "all-pairs"):
+            workers = report.column("workers", path=path)
+            assert workers[0] == 1
+            assert len(workers) >= 2
+
+    def test_parallel_results_are_bit_identical(self, report):
+        # The determinism guarantee: every sweep point matched the serial
+        # result exactly (sparse backend merges are order-deterministic).
+        assert all(row["max_abs_diff"] == 0.0 for row in report.rows)
+
+    def test_speedup_and_efficiency_are_reported(self, report):
+        for row in report.rows:
+            assert row["speedup"] > 0
+            assert row["efficiency"] > 0
+
+    def test_determinism_note_present(self, report):
+        assert any("determinism" in note for note in report.notes)
+
+    def test_determinism_violation_fails_the_run(self, monkeypatch):
+        # The guard must raise (nonzero CLI exit), not hide in a note.
+        monkeypatch.setattr(scaling, "_max_abs_diff", lambda a, b: 1e-6)
+        with pytest.raises(RuntimeError, match="diverged"):
+            scaling.run(scale=0.25, quick=True, workers=2)

@@ -53,3 +53,19 @@ class TestExperimentReport:
         assert len(report.filter(algorithm="a")) == 2
         assert report.column("seconds", algorithm="b") == [2.0]
         assert report.notes == ["a note"]
+
+
+class TestWorkersForwarding:
+    def test_matrix_sr_honours_workers(self, paper_graph):
+        import numpy as np
+
+        serial = run_algorithm("matrix-sr", paper_graph, iterations=4)
+        parallel = run_algorithm("matrix-sr", paper_graph, iterations=4, workers=2)
+        assert parallel.extra["workers"] == 2
+        assert np.array_equal(serial.scores, parallel.scores)
+
+    def test_serial_algorithms_keep_running_serial(self, paper_graph):
+        # Sweep semantics: a workers request is a preference, not a hard
+        # constraint — per-vertex solvers just ignore it instead of raising.
+        result = run_algorithm("oip-sr", paper_graph, iterations=2, workers=4)
+        assert result.algorithm == "oip-sr"

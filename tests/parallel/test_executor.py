@@ -1,0 +1,186 @@
+"""Determinism and integration tests for the parallel sharded executor.
+
+The engine's contract is stronger than "approximately equal": on the sparse
+backend every parallel result must be **bit-identical** to the serial one,
+for any worker count, because shard merges are ordered and each output
+column/row of the underlying CSR products depends only on its own input
+column.  These tests assert exact array equality, not ``allclose``.
+
+One process pool per fixture scope keeps the suite fast on small graphs;
+worker counts of 2–3 exercise every sharding branch (balanced, uneven,
+fewer items than workers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import simrank, simrank_top_k
+from repro.core.backends import get_backend
+from repro.exceptions import ConfigurationError
+from repro.graph.generators.rmat import rmat_edge_list
+from repro.parallel import ParallelExecutor, resolve_workers
+from repro.service import SimilarityService, build_index
+
+ITERATIONS = 10
+DAMPING = 0.6
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_edge_list(7, 3 * 128, seed=7)
+
+
+@pytest.fixture(scope="module")
+def transition(graph):
+    return get_backend("sparse").transition(graph)
+
+
+@pytest.fixture(scope="module")
+def executor(transition):
+    with ParallelExecutor(
+        transition,
+        damping=DAMPING,
+        iterations=ITERATIONS,
+        backend="sparse",
+        workers=3,
+    ) as pooled:
+        yield pooled
+
+
+class TestResolveWorkers:
+    def test_none_and_one_are_serial(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+
+    def test_zero_and_negative_mean_all_cores(self):
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(-1) >= 1
+
+    def test_explicit_count_is_verbatim(self):
+        assert resolve_workers(5) == 5
+
+
+class TestSimilarityRows:
+    def test_bit_identical_to_serial(self, executor, transition):
+        engine = get_backend("sparse")
+        indices = np.arange(transition.n, dtype=np.int64)
+        serial = engine.similarity_rows(
+            transition, indices, damping=DAMPING, iterations=ITERATIONS
+        )
+        assert np.array_equal(executor.similarity_rows(indices), serial)
+
+    def test_arbitrary_query_order_is_preserved(self, executor, transition):
+        engine = get_backend("sparse")
+        indices = np.array([11, 3, 97, 3, 64, 0], dtype=np.int64)
+        serial = engine.similarity_rows(
+            transition, indices, damping=DAMPING, iterations=ITERATIONS
+        )
+        assert np.array_equal(executor.similarity_rows(indices), serial)
+
+    def test_single_query_skips_the_pool(self, transition):
+        with ParallelExecutor(
+            transition, damping=DAMPING, iterations=ITERATIONS, workers=2
+        ) as pooled:
+            pooled.similarity_rows(np.array([5]))
+            assert pooled._pool is None  # no pool spun up for one row
+
+    def test_topk_rows_match_serial_truncation(self, executor, transition):
+        serial_executor = ParallelExecutor(
+            transition, damping=DAMPING, iterations=ITERATIONS, workers=1
+        )
+        indices = np.arange(transition.n, dtype=np.int64)
+        parallel = executor.topk_rows(indices, 7, max_shard_size=16)
+        serial = serial_executor.topk_rows(indices, 7, max_shard_size=16)
+        assert len(parallel) == len(serial) == transition.n
+        for (p_cols, p_vals), (s_cols, s_vals) in zip(parallel, serial):
+            assert np.array_equal(p_cols, s_cols)
+            assert np.array_equal(p_vals, s_vals)
+
+
+class TestIterate:
+    @pytest.mark.parametrize("diagonal", ["one", "matrix"])
+    def test_bit_identical_to_serial(self, executor, transition, diagonal):
+        engine = get_backend("sparse")
+        serial = engine.iterate(
+            transition, damping=DAMPING, iterations=ITERATIONS, diagonal=diagonal
+        )
+        assert np.array_equal(executor.iterate(diagonal=diagonal), serial)
+
+    def test_worker_count_does_not_matter(self, transition):
+        with ParallelExecutor(
+            transition, damping=DAMPING, iterations=ITERATIONS, workers=2
+        ) as two:
+            with ParallelExecutor(
+                transition, damping=DAMPING, iterations=ITERATIONS, workers=3
+            ) as three:
+                assert np.array_equal(two.iterate(), three.iterate())
+
+    def test_bad_diagonal_rejected(self, executor):
+        with pytest.raises(ConfigurationError):
+            executor.iterate(diagonal="pinned")
+
+
+class TestDispatchIntegration:
+    def test_matrix_method_parallel_equals_serial(self, graph):
+        serial = simrank(graph, method="matrix", iterations=ITERATIONS)
+        parallel = simrank(graph, method="matrix", iterations=ITERATIONS, workers=2)
+        assert np.array_equal(serial.scores, parallel.scores)
+        assert parallel.extra["workers"] == 2
+
+    def test_serial_methods_reject_workers(self, graph):
+        with pytest.raises(ConfigurationError):
+            simrank(graph, method="oip-sr", workers=2)
+
+    def test_serial_methods_accept_workers_one(self, graph):
+        result = simrank(graph, method="oip-sr", iterations=4, workers=1)
+        assert result.algorithm == "oip-sr"
+
+    def test_top_k_parallel_equals_serial(self, graph):
+        queries = [0, 5, 9, 64, 127]
+        serial = simrank_top_k(graph, queries, k=5, iterations=ITERATIONS)
+        parallel = simrank_top_k(
+            graph, queries, k=5, iterations=ITERATIONS, workers=2
+        )
+        for left, right in zip(serial, parallel):
+            assert left.entries == right.entries
+
+    def test_build_index_parallel_is_bit_identical(self, graph):
+        serial = build_index(graph, index_k=9, iterations=ITERATIONS)
+        parallel = build_index(graph, index_k=9, iterations=ITERATIONS, workers=3)
+        assert (serial.matrix != parallel.matrix).nnz == 0
+        assert serial.extra == parallel.extra  # no worker fingerprint stored
+
+    def test_service_with_workers_serves_identical_answers(self, graph):
+        serial = SimilarityService(
+            graph, None, k=5, damping=DAMPING, iterations=ITERATIONS
+        )
+        with SimilarityService(
+            graph, None, k=5, damping=DAMPING, iterations=ITERATIONS, workers=2
+        ) as parallel:
+            for query in (0, 17, 99):
+                assert (
+                    serial.top_k(query).entries == parallel.top_k(query).entries
+                )
+
+
+class TestLifecycle:
+    def test_close_is_terminal(self, transition):
+        # Regression: a retired executor must raise instead of silently
+        # respawning an orphaned pool (the serving engine relies on this
+        # RuntimeError to take its serial fallback after a mutation).
+        executor = ParallelExecutor(
+            transition, damping=DAMPING, iterations=ITERATIONS, workers=2
+        )
+        executor.close(wait=False)
+        with pytest.raises(RuntimeError):
+            executor.similarity_rows(np.arange(8))
+        executor.close()  # idempotent
+
+    def test_close_before_first_use_is_fine(self, transition):
+        executor = ParallelExecutor(
+            transition, damping=DAMPING, iterations=ITERATIONS, workers=2
+        )
+        executor.close()
+        executor.close(wait=False)

@@ -1,0 +1,92 @@
+"""Unit and property tests for the contiguous shard planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.parallel import Shard, plan_shards, split_indices
+
+
+class TestPlanShards:
+    def test_even_split(self):
+        plan = plan_shards(8, 4)
+        assert [(shard.start, shard.stop) for shard in plan] == [
+            (0, 2), (2, 4), (4, 6), (6, 8),
+        ]
+
+    def test_uneven_split_front_loads_the_remainder(self):
+        plan = plan_shards(10, 4)
+        assert [shard.size for shard in plan] == [3, 3, 2, 2]
+
+    def test_never_more_shards_than_items(self):
+        plan = plan_shards(3, 8)
+        assert len(plan) == 3
+        assert all(shard.size == 1 for shard in plan)
+
+    def test_max_size_grows_the_shard_count(self):
+        plan = plan_shards(100, 2, max_size=30)
+        assert len(plan) == 4
+        assert max(shard.size for shard in plan) <= 30
+
+    def test_empty_plan(self):
+        assert plan_shards(0, 4) == []
+
+    def test_shard_indices(self):
+        shard = Shard(index=1, start=5, stop=9)
+        assert shard.size == 4
+        assert list(shard.indices()) == [5, 6, 7, 8]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(-1, 2)
+        with pytest.raises(ConfigurationError):
+            plan_shards(4, 0)
+        with pytest.raises(ConfigurationError):
+            plan_shards(4, 2, max_size=0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        total=st.integers(min_value=0, max_value=5000),
+        shards=st.integers(min_value=1, max_value=64),
+        max_size=st.one_of(st.none(), st.integers(min_value=1, max_value=200)),
+    )
+    def test_plan_invariants(self, total, shards, max_size):
+        plan = plan_shards(total, shards, max_size=max_size)
+        # Coverage: contiguous, disjoint, in order, covering [0, total).
+        position = 0
+        for index, shard in enumerate(plan):
+            assert shard.index == index
+            assert shard.start == position
+            assert shard.size > 0
+            position = shard.stop
+        assert position == total
+        # Balance: sizes differ by at most one; the cap is honoured.
+        if plan:
+            sizes = [shard.size for shard in plan]
+            assert max(sizes) - min(sizes) <= 1
+            if max_size is not None:
+                assert max(sizes) <= max_size
+
+
+class TestSplitIndices:
+    def test_concatenation_is_identity(self):
+        indices = np.array([9, 3, 7, 7, 1, 0], dtype=np.int64)
+        pieces = split_indices(indices, 4)
+        assert np.array_equal(np.concatenate(pieces), indices)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=100), max_size=50),
+        shards=st.integers(min_value=1, max_value=10),
+    )
+    def test_split_preserves_order_and_content(self, values, shards):
+        indices = np.asarray(values, dtype=np.int64)
+        pieces = split_indices(indices, shards)
+        if indices.size:
+            assert np.array_equal(np.concatenate(pieces), indices)
+        else:
+            assert pieces == []
