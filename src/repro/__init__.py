@@ -84,7 +84,13 @@ from .graph import (
 )
 from .graph import generators
 from .parallel import ParallelExecutor, plan_shards, resolve_workers
-from .service import SimilarityService, build_index, load_index, save_index
+from .service import (
+    FingerprintIndex,
+    SimilarityService,
+    build_index,
+    load_index,
+    save_index,
+)
 from .workloads import load_dataset, syn_graph, zipf_query_stream
 
 __all__ = sorted(
@@ -93,6 +99,7 @@ __all__ = sorted(
         "ConvergenceError",
         "DiGraph",
         "EdgeListGraph",
+        "FingerprintIndex",
         "GraphBuildError",
         "GraphBuilder",
         "GraphError",

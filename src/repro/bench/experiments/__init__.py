@@ -19,6 +19,7 @@ from . import (
     fig6f,
     fig6g,
     fig6h,
+    large_graph,
     scaling,
     serving,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "fig6f",
     "fig6g",
     "fig6h",
+    "large_graph",
     "scaling",
     "serving",
 ]

@@ -31,7 +31,7 @@ import numpy as np
 from ...api import simrank
 from ...baselines.topk import top_k_from_result
 from ...graph.generators.rmat import rmat_edge_list
-from ...service import SimilarityService, build_index
+from ...service import FingerprintIndex, SimilarityService, build_index
 from ...workloads import zipf_query_stream
 from ..results import latency_summary
 from ..runner import ExperimentReport
@@ -65,13 +65,16 @@ def run(
     damping: float = 0.6,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    approx: bool = False,
 ) -> ExperimentReport:
     """Benchmark the serving tiers on an r-mat graph with Zipf traffic.
 
     ``workers`` parallelises the offline index builds (including the
     from-scratch rebuild the incremental-update check compares against);
     the built indexes are bit-identical for any value, so the tier
-    latencies it reports are unaffected.
+    latencies it reports are unaffected.  ``approx=True`` additionally
+    benchmarks the Monte-Carlo fingerprint tier (build time, query
+    latency, top-k overlap against the exact index answers).
     """
     report = ExperimentReport(
         experiment="serving",
@@ -156,6 +159,42 @@ def run(
         f"{snapshot['cache_hits']} cache / {snapshot['index_hits']} index / "
         f"{snapshot['compute_hits']} compute"
     )
+
+    if approx:
+        # Approximate tier: fingerprint estimates instead of exact rows, for
+        # queries that opt in; accuracy is the price, reported as overlap.
+        fp_started = time.perf_counter()
+        fingerprints = FingerprintIndex.build(
+            graph, damping=damping, num_walks=128, backend=backend, seed=3
+        )
+        fp_seconds = time.perf_counter() - fp_started
+        approx_service = SimilarityService(
+            graph, None, k=k, damping=damping, iterations=iterations,
+            backend=backend, cache_size=0, fingerprints=fingerprints,
+        )
+        for query in stream[:cold_queries]:
+            approx_service.top_k(query, approx=True)
+        report.add_row(_tier_row("approx", "approx", approx_service, graph, k))
+        overlap_sample = list(dict.fromkeys(stream))[:16]
+        mean_overlap = float(
+            np.mean(
+                [
+                    len(
+                        set(approx_service.top_k(query, approx=True).labels())
+                        & set(indexed.top_k(query).labels())
+                    )
+                    / k
+                    for query in overlap_sample
+                ]
+            )
+        )
+        report.add_note(
+            f"approx tier: fingerprints ({fingerprints.num_walks} walks, "
+            f"{fingerprints.memory_bytes() / 1e6:.1f} MB) built in "
+            f"{fp_seconds:.2f}s vs {build_seconds:.2f}s exact index; mean "
+            f"top-{k} overlap vs exact {mean_overlap:.3f} over "
+            f"{len(overlap_sample)} queries"
+        )
 
     cold_mean = float(np.mean(cold.stats.samples("compute")))
     indexed_mean = float(np.mean(indexed.stats.samples("index")))

@@ -23,6 +23,13 @@ Build a serving index offline, then benchmark the tiered online query path
     repro-simrank index-build --out index.npz --rmat-scale 11 --index-k 50
     repro-simrank serve-bench --quick --json serving.json
 
+Exercise the memory-bounded large-graph pipeline (streamed SNAP ingestion,
+out-of-core index build under a byte budget, Monte-Carlo approximate tier)::
+
+    repro-simrank large-graph --memory-budget 256K --json large-graph.json
+    repro-simrank index-build --out index.npz --memory-budget 1M
+    repro-simrank serving --quick --approx
+
 Evaluate the Section IV worked example (K' vs K at C=0.8, ε=1e-4)::
 
     repro-simrank bounds-example
@@ -48,6 +55,7 @@ from .bench.experiments import (
     fig6f,
     fig6g,
     fig6h,
+    large_graph,
     scaling,
     serving,
 )
@@ -75,9 +83,30 @@ _FIGURE_RUNNERS = {
     "ablation-budget": ablations.run_candidate_budget,
     "ablation-sharing": ablations.run_sharing_levels,
     "bench-backends": backends.run,
+    "large-graph": large_graph.run,
     "scaling": scaling.run,
     "serving": serving.run,
 }
+
+
+def parse_memory_budget(text: str) -> int:
+    """Parse a ``--memory-budget`` value: bytes, or with a K/M/G suffix."""
+    text = text.strip()
+    multipliers = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    multiplier = multipliers.get(text[-1:].upper())
+    if multiplier is not None:
+        text = text[:-1]
+    else:
+        multiplier = 1
+    try:
+        value = int(float(text) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid memory budget {text!r}; use bytes or K/M/G suffix"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("memory budget must be positive")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,6 +171,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--memory-budget",
+        type=parse_memory_budget,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "byte cap on resident truncated rows during index builds "
+            "(accepts K/M/G suffixes; spills segments to disk when exceeded; "
+            "forwarded to index-build and the large-graph experiment)"
+        ),
+    )
+    parser.add_argument(
+        "--approx",
+        action="store_true",
+        help=(
+            "also benchmark the Monte-Carlo approximate serving tier "
+            "(forwarded to experiments that take it, e.g. 'serving')"
+        ),
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -196,6 +244,10 @@ def _run_one(name: str, args: argparse.Namespace):
         kwargs["backend"] = args.backend
     if args.workers is not None:
         kwargs["workers"] = args.workers
+    if args.memory_budget is not None:
+        kwargs["memory_budget"] = args.memory_budget
+    if args.approx:
+        kwargs["approx"] = True
     # Experiments accept different option subsets (the ablations take no
     # damping override, several figures no backend); forward what each takes.
     accepted = inspect.signature(runner).parameters
@@ -222,6 +274,7 @@ def _index_build(args: argparse.Namespace) -> int:
         damping=damping,
         backend=args.backend,
         workers=args.workers,
+        memory_budget=args.memory_budget,
     )
     elapsed = time.perf_counter() - started
     save_index(index, args.out)

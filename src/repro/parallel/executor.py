@@ -32,6 +32,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
 from typing import Optional, Union
@@ -234,37 +235,76 @@ class ParallelExecutor:
         bound (``build_index``'s ``chunk_size``) — no worker ever holds more
         than ``max_shard_size × n`` dense row entries.
         """
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        for shard_parts in self.iter_topk_rows(
+            indices,
+            index_k,
+            threshold=threshold,
+            max_shard_size=max_shard_size,
+            instrumentation=instrumentation,
+        ):
+            parts.extend(shard_parts)
+        return parts
+
+    def iter_topk_rows(
+        self,
+        indices,
+        index_k: Optional[int],
+        threshold: float = 0.0,
+        max_shard_size: Optional[int] = None,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
+        """Yield :meth:`topk_rows` results one shard at a time, in shard order.
+
+        The streaming shape of the index build: the caller consumes each
+        shard's truncated rows (and may spill them to disk) before the next
+        shard's results need to exist in this process.  In-flight work is
+        bounded — at most ``2 × workers`` shard submissions are outstanding
+        at any moment — so parent-side memory stays ``O(window × shard)``
+        truncated rows plus one worker-side dense block per process, never
+        ``O(n)`` rows, regardless of how many shards the plan contains.
+        The concatenation of the yielded lists equals the serial result
+        exactly (same shards, same arithmetic, merge in shard order).
+        """
         indices = np.asarray(indices, dtype=np.int64).ravel()
         plan = plan_shards(
             indices.size, max(self.workers, 1), max_size=max_shard_size
         )
         shards = [indices[shard.start : shard.stop] for shard in plan]
         if self.workers == 1:
-            parts: list[tuple[np.ndarray, np.ndarray]] = []
             for shard in shards:
-                parts.extend(
-                    _worker.compute_topk_rows(
-                        self.engine,
-                        self.transition,
-                        shard,
-                        index_k,
-                        self.damping,
-                        self.iterations,
-                        threshold=threshold,
-                    )
+                yield _worker.compute_topk_rows(
+                    self.engine,
+                    self.transition,
+                    shard,
+                    index_k,
+                    self.damping,
+                    self.iterations,
+                    threshold=threshold,
                 )
         else:
             pool = self._ensure_pool()
-            futures = [
+            window = 2 * self.workers
+            pending = deque(
                 pool.submit(_worker.topk_rows_task, shard, index_k, threshold)
-                for shard in shards
-            ]
-            parts = []
-            for future in futures:
-                parts.extend(future.result())
+                for shard in shards[:window]
+            )
+            next_shard = len(pending)
+            while pending:
+                result = pending.popleft().result()
+                if next_shard < len(shards):
+                    pending.append(
+                        pool.submit(
+                            _worker.topk_rows_task,
+                            shards[next_shard],
+                            index_k,
+                            threshold,
+                        )
+                    )
+                    next_shard += 1
+                yield result
         if instrumentation is not None:
             self._record_series_cost(instrumentation, indices.size)
-        return parts
 
     def _record_series_cost(
         self, instrumentation: Instrumentation, batch: int

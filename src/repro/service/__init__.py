@@ -13,15 +13,20 @@ refresh instead of full rebuilds.
 
 from .batcher import MicroBatcher, PendingResult
 from .cache import LRUCache
+from .fingerprints import FingerprintIndex
 from .index import build_index, load_index, save_index
 from .service import ServiceStats, SimilarityService, TierStats
+from .spill import RowSpillAccumulator, SpillStats
 
 __all__ = [
+    "FingerprintIndex",
     "LRUCache",
     "MicroBatcher",
     "PendingResult",
+    "RowSpillAccumulator",
     "ServiceStats",
     "SimilarityService",
+    "SpillStats",
     "TierStats",
     "build_index",
     "load_index",

@@ -16,10 +16,10 @@ ranking — the index is a cache of answers, not an approximation of them.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
-from scipy import sparse
 
 from ..api import METHODS
 from ..core.backends import SimRankBackend, get_backend
@@ -29,6 +29,7 @@ from ..core.result import validate_damping, validate_iterations
 from ..core.similarity_store import PathLike, SimilarityStore
 from ..exceptions import ConfigurationError
 from ..parallel import ParallelExecutor
+from .spill import RowSpillAccumulator, SpillStats
 
 __all__ = ["build_index", "load_index", "save_index"]
 
@@ -49,6 +50,9 @@ def build_index(
     chunk_size: int = 256,
     workers: Optional[int] = None,
     mp_context: Optional[str] = None,
+    memory_budget: Optional[int] = None,
+    spill_directory: Optional[PathLike] = None,
+    spill_stats: Optional[SpillStats] = None,
     instrumentation: Optional[Instrumentation] = None,
 ) -> SimilarityStore:
     """Precompute a truncated all-pairs similarity index for ``graph``.
@@ -82,6 +86,23 @@ def build_index(
         ``fork``).  Callers building from a *multithreaded* process — the
         serving engine's rebuild path — pass ``"forkserver"``; forking a
         threaded process can deadlock the children.
+    memory_budget:
+        Optional cap, in bytes, on the truncated rows held resident during
+        the build.  When the completed top-k rows outgrow the budget they
+        are spilled to temporary ``.npz`` segments and merge-streamed into
+        the final store at the end (see
+        :class:`~repro.service.spill.RowSpillAccumulator`), so the build's
+        working set is bounded by ``memory_budget`` plus one
+        ``chunk_size × n`` dense block instead of the whole index.
+        ``None`` keeps everything in memory.  The stored index is
+        bit-identical for every budget (and every worker count).
+    spill_directory:
+        Where spill segments are written (default: a fresh temporary
+        directory, removed when the build finishes).
+    spill_stats:
+        Optional :class:`~repro.service.spill.SpillStats` instance that
+        receives the spill counters (segments written, bytes through disk,
+        peak resident bytes) for benchmark reporting.
     instrumentation:
         Optional collector; the series costs are recorded into it (by the
         parent process when parallel — the cost model is deterministic).
@@ -101,8 +122,11 @@ def build_index(
 
     # One sweep over the vertex range, sharded by the executor (serial when
     # workers resolves to 1 — same shards, same arithmetic, no pool).  Each
-    # shard returns already-truncated (columns, values) rows, merged here in
-    # vertex order, so the stored CSR never depends on the worker count.
+    # shard returns already-truncated (columns, values) rows, consumed in
+    # vertex order by the spill accumulator — which either concatenates them
+    # in memory (memory_budget=None) or flushes completed runs to temporary
+    # segments and merge-streams them at the end.  Either way the stored CSR
+    # never depends on the worker count or the budget.
     with ParallelExecutor(
         transition,
         damping=damping,
@@ -110,30 +134,28 @@ def build_index(
         backend=engine,
         workers=workers,
         context=mp_context,
-    ) as executor:
-        parts = executor.topk_rows(
+    ) as executor, RowSpillAccumulator(
+        memory_budget=memory_budget,
+        directory=Path(spill_directory) if spill_directory is not None else None,
+    ) as accumulator:
+        for shard_parts in executor.iter_topk_rows(
             np.arange(n, dtype=np.int64),
             index_k,
             max_shard_size=chunk_size,
             instrumentation=instrumentation,
-        )
-
-    columns_parts: list[np.ndarray] = []
-    data_parts: list[np.ndarray] = []
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    for vertex, (kept_columns, kept_values) in enumerate(parts):
-        columns_parts.append(kept_columns)
-        data_parts.append(kept_values)
-        indptr[vertex + 1] = indptr[vertex] + kept_columns.size
-
-    matrix = sparse.csr_matrix(
-        (
-            np.concatenate(data_parts) if data_parts else np.empty(0),
-            np.concatenate(columns_parts) if columns_parts else np.empty(0, np.int64),
-            indptr,
-        ),
-        shape=(n, n),
-    )
+        ):
+            for kept_columns, kept_values in shard_parts:
+                accumulator.append(kept_columns, kept_values)
+        matrix = accumulator.finish(n)
+        if spill_stats is not None:
+            spill_stats.__dict__.update(accumulator.stats.__dict__)
+        if instrumentation is not None and accumulator.stats.segments:
+            instrumentation.operations.add(
+                "spill_segments", accumulator.stats.segments
+            )
+            instrumentation.operations.add(
+                "spill_bytes", accumulator.stats.spilled_bytes
+            )
     return SimilarityStore(
         matrix,
         graph,

@@ -9,16 +9,25 @@ query server with the tiered answer path of production similarity systems:
 2. **cache** — an LRU of recently served rankings
    (:class:`~repro.service.cache.LRUCache`) absorbs the repeated hot
    queries of skewed traffic;
-3. **compute** — everything else falls through to an on-demand
+3. **approx** — an optional Monte-Carlo tier
+   (:class:`~repro.service.fingerprints.FingerprintIndex`): queries that
+   opt in (``approx=True`` or a ``max_error`` bound the fingerprints'
+   standard error satisfies) are answered from sampled reverse-walk
+   fingerprints instead of an exact evaluation — the Fogaras–Rácz
+   estimator for pairs the exact index cannot afford on large graphs;
+4. **compute** — everything else falls through to an on-demand
    truncated-series evaluation, micro-batched
    (:class:`~repro.service.batcher.MicroBatcher`) so concurrent misses
    share one backend call, and the fresh rows are merged back into the
    index so the same miss never computes twice.
 
-Every tier produces the *same* ranking: index rows, cached entries and
-on-demand rows all follow the score convention of
+Every *exact* tier produces the *same* ranking: index rows, cached entries
+and on-demand rows all follow the score convention of
 :func:`repro.api.simrank_top_k` with ``(-score, vertex id)`` tie-breaking,
-so tiering is purely a latency decision, never a quality one.
+so exact tiering is purely a latency decision, never a quality one.  The
+approximate tier trades a bounded statistical error for latency and memory
+— only for queries that explicitly opt in — and its answers are never
+written back to the exact cache or index.
 
 **Incremental updates.**  SimRank is a global measure — inserting one edge
 perturbs, in principle, every score (that is why the incremental-SimRank
@@ -68,14 +77,18 @@ from ..graph.edgelist import EdgeListGraph
 from ..parallel import ParallelExecutor, resolve_workers
 from .batcher import MicroBatcher
 from .cache import LRUCache
+from .fingerprints import FingerprintIndex
 from .index import build_index as _build_index
 
 __all__ = ["ServiceStats", "SimilarityService", "TierStats"]
 
-TIERS = ("index", "cache", "compute")
+TIERS = ("index", "cache", "approx", "compute")
 """Answer tiers in their probe order (cache is probed first at run time
 because a cached entry is strictly cheaper than an index row lookup; the
-name order here mirrors the architecture diagram: index → cache → compute)."""
+name order here mirrors the architecture diagram: index → cache →
+monte-carlo approx → exact compute).  The ``approx`` tier only answers
+queries whose ``approx``/``max_error`` policy admits an estimate, and its
+answers are never written back to the exact cache or index."""
 
 
 SAMPLE_WINDOW = 100_000
@@ -205,6 +218,12 @@ class SimilarityService:
         environments without one (``python -c``, stdin) the first pool
         failure trips a circuit breaker and the service computes serially
         (see :attr:`pool_failures`).
+    fingerprints:
+        Optional :class:`~repro.service.fingerprints.FingerprintIndex`
+        sampled from the *current* graph (damping and vertex count must
+        match).  Enables the Monte-Carlo ``approx`` tier for queries that
+        pass ``approx=True`` or a satisfiable ``max_error``; mutations
+        stale it until :meth:`resample_fingerprints`.
     """
 
     def __init__(
@@ -221,6 +240,7 @@ class SimilarityService:
         max_batch: int = 64,
         auto_warm: bool = True,
         workers: Optional[int] = None,
+        fingerprints: Optional[FingerprintIndex] = None,
     ) -> None:
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k}")
@@ -260,6 +280,11 @@ class SimilarityService:
         self._row_version: Optional[np.ndarray] = None
         if index is not None:
             self.attach_index(index)
+
+        self._fingerprints: Optional[FingerprintIndex] = None
+        self._fingerprint_version: int = -1
+        if fingerprints is not None:
+            self.attach_fingerprints(fingerprints)
 
     # ------------------------------------------------------------------ #
     # Graph state
@@ -432,14 +457,132 @@ class SimilarityService:
             return index
 
     # ------------------------------------------------------------------ #
+    # Fingerprint (approximate-tier) management
+    # ------------------------------------------------------------------ #
+    @property
+    def fingerprints(self) -> Optional[FingerprintIndex]:
+        """The attached Monte-Carlo fingerprint index, if any."""
+        return self._fingerprints
+
+    def attach_fingerprints(self, fingerprints: FingerprintIndex) -> None:
+        """Attach a fingerprint index sampled from the *current* graph.
+
+        The index's damping and vertex count must match the service's.  It
+        is stamped with the current graph version: a later mutation makes
+        it stale, and stale fingerprints are never consulted — approximate
+        queries fall through to the exact compute tier until
+        :meth:`resample_fingerprints` re-samples them.
+        """
+        if fingerprints.num_vertices != self._n:
+            raise ConfigurationError(
+                f"fingerprints cover {fingerprints.num_vertices} vertices, "
+                f"service graph has {self._n}"
+            )
+        if abs(fingerprints.damping - self.damping) > 1e-12:
+            raise ConfigurationError(
+                f"fingerprint damping {fingerprints.damping} != service "
+                f"damping {self.damping}"
+            )
+        with self._lock:
+            self._fingerprints = fingerprints
+            self._fingerprint_version = self._version
+
+    def resample_fingerprints(
+        self,
+        num_walks: Optional[int] = None,
+        walk_length: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Optional[FingerprintIndex]:
+        """Re-sample the fingerprint index from the current graph.
+
+        Parameters default to the attached index's — walk count, length,
+        seed, ``head_iterations`` and compute backend all carry over
+        (``num_walks=128`` and the conventional walk length when none is
+        attached), so a mutation never silently changes the tier's
+        configured accuracy/latency trade-off.  Sampling runs *outside* the
+        service lock; like every other write-back the attach is
+        version-gated — if a mutation races the sampling, the stale walks
+        are discarded and ``None`` is returned (callers retry or let
+        approximate traffic keep falling through to exact compute).
+        """
+        with self._lock:
+            version = self._version
+            graph = self.current_graph()
+            current = self._fingerprints
+        if num_walks is None:
+            num_walks = current.num_walks if current is not None else 128
+        if walk_length is None and current is not None:
+            walk_length = current.walk_length
+        if seed is None:
+            seed = current.seed if current is not None else 0
+        head_iterations = (
+            current.head_iterations if current is not None else 4
+        )
+        backend = current._engine if current is not None else self._engine
+        fingerprints = FingerprintIndex.build(
+            graph,
+            damping=self.damping,
+            num_walks=num_walks,
+            walk_length=walk_length,
+            head_iterations=head_iterations,
+            backend=backend,
+            seed=seed,
+        )
+        with self._lock:
+            if self._version != version:
+                return None
+            self._fingerprints = fingerprints
+            self._fingerprint_version = version
+        return fingerprints
+
+    def _fingerprints_fresh(self) -> bool:
+        # Caller holds the service lock.
+        return (
+            self._fingerprints is not None
+            and self._fingerprint_version == self._version
+        )
+
+    def _approx_admitted(
+        self, approx: Optional[bool], max_error: Optional[float]
+    ) -> bool:
+        """Whether this query's policy admits the Monte-Carlo tier.
+
+        Caller holds the service lock.  ``approx=True`` opts in outright;
+        ``max_error`` opts in when the attached fingerprints' standard
+        error is at or below the bound; ``approx=False`` (or both ``None``)
+        keeps the query exact.  Stale or missing fingerprints never admit.
+        """
+        if approx is False or not self._fingerprints_fresh():
+            return False
+        if approx:
+            return True
+        if max_error is not None:
+            return self._fingerprints.standard_error <= max_error
+        return False
+
+    # ------------------------------------------------------------------ #
     # Query path
     # ------------------------------------------------------------------ #
-    def top_k(self, query: Hashable, k: Optional[int] = None) -> RankedList:
-        """Answer one top-k query through the tiered path."""
-        return self.top_k_many([query], k=k)[0]
+    def top_k(
+        self,
+        query: Hashable,
+        k: Optional[int] = None,
+        approx: Optional[bool] = None,
+        max_error: Optional[float] = None,
+    ) -> RankedList:
+        """Answer one top-k query through the tiered path.
+
+        ``approx``/``max_error`` select the Monte-Carlo tier (see
+        :meth:`top_k_many`).
+        """
+        return self.top_k_many([query], k=k, approx=approx, max_error=max_error)[0]
 
     def top_k_many(
-        self, queries: Sequence[Hashable], k: Optional[int] = None
+        self,
+        queries: Sequence[Hashable],
+        k: Optional[int] = None,
+        approx: Optional[bool] = None,
+        max_error: Optional[float] = None,
     ) -> list[RankedList]:
         """Answer a batch of queries, coalescing every miss into one flush.
 
@@ -449,13 +592,28 @@ class SimilarityService:
         are written back to the cache/index only if the graph version is
         unchanged since the first miss was probed — a concurrent mutation
         turns the write-back into a no-op instead of a stale merge.
+
+        ``approx=True`` lets cache/index misses be answered by the
+        Monte-Carlo fingerprint tier instead of the exact compute tier;
+        ``max_error`` admits the same path only while the attached
+        fingerprints' standard error (``1/√num_walks``) is at or below the
+        bound.  Exact cache and index hits still win (they are cheaper
+        *and* exact), approximate answers are never written back to the
+        exact tiers, and queries with stale or absent fingerprints fall
+        through to exact compute — the policy can loosen a query, never
+        poison one.
         """
         k = self.k if k is None else int(k)
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k}")
+        if max_error is not None and max_error <= 0:
+            raise ConfigurationError(
+                f"max_error must be positive, got {max_error}"
+            )
 
         answers: list[Optional[RankedList]] = [None] * len(queries)
         misses: list[tuple[int, Hashable, int, object]] = []
+        estimates: list[tuple[int, Hashable, int, float]] = []
         # Timing starts at the first submit so backend work triggered by the
         # batcher's auto-flush (misses beyond max_batch) is attributed too.
         compute_started: Optional[float] = None
@@ -465,6 +623,7 @@ class SimilarityService:
             started = time.perf_counter()
             key = (vertex, k)
             hit = False
+            approximate = False
             with self._lock:
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -477,9 +636,14 @@ class SimilarityService:
                     self.cache.put(key, ranking)
                     self.stats.record("index", time.perf_counter() - started)
                     hit = True
+                elif self._approx_admitted(approx, max_error):
+                    approximate = True
                 elif version_before is None:
                     version_before = self._version
             if hit:
+                continue
+            if approximate:
+                estimates.append((position, query, vertex, started))
                 continue
             if compute_started is None:
                 compute_started = started
@@ -487,6 +651,23 @@ class SimilarityService:
             # callback re-enters the service, and holding both locks here
             # would invert the batcher → service lock order.
             misses.append((position, query, vertex, self.batcher.submit(vertex)))
+
+        if estimates:
+            # The fingerprint array is immutable, so estimation runs outside
+            # the lock; nothing is written back (approximate answers must
+            # never seed the exact cache or index), so no version gate is
+            # needed either.
+            fingerprints = self._fingerprints
+            assert fingerprints is not None
+            rows = fingerprints.estimate_rows(
+                [vertex for _, _, vertex, _ in estimates]
+            )
+            # One batched estimation served every admitted query; attribute
+            # the elapsed wall-clock evenly (same accounting as compute).
+            share = (time.perf_counter() - estimates[0][3]) / len(estimates)
+            for (position, query, vertex, _), row in zip(estimates, rows):
+                answers[position] = self._rank_row(row, query, vertex, k)
+                self.stats.record("approx", share)
 
         if misses:
             self.batcher.flush()

@@ -1,0 +1,227 @@
+"""Out-of-core accumulation of truncated index rows under a memory budget.
+
+The offline index build produces one truncated ``(columns, values)`` pair
+per vertex, in vertex order.  In-core, those parts are simply concatenated
+into the final CSR — but on large graphs even the *truncated* rows can
+outgrow memory long before the build finishes.  :class:`RowSpillAccumulator`
+is the memory-bounded alternative: completed rows accumulate until their
+resident footprint exceeds ``memory_budget`` bytes, at which point the
+resident run is flushed to a temporary ``.npz`` segment on disk; at the end
+the segments are merge-streamed — read back one at a time, in order — into
+the final CSR arrays, so the peak working set is the final matrix plus one
+segment, never the full build's intermediate state twice over.
+
+Because rows are appended and flushed strictly in vertex order and each
+segment is a contiguous run of rows, the merged CSR is byte-for-byte the
+array the in-core concatenation produces: spilling is a memory decision,
+never a results decision.  ``memory_budget=None`` disables spilling and the
+accumulator degenerates to the plain in-core concatenation — both paths run
+the same code, which is what keeps them trivially bit-identical.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["RowSpillAccumulator", "SpillStats"]
+
+_ENTRY_BYTES = 16
+"""Resident bytes per stored score: one float64 value + one int64 column."""
+
+
+@dataclass
+class SpillStats:
+    """What the accumulator did, for benchmark reporting.
+
+    Attributes
+    ----------
+    segments:
+        Temporary segments written (0 = the build stayed in-core).
+    spilled_entries:
+        Scores that travelled through disk.
+    spilled_bytes:
+        Their on-disk payload (uncompressed array bytes).
+    peak_resident_bytes:
+        High-water mark of resident row data between flushes.
+    """
+
+    segments: int = 0
+    spilled_entries: int = 0
+    spilled_bytes: int = 0
+    peak_resident_bytes: int = 0
+
+
+class RowSpillAccumulator:
+    """Accumulate per-vertex truncated rows, spilling to disk over budget.
+
+    Parameters
+    ----------
+    memory_budget:
+        Maximum bytes of completed truncated rows held resident before a
+        flush; ``None`` never spills.  The budget governs the accumulator's
+        state only — the caller's dense working block (``chunk_size`` rows
+        of ``n`` floats) is bounded separately by ``chunk_size``.
+    directory:
+        Where segment files go; defaults to a fresh temporary directory
+        that is removed in :meth:`finish` / :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        memory_budget: Optional[int] = None,
+        directory: Optional[Path] = None,
+    ) -> None:
+        if memory_budget is not None and memory_budget <= 0:
+            raise ConfigurationError(
+                f"memory_budget must be positive, got {memory_budget}"
+            )
+        self.memory_budget = memory_budget
+        self._own_directory = directory is None
+        self._directory: Optional[Path] = (
+            Path(directory) if directory is not None else None
+        )
+        self._columns: list[np.ndarray] = []
+        self._values: list[np.ndarray] = []
+        self._resident_entries = 0
+        self._segments: list[tuple[Path, int, int]] = []  # (path, rows, entries)
+        self._finished = False
+        self.stats = SpillStats()
+
+    @property
+    def resident_bytes(self) -> int:
+        """Current resident footprint of the accumulated rows."""
+        return self._resident_entries * _ENTRY_BYTES
+
+    def append(self, columns: np.ndarray, values: np.ndarray) -> None:
+        """Append one vertex's truncated ``(columns, values)`` row."""
+        if self._finished:
+            raise ConfigurationError("accumulator already finished")
+        self._columns.append(np.asarray(columns, dtype=np.int64))
+        self._values.append(np.asarray(values, dtype=np.float64))
+        self._resident_entries += int(self._columns[-1].size)
+        self.stats.peak_resident_bytes = max(
+            self.stats.peak_resident_bytes, self.resident_bytes
+        )
+        if (
+            self.memory_budget is not None
+            and self.resident_bytes > self.memory_budget
+        ):
+            self._flush()
+
+    def _segment_dir(self) -> Path:
+        if self._directory is None:
+            self._directory = Path(tempfile.mkdtemp(prefix="repro-spill-"))
+        return self._directory
+
+    def _flush(self) -> None:
+        """Write the resident run of rows to one ``.npz`` segment."""
+        if not self._columns:
+            return
+        lengths = np.fromiter(
+            (part.size for part in self._columns),
+            dtype=np.int64,
+            count=len(self._columns),
+        )
+        columns = (
+            np.concatenate(self._columns)
+            if self._resident_entries
+            else np.empty(0, dtype=np.int64)
+        )
+        values = (
+            np.concatenate(self._values)
+            if self._resident_entries
+            else np.empty(0, dtype=np.float64)
+        )
+        path = self._segment_dir() / f"segment-{len(self._segments):06d}.npz"
+        np.savez(path, lengths=lengths, columns=columns, values=values)
+        self._segments.append((path, int(lengths.size), int(columns.size)))
+        self.stats.segments += 1
+        self.stats.spilled_entries += int(columns.size)
+        self.stats.spilled_bytes += int(columns.nbytes + values.nbytes)
+        self._columns.clear()
+        self._values.clear()
+        self._resident_entries = 0
+
+    def finish(self, n: int) -> sparse.csr_matrix:
+        """Merge-stream every segment plus the resident tail into one CSR.
+
+        Row counts across segments and tail must total ``n``.  Segments are
+        read back one at a time in write order, so peak memory during the
+        merge is the final arrays plus a single segment.
+        """
+        if self._finished:
+            raise ConfigurationError("accumulator already finished")
+        self._finished = True
+        try:
+            tail_lengths = np.fromiter(
+                (part.size for part in self._columns),
+                dtype=np.int64,
+                count=len(self._columns),
+            )
+            total_rows = sum(rows for _, rows, _ in self._segments) + int(
+                tail_lengths.size
+            )
+            if total_rows != n:
+                raise ConfigurationError(
+                    f"accumulated {total_rows} rows for a graph of {n} vertices"
+                )
+            total_entries = sum(
+                entries for _, _, entries in self._segments
+            ) + int(self._resident_entries)
+
+            data = np.empty(total_entries, dtype=np.float64)
+            indices = np.empty(total_entries, dtype=np.int64)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            row = 0
+            position = 0
+            for path, _, _ in self._segments:
+                with np.load(path) as segment:
+                    lengths = segment["lengths"]
+                    count = int(lengths.sum())
+                    indices[position : position + count] = segment["columns"]
+                    data[position : position + count] = segment["values"]
+                indptr[row + 1 : row + 1 + lengths.size] = np.cumsum(lengths)
+                indptr[row + 1 : row + 1 + lengths.size] += indptr[row]
+                row += int(lengths.size)
+                position += count
+            if tail_lengths.size:
+                count = int(tail_lengths.sum())
+                if count:
+                    indices[position : position + count] = np.concatenate(
+                        self._columns
+                    )
+                    data[position : position + count] = np.concatenate(
+                        self._values
+                    )
+                indptr[row + 1 : row + 1 + tail_lengths.size] = np.cumsum(
+                    tail_lengths
+                )
+                indptr[row + 1 : row + 1 + tail_lengths.size] += indptr[row]
+            return sparse.csr_matrix((data, indices, indptr), shape=(n, n))
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Remove any temporary segment directory (idempotent)."""
+        self._columns.clear()
+        self._values.clear()
+        self._resident_entries = 0
+        self._segments.clear()
+        if self._own_directory and self._directory is not None:
+            shutil.rmtree(self._directory, ignore_errors=True)
+            self._directory = None
+
+    def __enter__(self) -> "RowSpillAccumulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

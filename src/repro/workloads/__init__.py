@@ -2,11 +2,14 @@
 
 from .datasets import (
     PAPER_DATASETS,
+    WEB_SCALE_FIXTURES,
     DatasetSpec,
+    FixtureSpec,
     available_datasets,
     dblp_snapshots,
     fig5_table,
     load_dataset,
+    snap_fixture_path,
     syn_graph,
 )
 from .queries import (
@@ -18,11 +21,14 @@ from .queries import (
 
 __all__ = [
     "PAPER_DATASETS",
+    "WEB_SCALE_FIXTURES",
     "DatasetSpec",
+    "FixtureSpec",
     "available_datasets",
     "dblp_snapshots",
     "fig5_table",
     "load_dataset",
+    "snap_fixture_path",
     "syn_graph",
     "QueryWorkload",
     "degree_stratified_queries",

@@ -10,6 +10,7 @@ from repro.baselines.monte_carlo import (
     estimate_pair,
     monte_carlo_simrank,
     sample_fingerprints,
+    sample_fingerprints_reference,
 )
 from repro.exceptions import ConfigurationError
 from repro.graph.builders import from_edges, star_graph
@@ -83,3 +84,118 @@ class TestEstimates:
     def test_star_graph_leaves_never_meet(self):
         result = monte_carlo_simrank(star_graph(4), damping=0.6, num_walks=50, seed=9)
         assert result.scores[1, 2] == 0.0
+
+
+def _estimate_pair_reference(walks, first, second, damping):
+    """The seed implementation's per-round estimate loop, verbatim."""
+    if first == second:
+        return 1.0
+    num_walks, _, length = walks.shape
+    total = 0.0
+    for round_index in range(num_walks):
+        walk_a = walks[round_index, first, :]
+        walk_b = walks[round_index, second, :]
+        for step in range(1, length):
+            a_pos = walk_a[step]
+            if a_pos < 0:
+                break
+            if a_pos == walk_b[step]:
+                total += damping**step
+                break
+    return total / num_walks
+
+
+class TestVectorisedRegression:
+    """The vectorised sampler/estimator against the seed implementations."""
+
+    def test_identical_seeds_are_deterministic_across_runs(self, paper_graph):
+        for sampler in (sample_fingerprints, sample_fingerprints_reference):
+            first = sampler(paper_graph, num_walks=3, walk_length=5, seed=11)
+            second = sampler(paper_graph, num_walks=3, walk_length=5, seed=11)
+            assert np.array_equal(first, second)
+
+    def test_reference_sampler_keeps_old_walk_invariants(self, paper_graph):
+        walks = sample_fingerprints_reference(
+            paper_graph, num_walks=2, walk_length=3, seed=2
+        )
+        for round_index in range(2):
+            for vertex in paper_graph.vertices():
+                for step in range(1, 4):
+                    current = walks[round_index, vertex, step]
+                    previous = walks[round_index, vertex, step - 1]
+                    if current < 0:
+                        continue
+                    assert current in paper_graph.in_neighbors(int(previous))
+
+    def test_samplers_agree_statistically(self, paper_graph):
+        # Different draw orders, same walk distribution: both samplers'
+        # all-pairs estimates must sit within the same tolerance of the
+        # exact Eq. 2 scores (and of each other).
+        exact = matrix_simrank(
+            paper_graph, damping=0.6, iterations=30, diagonal="one"
+        ).scores
+        mask = ~np.eye(paper_graph.num_vertices, dtype=bool)
+        errors = {}
+        for name, sampler in (
+            ("vectorised", sample_fingerprints),
+            ("reference", sample_fingerprints_reference),
+        ):
+            walks = sampler(paper_graph, num_walks=600, walk_length=12, seed=13)
+            n = paper_graph.num_vertices
+            scores = np.array(
+                [
+                    [estimate_pair(walks, a, b, 0.6) for b in range(n)]
+                    for a in range(n)
+                ]
+            )
+            errors[name] = np.abs(scores - exact)[mask].mean()
+        assert errors["vectorised"] < 0.02
+        assert errors["reference"] < 0.02
+        assert abs(errors["vectorised"] - errors["reference"]) < 0.01
+
+    def test_dead_walks_never_revive(self, paper_graph):
+        walks = sample_fingerprints(paper_graph, num_walks=4, walk_length=6, seed=3)
+        dead = walks == -1
+        # Once -1 appears along the step axis it persists to the end.
+        assert np.array_equal(dead[:, :, 1:] | dead[:, :, :-1], dead[:, :, 1:])
+
+    def test_estimate_pair_equals_seed_loop_exactly(self, paper_graph):
+        walks = sample_fingerprints(paper_graph, num_walks=40, walk_length=8, seed=7)
+        n = paper_graph.num_vertices
+        for first in range(n):
+            for second in range(n):
+                assert estimate_pair(walks, first, second, 0.6) == pytest.approx(
+                    _estimate_pair_reference(walks, first, second, 0.6), abs=1e-12
+                )
+
+    def test_blocked_all_pairs_equals_pairwise_estimates(self, paper_graph):
+        result = monte_carlo_simrank(paper_graph, damping=0.6, num_walks=25, seed=5)
+        walks = sample_fingerprints(
+            paper_graph,
+            num_walks=25,
+            walk_length=int(result.extra["walk_length"]),
+            seed=5,
+        )
+        n = paper_graph.num_vertices
+        for first in range(0, n, 2):
+            for second in range(1, n, 3):
+                assert result.scores[first, second] == pytest.approx(
+                    estimate_pair(walks, first, second, 0.6), abs=1e-12
+                )
+
+    def test_first_meeting_targets_eq2_not_matrix_convention(self, paper_graph):
+        # E[C^tau] is the Eq. 2 fixed point; with enough walks the estimate
+        # must sit closer to diagonal="one" scores than to the matrix form.
+        estimate = monte_carlo_simrank(
+            paper_graph, damping=0.6, num_walks=4000, seed=17
+        ).scores
+        mask = ~np.eye(paper_graph.num_vertices, dtype=bool)
+        one = matrix_simrank(
+            paper_graph, damping=0.6, iterations=40, diagonal="one"
+        ).scores
+        matrix = matrix_simrank(
+            paper_graph, damping=0.6, iterations=40, diagonal="matrix"
+        ).scores
+        error_one = np.abs(estimate - one)[mask].mean()
+        error_matrix = np.abs(estimate - matrix)[mask].mean()
+        assert error_one < error_matrix

@@ -134,3 +134,54 @@ class TestWorkersCli:
         # instead of crashing.
         assert main(["fig6f", "--workers", "2"]) == 0
         assert "fig6f" in capsys.readouterr().out
+
+
+class TestLargeGraphCli:
+    def test_large_graph_registered_with_budget_and_approx(self):
+        args = build_parser().parse_args(
+            ["large-graph", "--quick", "--memory-budget", "16K", "--approx"]
+        )
+        assert args.experiment == "large-graph"
+        assert args.memory_budget == 16 * 1024
+        assert args.approx
+
+    def test_memory_budget_suffixes(self):
+        from repro.cli import parse_memory_budget
+
+        assert parse_memory_budget("4096") == 4096
+        assert parse_memory_budget("2k") == 2048
+        assert parse_memory_budget("1.5M") == int(1.5 * (1 << 20))
+        assert parse_memory_budget("1G") == 1 << 30
+
+    def test_invalid_memory_budget_rejected(self):
+        for bad in ("zero", "-1", "0", "4Q"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["large-graph", "--memory-budget", bad])
+
+    def test_large_graph_runs_quick(self, capsys):
+        assert main(["large-graph", "--quick", "--memory-budget", "16K"]) == 0
+        output = capsys.readouterr().out
+        assert "bit-identical" in output
+        assert "overlap" in output
+
+    def test_index_build_accepts_memory_budget(self, tmp_path, capsys):
+        out = tmp_path / "index.npz"
+        assert main(
+            [
+                "index-build",
+                "--out",
+                str(out),
+                "--rmat-scale",
+                "7",
+                "--index-k",
+                "5",
+                "--memory-budget",
+                "2K",
+            ]
+        ) == 0
+        assert out.exists()
+
+    def test_serving_accepts_approx_flag(self, capsys):
+        assert main(["serving", "--quick", "--approx"]) == 0
+        output = capsys.readouterr().out
+        assert "approx" in output

@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     fig6f,
     fig6g,
     fig6h,
+    large_graph,
     scaling,
     serving,
 )
@@ -252,3 +253,50 @@ class TestScalingExperiment:
         monkeypatch.setattr(scaling, "_max_abs_diff", lambda a, b: 1e-6)
         with pytest.raises(RuntimeError, match="diverged"):
             scaling.run(scale=0.25, quick=True, workers=2)
+
+
+class TestLargeGraphExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return large_graph.run(quick=True, memory_budget=16 * 1024)
+
+    def test_all_phases_reported(self, report):
+        phases = {row["phase"] for row in report.rows}
+        assert {
+            "ingest-python",
+            "ingest-chunked",
+            "ingest-streamed",
+            "build-in-core",
+            "build-out-of-core",
+            "fingerprints-build",
+            "serve-approx",
+            "serve-exact-compute",
+            "sampler-micro",
+        } <= phases
+
+    def test_bit_identical_note_present(self, report):
+        assert any("bit-identical" in note for note in report.notes)
+
+    def test_spill_was_forced(self, report):
+        import re
+
+        (row,) = report.filter(phase="build-out-of-core")
+        match = re.search(r"(\d+) segments", row["detail"])
+        assert match is not None
+        assert int(match.group(1)) > 0
+
+    def test_overlap_floor_enforced(self, report, monkeypatch):
+        assert any("overlap" in note for note in report.notes)
+        monkeypatch.setattr(large_graph, "MIN_OVERLAP", 1.01)
+        with pytest.raises(RuntimeError, match="overlap"):
+            large_graph.run(quick=True, memory_budget=16 * 1024)
+
+    def test_sampler_speedup_reported(self, report):
+        (row,) = report.filter(phase="sampler-micro")
+        assert row["speedup_vs_python"] > 1
+
+    def test_unforced_spill_raises(self):
+        # A budget too large to spill must fail the run, not silently skip
+        # the out-of-core path the smoke exists to exercise.
+        with pytest.raises(RuntimeError, match="spill"):
+            large_graph.run(quick=True, memory_budget=1 << 30)

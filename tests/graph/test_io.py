@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.exceptions import GraphBuildError
 from repro.graph.builders import from_edges
+from repro.graph.edgelist import EdgeListGraph
 from repro.graph.io import (
+    iter_edge_blocks,
     read_edge_list,
+    read_edge_list_streamed,
     read_labeled_json,
     write_edge_list,
     write_labeled_json,
@@ -66,6 +70,104 @@ class TestEdgeList:
         content = path.read_text()
         assert content.startswith("#")
         assert "Nodes: 2" in content
+
+    def test_trailing_inline_comments_tolerated(self, tmp_path):
+        path = tmp_path / "inline.txt"
+        path.write_text("0 1  # resolved redirect\n1 2\n2 0 # cycle closes\n")
+        for engine in ("python", "chunked"):
+            graph = read_edge_list(path, engine=engine)
+            assert graph.num_vertices == 3
+            assert sorted(graph.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_blank_or_comment_only_file_raises_clearly(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# header only\n\n   \n# nothing else\n")
+        for engine in ("python", "chunked"):
+            with pytest.raises(GraphBuildError, match="no edges"):
+                read_edge_list(path, engine=engine)
+        with pytest.raises(GraphBuildError, match="no edges"):
+            read_edge_list_streamed(path)
+
+    def test_engines_parse_identically_across_blocks(self, tmp_path):
+        # Duplicate edges, self-loops, shuffled ids, comments — with a block
+        # size small enough that the chunked engine crosses many boundaries.
+        lines = ["# header"]
+        rng = np.random.default_rng(5)
+        for _ in range(100):
+            lines.append(f"{rng.integers(0, 40)*7} {rng.integers(0, 40)*7}")
+        lines.insert(50, "")
+        lines.insert(20, "# mid-file comment")
+        path = tmp_path / "blocks.txt"
+        path.write_text("\n".join(lines) + "\n")
+        reference = read_edge_list(path, engine="python")
+        chunked = read_edge_list(path, engine="chunked", block_lines=7)
+        assert chunked.num_vertices == reference.num_vertices
+        assert sorted(chunked.edges()) == sorted(reference.edges())
+
+    def test_extra_tokens_beyond_two_are_ignored(self, tmp_path):
+        path = tmp_path / "weights.txt"
+        path.write_text("0 1 0.5\n1 2 0.25 extra\n")
+        for engine in ("python", "chunked"):
+            graph = read_edge_list(path, engine=engine)
+            assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_non_integer_token_raises(self, tmp_path):
+        path = tmp_path / "alpha.txt"
+        path.write_text("0 1\nfoo bar\n")
+        for engine in ("python", "chunked"):
+            with pytest.raises((GraphBuildError, ValueError)):
+                read_edge_list(path, engine=engine)
+
+    def test_unknown_engine_rejected(self, tmp_path):
+        path = tmp_path / "any.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphBuildError, match="engine"):
+            read_edge_list(path, engine="imaginary")
+
+
+class TestStreamedReader:
+    def test_returns_edge_list_graph_with_identical_structure(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("# c\n10 20\n30 20\n10 20\n20 10\n5 5\n")
+        streamed = read_edge_list_streamed(path)
+        assert isinstance(streamed, EdgeListGraph)
+        # Duplicates kept verbatim; ids remapped first-seen like the DiGraph
+        # reader (10->0, 20->1, 30->2, 5->3).
+        assert streamed.num_vertices == 4
+        assert list(streamed.edges()) == [(0, 1), (2, 1), (0, 1), (1, 0), (3, 3)]
+        reference = read_edge_list(path, engine="python")
+        assert streamed.to_digraph() == reference
+
+    def test_block_size_is_invisible(self, tmp_path):
+        path = tmp_path / "blocks.txt"
+        path.write_text("\n".join(f"{i % 13} {(i * 3) % 13}" for i in range(50)))
+        whole = read_edge_list_streamed(path)
+        chunked = read_edge_list_streamed(path, block_lines=3)
+        assert whole.num_vertices == chunked.num_vertices
+        for left, right in zip(whole.edge_arrays(), chunked.edge_arrays()):
+            assert np.array_equal(left, right)
+
+
+class TestIterEdgeBlocks:
+    def test_blocks_concatenate_to_file_order(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("5 6\n7 8\n5 6\n9 5\n")
+        blocks = list(iter_edge_blocks(path, block_lines=2))
+        assert len(blocks) == 2
+        stacked = np.concatenate(blocks, axis=0)
+        assert stacked.tolist() == [[5, 6], [7, 8], [5, 6], [9, 5]]
+
+    def test_invalid_block_size_rejected(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphBuildError):
+            list(iter_edge_blocks(path, block_lines=0))
+
+    def test_malformed_line_reports_its_number(self, tmp_path):
+        path = tmp_path / "broken.txt"
+        path.write_text("0 1\n0 2\n0 3\njust-one-token\n")
+        with pytest.raises(GraphBuildError, match=":4"):
+            list(iter_edge_blocks(path, block_lines=3))
 
 
 class TestLabeledJson:

@@ -6,9 +6,10 @@ import numpy as np
 import pytest
 
 from repro.baselines.topk import top_k_from_result
+from repro.core.instrumentation import Instrumentation
 from repro.core.similarity_store import SimilarityStore
 from repro.exceptions import ConfigurationError
-from repro.service import build_index, load_index, save_index
+from repro.service import SpillStats, build_index, load_index, save_index
 
 ITERATIONS = 25
 DAMPING = 0.6
@@ -67,6 +68,79 @@ class TestBuild:
             build_index(served_graph, index_k=5, chunk_size=0)
         with pytest.raises(ConfigurationError):
             build_index(served_graph, index_k=5, backend="gpu")
+        with pytest.raises(ConfigurationError):
+            build_index(served_graph, index_k=5, memory_budget=0)
+
+
+class TestOutOfCore:
+    """The spilled build must be indistinguishable from the in-core build."""
+
+    @pytest.mark.parametrize("memory_budget", [512, 4096, 65536, 10**9])
+    def test_spilled_build_bit_identical_across_budgets(
+        self, index, served_graph, memory_budget
+    ):
+        spill = SpillStats()
+        spilled = build_index(
+            served_graph,
+            index_k=20,
+            damping=DAMPING,
+            iterations=ITERATIONS,
+            memory_budget=memory_budget,
+            spill_stats=spill,
+        )
+        assert np.array_equal(spilled.matrix.data, index.matrix.data)
+        assert np.array_equal(spilled.matrix.indices, index.matrix.indices)
+        assert np.array_equal(spilled.matrix.indptr, index.matrix.indptr)
+        assert spilled.extra == index.extra
+        # Budgets below the index's resident size must actually spill.
+        if memory_budget < index.memory_bytes():
+            assert spill.segments > 0
+            assert spill.peak_resident_bytes <= memory_budget + 20 * 16
+
+    def test_spilled_build_identical_with_chunking_and_workers(
+        self, index, served_graph
+    ):
+        spilled = build_index(
+            served_graph,
+            index_k=20,
+            damping=DAMPING,
+            iterations=ITERATIONS,
+            chunk_size=7,
+            workers=2,
+            memory_budget=2048,
+        )
+        assert np.array_equal(spilled.matrix.data, index.matrix.data)
+        assert np.array_equal(spilled.matrix.indices, index.matrix.indices)
+        assert np.array_equal(spilled.matrix.indptr, index.matrix.indptr)
+
+    def test_spill_directory_is_honoured_and_cleaned(self, served_graph, tmp_path):
+        spill = SpillStats()
+        build_index(
+            served_graph,
+            index_k=10,
+            damping=DAMPING,
+            iterations=ITERATIONS,
+            memory_budget=1024,
+            spill_directory=tmp_path,
+            spill_stats=spill,
+        )
+        assert spill.segments > 0
+        # Segment files are consumed by the merge; the directory survives.
+        assert tmp_path.exists()
+        assert list(tmp_path.glob("segment-*.npz"))
+
+    def test_instrumentation_records_spill_counters(self, served_graph):
+        instrumentation = Instrumentation()
+        build_index(
+            served_graph,
+            index_k=10,
+            damping=DAMPING,
+            iterations=ITERATIONS,
+            memory_budget=1024,
+            instrumentation=instrumentation,
+        )
+        assert instrumentation.operations.get("spill_segments") > 0
+        assert instrumentation.operations.get("spill_bytes") > 0
 
 
 class TestPersistence:

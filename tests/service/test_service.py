@@ -260,3 +260,139 @@ class TestValidation:
             snapshot
         )
         assert "index_k=20" in repr(service)
+
+
+class TestApproxTier:
+    """The Monte-Carlo tier: policy gating, staleness, stats, no write-back."""
+
+    @pytest.fixture(scope="class")
+    def fingerprints(self, served_graph):
+        from repro.service import FingerprintIndex
+
+        return FingerprintIndex.build(
+            served_graph, damping=DAMPING, num_walks=64, seed=3
+        )
+
+    def test_approx_true_routes_to_approx_tier(self, served_graph, fingerprints):
+        service = make_service(
+            served_graph, with_index=False, cache_size=0, fingerprints=fingerprints
+        )
+        ranking = service.top_k(3, approx=True)
+        assert len(ranking.entries) == service.k
+        snapshot = service.stats.snapshot()
+        assert snapshot["approx_hits"] == 1
+        assert snapshot["compute_hits"] == 0
+
+    def test_default_queries_stay_exact(self, served_graph, fingerprints):
+        service = make_service(
+            served_graph, with_index=False, cache_size=0, fingerprints=fingerprints
+        )
+        service.top_k(3)
+        snapshot = service.stats.snapshot()
+        assert snapshot["approx_hits"] == 0
+        assert snapshot["compute_hits"] == 1
+
+    def test_max_error_policy_gates_on_standard_error(
+        self, served_graph, fingerprints
+    ):
+        service = make_service(
+            served_graph, with_index=False, cache_size=0, fingerprints=fingerprints
+        )
+        loose = fingerprints.standard_error * 2
+        tight = fingerprints.standard_error / 2
+        service.top_k(1, max_error=loose)
+        service.top_k(2, max_error=tight)
+        snapshot = service.stats.snapshot()
+        assert snapshot["approx_hits"] == 1
+        assert snapshot["compute_hits"] == 1
+
+    def test_invalid_max_error_rejected(self, served_graph, fingerprints):
+        service = make_service(served_graph, fingerprints=fingerprints)
+        with pytest.raises(ConfigurationError):
+            service.top_k(0, max_error=0.0)
+
+    def test_exact_tiers_win_over_approx(self, served_graph, fingerprints):
+        # With a fresh index attached, an approx-permitted query still takes
+        # the (exact, cheaper) index tier; a repeat takes the cache.
+        service = make_service(served_graph, fingerprints=fingerprints)
+        service.top_k(5, approx=True)
+        service.top_k(5, approx=True)
+        snapshot = service.stats.snapshot()
+        assert snapshot["index_hits"] == 1
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["approx_hits"] == 0
+
+    def test_approx_answers_are_not_written_back(self, served_graph, fingerprints):
+        service = make_service(
+            served_graph, with_index=False, cache_size=64, fingerprints=fingerprints
+        )
+        service.top_k(7, approx=True)
+        # The follow-up exact query must not see a cached approx entry.
+        service.top_k(7)
+        snapshot = service.stats.snapshot()
+        assert snapshot["approx_hits"] == 1
+        assert snapshot["cache_hits"] == 0
+        assert snapshot["compute_hits"] == 1
+
+    def test_mutation_stales_fingerprints(self, served_graph, fingerprints):
+        service = make_service(
+            served_graph, with_index=False, cache_size=0, fingerprints=fingerprints
+        )
+        service.add_edge(0, 64)
+        service.top_k(3, approx=True)  # stale walks: falls through to exact
+        snapshot = service.stats.snapshot()
+        assert snapshot["approx_hits"] == 0
+        assert snapshot["compute_hits"] == 1
+        resampled = service.resample_fingerprints()
+        assert resampled is not None
+        assert service.fingerprints is resampled
+        assert resampled.num_walks == fingerprints.num_walks
+        service.top_k(3, approx=True)
+        assert service.stats.snapshot()["approx_hits"] == 1
+
+    def test_resample_preserves_configuration(self, served_graph):
+        from repro.service import FingerprintIndex
+
+        # A pure-tail index (head_iterations=0) has a much larger standard
+        # error; resampling must not silently restore the defaults and
+        # thereby loosen a max_error gate.
+        pure = FingerprintIndex.build(
+            served_graph, damping=DAMPING, num_walks=32, head_iterations=0, seed=2
+        )
+        service = make_service(
+            served_graph, with_index=False, cache_size=0, fingerprints=pure
+        )
+        service.add_edge(0, 100)
+        resampled = service.resample_fingerprints()
+        assert resampled is not None
+        assert resampled.head_iterations == 0
+        assert resampled.standard_error == pure.standard_error
+        assert resampled.walk_length == pure.walk_length
+
+    def test_attach_validates_shape_and_damping(self, served_graph, fingerprints):
+        from repro.service import FingerprintIndex
+
+        service = make_service(served_graph, with_index=False)
+        wrong_damping = FingerprintIndex(
+            fingerprints._walks, 0.8, head_iterations=0, seed=3
+        )
+        with pytest.raises(ConfigurationError):
+            service.attach_fingerprints(wrong_damping)
+        small = FingerprintIndex(
+            fingerprints._walks[:, :16, :], DAMPING, head_iterations=0, seed=3
+        )
+        with pytest.raises(ConfigurationError):
+            service.attach_fingerprints(small)
+
+    def test_batch_mixes_tiers_consistently(self, served_graph, fingerprints):
+        service = make_service(served_graph, fingerprints=fingerprints)
+        service.top_k(11)  # seeds cache + index stats
+        answers = service.top_k_many([11, 12, 13], approx=True)
+        assert [len(answer.entries) for answer in answers] == [10, 10, 10]
+        snapshot = service.stats.snapshot()
+        assert (
+            snapshot["index_hits"]
+            + snapshot["cache_hits"]
+            + snapshot["approx_hits"]
+            + snapshot["compute_hits"]
+        ) == snapshot["queries"]

@@ -1,0 +1,101 @@
+"""Unit tests for the out-of-core row accumulator (spill segments + merge)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.spill import RowSpillAccumulator
+
+
+def _rows(count: int, seed: int = 0) -> list[tuple[np.ndarray, np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(count):
+        size = int(rng.integers(0, 6))
+        columns = np.sort(rng.choice(count, size=size, replace=False))
+        rows.append((columns.astype(np.int64), rng.random(size)))
+    return rows
+
+
+class TestAccumulator:
+    def test_in_core_matches_plain_concatenation(self):
+        rows = _rows(12, seed=1)
+        with RowSpillAccumulator() as accumulator:
+            for columns, values in rows:
+                accumulator.append(columns, values)
+            matrix = accumulator.finish(12)
+        assert accumulator.stats.segments == 0
+        expected_indptr = np.concatenate(
+            ([0], np.cumsum([columns.size for columns, _ in rows]))
+        )
+        assert np.array_equal(matrix.indptr, expected_indptr)
+        assert np.array_equal(
+            matrix.indices, np.concatenate([columns for columns, _ in rows])
+        )
+        assert np.array_equal(
+            matrix.data, np.concatenate([values for _, values in rows])
+        )
+
+    @pytest.mark.parametrize("budget", [1, 64, 256, 10**9])
+    def test_spilled_merge_is_bit_identical(self, budget):
+        rows = _rows(30, seed=2)
+        with RowSpillAccumulator() as baseline:
+            for columns, values in rows:
+                baseline.append(columns, values)
+            expected = baseline.finish(30)
+        with RowSpillAccumulator(memory_budget=budget) as accumulator:
+            for columns, values in rows:
+                accumulator.append(columns, values)
+            merged = accumulator.finish(30)
+        assert np.array_equal(merged.data, expected.data)
+        assert np.array_equal(merged.indices, expected.indices)
+        assert np.array_equal(merged.indptr, expected.indptr)
+
+    def test_tiny_budget_spills_and_counts(self):
+        with RowSpillAccumulator(memory_budget=64) as accumulator:
+            for columns, values in _rows(20, seed=3):
+                accumulator.append(columns, values)
+            resident_before_finish = accumulator.resident_bytes
+            accumulator.finish(20)
+        assert accumulator.stats.segments > 1
+        assert accumulator.stats.spilled_entries > 0
+        assert accumulator.stats.peak_resident_bytes >= resident_before_finish
+
+    def test_own_temp_directory_is_removed(self):
+        accumulator = RowSpillAccumulator(memory_budget=1)
+        accumulator.append(np.array([0, 1]), np.array([0.5, 0.25]))
+        directory = accumulator._segment_dir()
+        assert directory.exists()
+        accumulator.append(np.array([1]), np.array([0.75]))
+        accumulator.finish(2)
+        assert not directory.exists()
+
+    def test_caller_directory_survives(self, tmp_path):
+        with RowSpillAccumulator(memory_budget=1, directory=tmp_path) as accumulator:
+            accumulator.append(np.array([0]), np.array([0.5]))
+            accumulator.append(np.array([0]), np.array([0.5]))
+            accumulator.finish(2)
+        assert tmp_path.exists()
+
+    def test_row_count_mismatch_raises(self):
+        accumulator = RowSpillAccumulator()
+        accumulator.append(np.array([1]), np.array([0.5]))
+        with pytest.raises(ConfigurationError, match="rows"):
+            accumulator.finish(5)
+
+    def test_finished_accumulator_is_terminal(self):
+        accumulator = RowSpillAccumulator()
+        accumulator.append(np.array([], dtype=np.int64), np.array([]))
+        accumulator.finish(1)
+        with pytest.raises(ConfigurationError):
+            accumulator.append(np.array([0]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            accumulator.finish(1)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowSpillAccumulator(memory_budget=0)
+        with pytest.raises(ConfigurationError):
+            RowSpillAccumulator(memory_budget=-5)

@@ -5,19 +5,24 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import ConfigurationError
+from repro.graph.edgelist import EdgeListGraph
 from repro.workloads.datasets import (
     PAPER_DATASETS,
+    WEB_SCALE_FIXTURES,
     available_datasets,
     dblp_snapshots,
     fig5_table,
     load_dataset,
+    snap_fixture_path,
     syn_graph,
 )
 
 
 class TestRegistry:
     def test_available_names_match_specs(self):
-        assert set(available_datasets()) == set(PAPER_DATASETS)
+        assert set(available_datasets()) == (
+            set(PAPER_DATASETS) | set(WEB_SCALE_FIXTURES)
+        )
 
     def test_every_dataset_loads_at_small_scale(self):
         for name in available_datasets():
@@ -90,3 +95,37 @@ class TestFig5Table:
         for row in rows:
             assert {"dataset", "vertices", "edges", "avg_degree", "paper_vertices"} <= set(row)
             assert row["vertices"] < row["paper_vertices"]
+
+
+class TestWebScaleFixtures:
+    def test_fixture_file_is_messy_snap_text(self, tmp_path):
+        path = snap_fixture_path("web-scale", scale=0.25, directory=tmp_path)
+        content = path.read_text()
+        assert content.startswith("# Directed graph")
+        assert "  # crawl batch" in content  # inline comments exercised
+        assert "\n\n" in content  # blank separator lines exercised
+
+    def test_fixture_is_written_once(self, tmp_path):
+        first = snap_fixture_path("web-scale", scale=0.25, directory=tmp_path)
+        stamp = first.stat().st_mtime_ns
+        second = snap_fixture_path("web-scale", scale=0.25, directory=tmp_path)
+        assert first == second
+        assert second.stat().st_mtime_ns == stamp
+
+    def test_load_streams_an_edge_list_graph(self):
+        graph = load_dataset("web-scale", scale=0.25)
+        assert isinstance(graph, EdgeListGraph)
+        assert graph.num_vertices > 10
+        assert graph.num_edges > graph.num_vertices
+        assert load_dataset("web-scale", scale=0.25) is graph  # memoised
+
+    def test_every_fixture_loads(self):
+        for name in WEB_SCALE_FIXTURES:
+            graph = load_dataset(name, scale=0.25)
+            assert graph.num_edges > 0
+
+    def test_unknown_fixture_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            snap_fixture_path("imaginary", directory=tmp_path)
+        with pytest.raises(ConfigurationError):
+            snap_fixture_path("web-scale", scale=0.0, directory=tmp_path)
