@@ -73,6 +73,17 @@ def main() -> None:
         f"{conventional.total_additions:,}, OIP-DSR: {differential.total_additions:,}"
     )
 
+    # The same graph through the session API: one Engine, one validated
+    # config, shared artifacts across tasks (see examples/engine_tour.py).
+    from repro import Engine, EngineConfig
+
+    with Engine(graph, EngineConfig(damping=0.6, accuracy=1e-3)) as engine:
+        ranking = engine.top_k(["a"], k=5)[0]
+        print("\nEngine top-5 for 'a' (series convention):")
+        for label, score in ranking.entries:
+            print(f"  s(a, {label}) = {score:.4f}")
+        print("Planned:", engine.explain("top_k").reasons[-1])
+
 
 if __name__ == "__main__":
     main()

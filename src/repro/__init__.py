@@ -10,36 +10,54 @@ psum-SR / mtx-SR / Monte-Carlo / naive baselines, the P-Rank extension,
 ranking-quality metrics, and a benchmark harness that regenerates every
 figure and table of the paper's Section V.
 
-All solvers are also reachable through the unified dispatch entry point
-:func:`simrank` (``simrank(graph, method="matrix", backend="sparse")``),
-which selects both the algorithm and the compute backend
-(:mod:`repro.core.backends`) by name; :func:`simrank_top_k` answers batched
-top-k queries without materialising the all-pairs matrix.
+The primary public surface is the session-level engine API
+(:mod:`repro.engine`): one :class:`Engine` per graph owns the shared state
+every task needs — transition operator, worker pool, serving index,
+Monte-Carlo fingerprints — and a cost-based planner selects the method,
+backend, worker count and serving tier from the graph statistics and one
+validated, JSON-round-trippable :class:`EngineConfig`.  The classic free
+functions (:func:`simrank`, :func:`simrank_top_k`) remain as thin one-shot
+wrappers over an ephemeral engine, bit-identical by construction.
 
 On top of the solvers sits an online serving layer (:mod:`repro.service`):
 :func:`build_index` precomputes a truncated all-pairs index offline and
 :class:`SimilarityService` answers top-k query streams through a tiered
-index → cache → micro-batched-compute path with incremental edge updates.
+index → cache → micro-batched-compute path with incremental edge updates;
+``engine.serve()`` wires one to the session's shared artifacts.
 
 Quickstart
 ----------
->>> from repro import generators, oip_sr, oip_dsr, simrank
+>>> from repro import Engine, EngineConfig, generators
 >>> graph = generators.web_graph(num_pages=200, num_hosts=8, seed=1)
->>> conventional = oip_sr(graph, damping=0.6, accuracy=1e-3)
->>> fast = oip_dsr(graph, damping=0.6, accuracy=1e-3)
->>> matrix = simrank(graph, method="matrix", backend="sparse", accuracy=1e-3)
->>> conventional.top_k(0, k=5)  # doctest: +SKIP
+>>> engine = Engine(graph, EngineConfig(damping=0.6, accuracy=1e-3))
+>>> plan = engine.explain()            # what would run, and why
+>>> scores = engine.all_pairs()        # builds the transition operator
+>>> rankings = engine.top_k([0, 5])    # reuses it
+>>> isinstance(engine.pair(0, 5), float)  # and so does this
+True
 
 Serving
 -------
->>> from repro import SimilarityService, build_index
->>> index = build_index(graph, index_k=20, accuracy=1e-3)
->>> service = SimilarityService(graph, index, accuracy=1e-3)
+>>> service = engine.serve(warm=True)  # index tier on shared artifacts
 >>> service.top_k(0, k=5)  # doctest: +SKIP
+
+The paper's own algorithm remains a first-class method:
+
+>>> from repro import oip_sr
+>>> conventional = oip_sr(graph, damping=0.6, accuracy=1e-3)
+>>> conventional.top_k(0, k=5)  # doctest: +SKIP
 """
 
 from ._version import __version__
 from .api import available_methods, simrank, simrank_top_k
+from .engine import (
+    Capabilities,
+    Engine,
+    EngineConfig,
+    ExecutionPlan,
+    GraphStats,
+    TaskPlan,
+)
 from .baselines import (
     matrix_simrank,
     monte_carlo_simrank,
@@ -95,10 +113,16 @@ from .workloads import load_dataset, syn_graph, zipf_query_stream
 
 __all__ = sorted(
     [
+        "Capabilities",
         "ConfigurationError",
         "ConvergenceError",
         "DiGraph",
         "EdgeListGraph",
+        "Engine",
+        "EngineConfig",
+        "ExecutionPlan",
+        "GraphStats",
+        "TaskPlan",
         "FingerprintIndex",
         "GraphBuildError",
         "GraphBuilder",

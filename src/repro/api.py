@@ -1,13 +1,19 @@
-"""The unified SimRank entry point: ``simrank(graph, method=..., backend=...)``.
+"""The unified SimRank entry points: ``simrank()`` and ``simrank_top_k()``.
 
 Every solver in the package — the paper's OIP-SR / OIP-DSR, the psum-SR /
 mtx-SR / Monte-Carlo / naive baselines and the matrix-form solvers — is
 reachable through one dispatch function, so benchmarks, the CLI and
 downstream code select algorithms and compute backends by name instead of
-importing solver modules.  The matrix-form methods additionally accept a
-compute ``backend`` from :mod:`repro.core.backends` (``"dense"`` BLAS vs
-``"sparse"`` CSR); per-vertex methods are backend-agnostic and reject an
-explicit ``backend="sparse"`` rather than silently ignoring it.
+importing solver modules.
+
+Methods register a :class:`~repro.engine.capabilities.Capabilities` record
+describing what they can do (task shapes, honourable backends, parallelism,
+adjacency needs); the cost-based planner in :mod:`repro.engine` reads those
+declarations when it chooses an execution plan.  Both free functions are
+thin one-shot wrappers over an ephemeral :class:`~repro.engine.Engine`
+session and return answers bit-identical to the engine's — long-lived
+callers should hold an ``Engine`` instead, which reuses the transition
+operator and worker pool across calls.
 
 Examples
 --------
@@ -21,9 +27,7 @@ Examples
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Union
-
-import numpy as np
+from typing import Callable, Optional, Union
 
 from .baselines.matrix_sr import matrix_simrank
 from .baselines.monte_carlo import monte_carlo_simrank
@@ -31,22 +35,23 @@ from .baselines.mtx_svd_sr import mtx_svd_simrank
 from .baselines.naive import naive_simrank
 from .baselines.psum_sr import psum_simrank
 from .baselines.topk import RankedList
-from .core.backends import SimRankBackend, available_backends, get_backend
+from .core.backends import SimRankBackend, available_backends
 from .core.diff_simrank import differential_simrank
 from .core.instrumentation import Instrumentation
-from .core.iteration_bounds import conventional_iterations
 from .core.oip_dsr import oip_dsr
 from .core.oip_sr import oip_sr
-from .core.result import SimRankResult, validate_damping, validate_iterations
+from .core.result import SimRankResult
+from .engine.capabilities import MATRIX_TASKS, Capabilities
+from .engine.config import EngineConfig
 from .exceptions import ConfigurationError
 from .extensions.prank import prank, prank_shared
-from .parallel import ParallelExecutor, resolve_workers
 
 __all__ = [
     "METHODS",
     "MethodSpec",
     "available_methods",
     "method_spec",
+    "register_method",
     "simrank",
     "simrank_top_k",
 ]
@@ -54,7 +59,7 @@ __all__ = [
 
 @dataclass(frozen=True)
 class MethodSpec:
-    """One dispatchable SimRank method.
+    """One dispatchable SimRank method: a solver plus its declared capabilities.
 
     Attributes
     ----------
@@ -62,67 +67,99 @@ class MethodSpec:
         Canonical method name.
     solver:
         The underlying solver callable (``solver(graph, **params)``).
-    backends:
-        Compute backends the method can honour.  Per-vertex methods iterate
-        Python adjacency structures and are listed as ``("dense",)`` — their
-        arithmetic is backend-independent.
-    accepts_backend:
-        Whether the solver takes a ``backend=`` keyword (only the
-        matrix-form solver does today).
-    accepts_workers:
-        Whether the solver takes a ``workers=`` keyword for process-parallel
-        execution (the matrix-form solver; per-vertex solvers iterate Python
-        adjacency and stay serial).
-    default_backend:
-        Backend used when the caller passes ``backend=None``.
-    needs_adjacency:
-        Whether the solver iterates per-vertex adjacency (and therefore
-        needs a full :class:`~repro.graph.digraph.DiGraph`); an
-        :class:`~repro.graph.edgelist.EdgeListGraph` input is upgraded via
-        ``to_digraph()`` before dispatch.  Matrix-only methods leave the
-        edge list untouched.
+    capabilities:
+        The method's :class:`~repro.engine.capabilities.Capabilities`
+        declaration — which task shapes it executes, which backends it can
+        honour, whether it parallelises, whether it needs Python adjacency,
+        whether it can reuse a prebuilt transition operator.  The planner
+        and the dispatch layer read *only* this record; there are no
+        per-method special cases.
     """
 
     name: str
     solver: Callable[..., SimRankResult]
-    backends: tuple[str, ...] = ("dense",)
-    accepts_backend: bool = False
-    accepts_workers: bool = False
-    default_backend: Optional[str] = None
-    needs_adjacency: bool = True
+    capabilities: Capabilities = Capabilities()
+
+    # Convenience accessors, mirroring the capability record.
+    @property
+    def backends(self) -> tuple[str, ...]:
+        return self.capabilities.backends
+
+    @property
+    def accepts_backend(self) -> bool:
+        return self.capabilities.accepts_backend
+
+    @property
+    def accepts_workers(self) -> bool:
+        return self.capabilities.accepts_workers
+
+    @property
+    def default_backend(self) -> Optional[str]:
+        return self.capabilities.default_backend
+
+    @property
+    def needs_adjacency(self) -> bool:
+        return self.capabilities.needs_adjacency
 
 
-METHODS: dict[str, MethodSpec] = {
-    spec.name: spec
-    for spec in (
-        MethodSpec(
-            name="matrix",
-            solver=matrix_simrank,
+METHODS: dict[str, MethodSpec] = {}
+"""Registry of dispatchable methods, keyed by canonical name."""
+
+
+def register_method(spec: MethodSpec) -> MethodSpec:
+    """Register ``spec`` (replacing any same-named method)."""
+    METHODS[spec.name] = spec
+    return spec
+
+
+register_method(
+    MethodSpec(
+        name="matrix",
+        solver=matrix_simrank,
+        capabilities=Capabilities(
+            tasks=MATRIX_TASKS,
             backends=("dense", "sparse"),
             accepts_backend=True,
             accepts_workers=True,
+            needs_adjacency=False,
             default_backend="sparse",
-            needs_adjacency=False,
+            shares_transition=True,
         ),
-        MethodSpec(
-            name="mtx-svd",
-            solver=mtx_svd_simrank,
-            backends=("sparse",),
-            needs_adjacency=False,
-        ),
-        MethodSpec(name="oip-sr", solver=oip_sr),
-        MethodSpec(name="oip-dsr", solver=oip_dsr),
-        MethodSpec(name="psum", solver=psum_simrank),
-        MethodSpec(name="naive", solver=naive_simrank),
-        MethodSpec(name="monte-carlo", solver=monte_carlo_simrank),
-        MethodSpec(
-            name="diff-matrix", solver=differential_simrank, needs_adjacency=False
-        ),
-        MethodSpec(name="p-rank", solver=prank),
-        MethodSpec(name="p-rank-shared", solver=prank_shared),
     )
-}
-"""Registry of dispatchable methods, keyed by canonical name."""
+)
+register_method(
+    MethodSpec(
+        name="mtx-svd",
+        solver=mtx_svd_simrank,
+        capabilities=Capabilities(backends=("sparse",), needs_adjacency=False),
+    )
+)
+register_method(
+    MethodSpec(
+        name="oip-sr",
+        solver=oip_sr,
+        capabilities=Capabilities(uses_partial_sums=True),
+    )
+)
+register_method(
+    MethodSpec(
+        name="oip-dsr",
+        solver=oip_dsr,
+        capabilities=Capabilities(uses_partial_sums=True),
+    )
+)
+register_method(MethodSpec(name="psum", solver=psum_simrank))
+register_method(MethodSpec(name="naive", solver=naive_simrank))
+register_method(MethodSpec(name="monte-carlo", solver=monte_carlo_simrank))
+register_method(
+    MethodSpec(
+        name="diff-matrix",
+        solver=differential_simrank,
+        capabilities=Capabilities(needs_adjacency=False),
+    )
+)
+register_method(MethodSpec(name="p-rank", solver=prank))
+register_method(MethodSpec(name="p-rank-shared", solver=prank_shared))
 
 _ALIASES = {
     "matrix-sr": "matrix",
@@ -148,6 +185,12 @@ def method_spec(method: str) -> MethodSpec:
 
 
 def _resolve_backend(spec: MethodSpec, backend) -> Optional[str]:
+    """The one backend resolver every entry point shares.
+
+    ``None`` means the method default; instances resolve to their name;
+    unknown names raise :class:`~repro.exceptions.ConfigurationError`, as
+    does naming a backend a backend-agnostic method cannot honour.
+    """
     if backend is None:
         return spec.default_backend
     name = backend.name if isinstance(backend, SimRankBackend) else backend
@@ -174,11 +217,18 @@ def simrank(
 ) -> SimRankResult:
     """Compute SimRank on ``graph`` with the named method and backend.
 
+    A one-shot wrapper over an ephemeral :class:`~repro.engine.Engine`
+    session — answers are bit-identical to ``Engine(graph,
+    EngineConfig(method=..., backend=..., workers=...)).all_pairs(**params)``.
+    Callers issuing several computations over one graph should hold an
+    engine instead and let it reuse the transition operator.
+
     Parameters
     ----------
     graph:
         A :class:`~repro.graph.digraph.DiGraph` (any method) or an
-        :class:`~repro.graph.edgelist.EdgeListGraph` (matrix-form methods).
+        :class:`~repro.graph.edgelist.EdgeListGraph` (matrix-form methods;
+        upgraded via ``to_digraph()`` for per-vertex methods).
     method:
         One of :func:`available_methods` or an alias (``"matrix-sr"``,
         ``"mtx-sr"``, ``"psum-sr"``).
@@ -197,24 +247,13 @@ def simrank(
         Forwarded verbatim to the underlying solver (``damping``,
         ``iterations``, ``accuracy``, ...).
     """
+    from .engine.engine import Engine  # lazy: api <-> engine import seam
+
     spec = method_spec(method)
     resolved = _resolve_backend(spec, backend)
-    if spec.accepts_backend and resolved is not None:
-        params["backend"] = resolved
-    if workers is not None:
-        if spec.accepts_workers:
-            params["workers"] = workers
-        elif resolve_workers(workers) > 1:
-            raise ConfigurationError(
-                f"method {spec.name!r} does not support parallel execution; "
-                "methods accepting workers: "
-                + ", ".join(
-                    sorted(name for name, s in METHODS.items() if s.accepts_workers)
-                )
-            )
-    if spec.needs_adjacency and hasattr(graph, "to_digraph"):
-        graph = graph.to_digraph()
-    return spec.solver(graph, **params)
+    config = EngineConfig(method=spec.name, backend=resolved, workers=workers)
+    with Engine(graph, config) as engine:
+        return engine.all_pairs(**params)
 
 
 def simrank_top_k(
@@ -231,12 +270,23 @@ def simrank_top_k(
 ) -> list[RankedList]:
     """Answer a batch of top-``k`` queries without materialising all pairs.
 
-    The whole batch shares one transition operator and one series evaluation
+    A one-shot wrapper over an ephemeral :class:`~repro.engine.Engine`
+    session (see :meth:`~repro.engine.Engine.top_k`).  The whole batch
+    shares one transition operator and one series evaluation
     (:meth:`~repro.core.backends.SimRankBackend.similarity_rows`), so memory
     stays ``O(K · n · |queries|)`` — the single-source/top-k workload path
     the paper's quality experiments (Fig. 6g/6h) issue.  Scores follow the
     matrix-form convention and match the full-matrix answers up to the
-    series-truncation tail ``C^{K+1}``.
+    series-truncation tail ``C^{K+1}``; ties break by ``(-score, vertex
+    id)`` through the shared :func:`~repro.core.similarity_store
+    .ranked_entries` truncation, the same implementation the serving index
+    and store use.
+
+    **Short rankings.**  A ranking holds at most ``n`` entries (``n − 1``
+    with ``include_self=False``): querying a graph with at most ``k``
+    other vertices returns *fewer than* ``k`` entries.  Vertices the query
+    cannot reach still appear, with score exactly 0.0, in ascending
+    vertex-id order; entries beyond the vertex set are never invented.
 
     Parameters
     ----------
@@ -252,7 +302,9 @@ def simrank_top_k(
         bound for ``accuracy``.
     backend:
         Compute backend used for the series evaluation; ``None`` picks the
-        matrix method's default (the same convention as :func:`simrank`).
+        matrix method's default.  Resolution goes through the same
+        validator as :func:`simrank`, so an unknown backend raises
+        :class:`~repro.exceptions.ConfigurationError` here too.
     include_self:
         Whether the query vertex itself may appear in its ranking.
     workers:
@@ -262,53 +314,21 @@ def simrank_top_k(
     instrumentation:
         Optional instrumentation collector to record costs into.
     """
-    damping = validate_damping(damping)
-    if iterations is None:
-        iterations = conventional_iterations(accuracy, damping)
-    iterations = validate_iterations(iterations)
-    if isinstance(queries, (str, bytes)) or not isinstance(
-        queries, (Sequence, np.ndarray)
-    ):
-        queries = [queries]
+    from .engine.engine import Engine  # lazy: api <-> engine import seam
 
-    if backend is None:
-        backend = METHODS["matrix"].default_backend
-    engine = get_backend(backend)
-    indices = np.array([graph.index_of(query) for query in queries], dtype=np.int64)
-    transition = engine.transition(graph)
-    if resolve_workers(workers) > 1:
-        with ParallelExecutor(
-            transition,
-            damping=damping,
-            iterations=iterations,
-            backend=engine,
-            workers=workers,
-        ) as executor:
-            rows = executor.similarity_rows(
-                indices, instrumentation=instrumentation
-            )
-    else:
-        rows = engine.similarity_rows(
-            transition,
-            indices,
-            damping=damping,
-            iterations=iterations,
+    resolved = _resolve_backend(METHODS["matrix"], backend)
+    config = EngineConfig(
+        method="matrix",
+        backend=resolved,
+        damping=damping,
+        iterations=iterations,
+        accuracy=accuracy,
+        workers=workers,
+    )
+    with Engine(graph, config) as engine:
+        return engine.top_k(
+            queries,
+            k=k,
+            include_self=include_self,
             instrumentation=instrumentation,
         )
-
-    vertex_ids = np.arange(transition.n)
-    rankings: list[RankedList] = []
-    for position, query in enumerate(queries):
-        row = rows[position]
-        # Vectorised (-score, id) ordering: lexsort's last key is primary.
-        order = np.lexsort((vertex_ids, -row))
-        entries: list[tuple[object, float]] = []
-        for candidate in order:
-            candidate = int(candidate)
-            if not include_self and candidate == int(indices[position]):
-                continue
-            entries.append((graph.label_of(candidate), float(row[candidate])))
-            if len(entries) == k:
-                break
-        rankings.append(RankedList(query=query, entries=tuple(entries)))
-    return rankings

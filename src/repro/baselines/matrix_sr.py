@@ -43,6 +43,8 @@ def matrix_simrank(
     diagonal: str = "one",
     backend: Union[str, SimRankBackend] = "sparse",
     workers: Optional[int] = None,
+    transition=None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> SimRankResult:
     """Compute all-pairs SimRank by iterating the matrix form (Eq. 3).
 
@@ -72,6 +74,16 @@ def matrix_simrank(
         score buffers; on the sparse backend the scores are bit-identical
         to the serial iteration for any worker count (within ``1e-12`` on
         the dense backend, where BLAS blocking varies with shard shape).
+    transition:
+        Optional prebuilt :class:`~repro.core.backends.TransitionOperator`
+        for ``graph`` on ``backend`` — the engine session's artifact-reuse
+        seam.  When given, the operator is *not* rebuilt; the caller is
+        responsible for it matching the graph and backend.
+    executor:
+        Optional live :class:`~repro.parallel.ParallelExecutor` bound to
+        ``transition`` with the same damping/iterations — reused instead of
+        spawning (and tearing down) a private pool.  Ignored when the
+        resolved worker count is 1; the caller owns its lifecycle.
     """
     damping = validate_damping(damping)
     if diagonal not in DIAGONAL_MODES:
@@ -87,16 +99,21 @@ def matrix_simrank(
     resolved_workers = resolve_workers(workers)
     instrumentation = Instrumentation()
     with instrumentation.timer.phase("iterate"):
-        transition = engine.transition(graph)
-        if resolved_workers > 1:
+        if transition is None:
+            transition = engine.transition(graph)
+        if resolved_workers > 1 and executor is not None:
+            scores = executor.iterate(
+                diagonal=diagonal, instrumentation=instrumentation
+            )
+        elif resolved_workers > 1:
             with ParallelExecutor(
                 transition,
                 damping=damping,
                 iterations=iterations,
                 backend=engine,
                 workers=resolved_workers,
-            ) as executor:
-                scores = executor.iterate(
+            ) as owned_executor:
+                scores = owned_executor.iterate(
                     diagonal=diagonal, instrumentation=instrumentation
                 )
         else:

@@ -10,6 +10,7 @@ entry point, so each figure can be reproduced on either compute backend.
 from . import (
     ablations,
     backends,
+    engine_parity,
     fig5,
     fig6a,
     fig6b,
@@ -27,6 +28,7 @@ from . import (
 __all__ = [
     "ablations",
     "backends",
+    "engine_parity",
     "fig5",
     "fig6a",
     "fig6b",

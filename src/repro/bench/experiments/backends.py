@@ -1,16 +1,19 @@
 """Backend face-off — dense BLAS vs sparse CSR on an r-mat graph.
 
 Not a paper figure: this experiment guards the compute-backend seam added on
-top of the reproduction.  It runs the matrix-form solver through the unified
-dispatch entry point on both backends over the same sparse r-mat graph and
-reports
+top of the reproduction.  It runs the matrix-form solver through an
+:class:`~repro.engine.Engine` session per backend over the same sparse
+r-mat graph — one :class:`~repro.engine.EngineConfig` describes the sweep,
+with only the backend overridden per run — and reports
 
 * wall-clock seconds and counted multiply-adds per backend,
 * the max absolute score difference between the two (must be ~1e-15 — the
   backends share their numerics and differ only in operator storage), and
 * the batched top-k query path against full-matrix answers (time and
   ranking agreement), the workload where the sparse backend avoids
-  materialising ``n × n`` scores altogether.
+  materialising ``n × n`` scores altogether.  The top-k batch runs in the
+  *same* session as its full-matrix reference, so the transition operator
+  is built once and shared — the artifact reuse the engine API exists for.
 
 The CI benchmark-smoke job runs this with ``--quick`` to catch perf-path
 regressions (a backend silently falling back to dense arithmetic shows up as
@@ -24,9 +27,10 @@ from typing import Optional
 
 import numpy as np
 
-from ...api import simrank, simrank_top_k
 from ...baselines.topk import top_k_from_result
 from ...core.iteration_bounds import conventional_iterations
+from ...engine import EngineConfig
+from ...engine.engine import Engine
 from ...graph.generators.rmat import rmat_edge_list
 from ..runner import ExperimentReport
 
@@ -52,13 +56,14 @@ def run(
     iterations = 8 if quick else conventional_iterations(1e-3, damping)
 
     graph = rmat_edge_list(log_vertices, num_edges, seed=7)
+    base_config = EngineConfig(
+        method="matrix", damping=damping, iterations=iterations
+    )
     backends = (backend,) if backend else ("dense", "sparse")
     results = {}
     for name in backends:
-        result = simrank(
-            graph, method="matrix", backend=name, damping=damping,
-            iterations=iterations,
-        )
+        with Engine(graph, base_config.with_overrides(backend=name)) as engine:
+            result = engine.all_pairs()
         results[name] = result
         row = result.summary()
         row["backend"] = name
@@ -80,17 +85,26 @@ def run(
         )
 
     # Batched top-k: answer a handful of queries without the n*n matrix and
-    # check the rankings against the full-matrix answers.
+    # check the rankings against the full-matrix answers — both computed in
+    # one engine session, so the transition operator is built exactly once.
     queries = list(range(0, num_vertices, max(num_vertices // 8, 1)))[:8]
-    full = simrank(
-        graph, method="matrix", backend="sparse", damping=damping,
-        iterations=max(iterations, 25), diagonal="matrix",
-    )
-    started = time.perf_counter()
-    batched = simrank_top_k(
-        graph, queries, k=10, damping=damping, iterations=max(iterations, 25)
-    )
-    batched_seconds = time.perf_counter() - started
+    ranking_iterations = max(iterations, 25)
+    with Engine(
+        graph,
+        base_config.with_overrides(
+            backend="sparse", iterations=ranking_iterations
+        ),
+    ) as engine:
+        full = engine.all_pairs(diagonal="matrix")
+        started = time.perf_counter()
+        batched = engine.top_k(queries, k=10)
+        batched_seconds = time.perf_counter() - started
+        if engine.counters.transition_builds != 1:
+            raise RuntimeError(
+                "engine session rebuilt the transition operator "
+                f"{engine.counters.transition_builds} times; artifact "
+                "sharing regressed"
+            )
     matches = sum(
         1
         for ranking in batched
@@ -103,13 +117,14 @@ def run(
             "n": num_vertices,
             "m": graph.num_edges,
             "damping": damping,
-            "iterations": max(iterations, 25),
+            "iterations": ranking_iterations,
             "seconds": round(batched_seconds, 6),
             "backend": "sparse",
         }
     )
     report.add_note(
         f"batched top-k ({len(queries)} queries, O(K n q) memory) rankings "
-        f"matching full-matrix answers: {matches}/{len(batched)}"
+        f"matching full-matrix answers: {matches}/{len(batched)} "
+        "(one shared transition operator for both paths)"
     )
     return report

@@ -1,0 +1,195 @@
+"""Engine-parity guard — old free-function API vs the ``Engine`` session API.
+
+Not a paper figure: this experiment is the compatibility contract of the
+session facade, run by CI on every push.  On one r-mat fixture it answers
+the same workload through both public surfaces and **raises** on any
+divergence (a nonzero CLI exit, not a buried note):
+
+* ``simrank()`` vs ``engine.all_pairs()`` — scores must be bit-identical;
+* ``simrank_top_k()`` vs ``engine.top_k()`` — rankings (labels *and*
+  scores) must be equal;
+* a standalone ``SimilarityService`` vs ``engine.serve()`` over the same
+  index — served rankings must be equal on a query sample;
+* the shared-artifact invariant: across all engine tasks the transition
+  operator must have been built **exactly once** (the
+  :class:`~repro.engine.engine.ArtifactCounters` assertion), while the
+  free-function path pays one build per call.
+
+The report rows record wall-clock for both surfaces so the artifact-reuse
+saving is visible, not just asserted.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ...api import simrank, simrank_top_k
+from ...engine import EngineConfig
+from ...engine.engine import Engine
+from ...graph.generators.rmat import rmat_edge_list
+from ...service import SimilarityService, build_index
+from ..runner import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = 1.0,
+    quick: bool = False,
+    damping: float = 0.6,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Assert old-API vs engine-API parity on an r-mat fixture."""
+    report = ExperimentReport(
+        experiment="engine-parity",
+        title="Engine session API vs legacy free functions (must be bit-identical)",
+    )
+    log_vertices = 8 if quick else 10
+    if scale != 1.0:
+        log_vertices = max(6, log_vertices + int(round(np.log2(max(scale, 1e-9)))))
+    num_vertices = 1 << log_vertices
+    iterations = 8 if quick else 14
+    k = 10
+    index_k = 25
+    queries = list(range(0, num_vertices, max(num_vertices // 16, 1)))[:16]
+
+    graph = rmat_edge_list(log_vertices, 3 * num_vertices, seed=7)
+    config = EngineConfig(
+        method="matrix",
+        backend=backend,
+        damping=damping,
+        iterations=iterations,
+        workers=workers,
+        index_k=index_k,
+    )
+
+    with Engine(graph, config) as engine:
+        # --- all-pairs ------------------------------------------------- #
+        started = time.perf_counter()
+        engine_scores = engine.all_pairs()
+        engine_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        legacy_scores = simrank(
+            graph,
+            method="matrix",
+            backend=backend,
+            damping=damping,
+            iterations=iterations,
+            workers=workers,
+        )
+        legacy_seconds = time.perf_counter() - started
+        identical = np.array_equal(engine_scores.scores, legacy_scores.scores)
+        report.add_row(
+            {
+                "surface": "all-pairs",
+                "n": num_vertices,
+                "m": graph.num_edges,
+                "engine_seconds": round(engine_seconds, 4),
+                "legacy_seconds": round(legacy_seconds, 4),
+                "identical": identical,
+            }
+        )
+        if not identical:
+            raise RuntimeError(
+                "engine.all_pairs() diverged from simrank(): max |diff| = "
+                f"{np.abs(engine_scores.scores - legacy_scores.scores).max():.3e}"
+            )
+
+        # --- top-k ------------------------------------------------------ #
+        started = time.perf_counter()
+        engine_rankings = engine.top_k(queries, k=k)
+        engine_topk_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        legacy_rankings = simrank_top_k(
+            graph,
+            queries,
+            k=k,
+            damping=damping,
+            iterations=iterations,
+            backend=backend,
+            workers=workers,
+        )
+        legacy_topk_seconds = time.perf_counter() - started
+        matches = sum(
+            1
+            for ours, theirs in zip(engine_rankings, legacy_rankings)
+            if ours.entries == theirs.entries
+        )
+        report.add_row(
+            {
+                "surface": "top-k",
+                "n": num_vertices,
+                "m": graph.num_edges,
+                "engine_seconds": round(engine_topk_seconds, 4),
+                "legacy_seconds": round(legacy_topk_seconds, 4),
+                "identical": matches == len(queries),
+            }
+        )
+        if matches != len(queries):
+            raise RuntimeError(
+                f"engine.top_k() diverged from simrank_top_k(): only "
+                f"{matches}/{len(queries)} rankings identical"
+            )
+
+        # --- serve ------------------------------------------------------ #
+        engine.build_index()
+        engine_service = engine.serve(k=k)
+        legacy_service = SimilarityService(
+            graph,
+            build_index(
+                graph,
+                index_k=index_k,
+                damping=damping,
+                iterations=iterations,
+                backend=backend,
+            ),
+            k=k,
+            damping=damping,
+            iterations=iterations,
+            backend=backend,
+        )
+        serve_matches = sum(
+            1
+            for query in queries
+            if engine_service.top_k(query).entries
+            == legacy_service.top_k(query).entries
+        )
+        report.add_row(
+            {
+                "surface": "serve",
+                "n": num_vertices,
+                "m": graph.num_edges,
+                "engine_seconds": "",
+                "legacy_seconds": "",
+                "identical": serve_matches == len(queries),
+            }
+        )
+        if serve_matches != len(queries):
+            raise RuntimeError(
+                f"engine.serve() diverged from SimilarityService: only "
+                f"{serve_matches}/{len(queries)} rankings identical"
+            )
+
+        # --- shared-artifact invariant ---------------------------------- #
+        counters = engine.counters
+        if counters.transition_builds != 1:
+            raise RuntimeError(
+                "shared-artifact invariant violated: the transition operator "
+                f"was built {counters.transition_builds} times across "
+                "all-pairs + top-k + index build + serve (must be exactly 1)"
+            )
+        report.add_note(
+            "transition operator built exactly once across all-pairs, "
+            "top-k, index build and serve "
+            f"(counters: {counters.as_dict()})"
+        )
+        report.add_note(
+            f"every surface bit-identical on n={num_vertices}, "
+            f"m={graph.num_edges}, K={iterations}, "
+            f"{len(queries)} sampled queries"
+        )
+    return report

@@ -30,8 +30,10 @@ import numpy as np
 
 from ...api import simrank
 from ...baselines.topk import top_k_from_result
+from ...engine import EngineConfig
+from ...engine.engine import Engine
 from ...graph.generators.rmat import rmat_edge_list
-from ...service import FingerprintIndex, SimilarityService, build_index
+from ...service import SimilarityService
 from ...workloads import zipf_query_stream
 from ..results import latency_summary
 from ..runner import ExperimentReport
@@ -96,11 +98,16 @@ def run(
     graph = rmat_edge_list(log_vertices, num_edges, seed=7)
     stream = zipf_query_stream(graph, stream_length, exponent=1.0, seed=11)
 
-    started = time.perf_counter()
-    index = build_index(
-        graph, index_k=index_k, damping=damping,
-        iterations=iterations, backend=backend, workers=workers,
+    # One EngineConfig describes every tier; per-tier differences (cache
+    # on/off, fingerprints) are explicit overrides of that shared record.
+    config = EngineConfig(
+        method="matrix", backend=backend, damping=damping,
+        iterations=iterations, index_k=index_k, workers=workers,
     )
+
+    indexed_engine = Engine(graph, config.with_overrides(cache_size=0))
+    started = time.perf_counter()
+    index = indexed_engine.build_index()
     build_seconds = time.perf_counter() - started
     report.add_row(
         {
@@ -124,32 +131,22 @@ def run(
 
     # Cold tier: no index, no cache — every query is an on-demand series
     # evaluation (issued one at a time: the worst case the index amortises).
-    cold = SimilarityService(
-        graph, None, k=k, damping=damping, iterations=iterations,
-        backend=backend, cache_size=0, auto_warm=False,
-    )
+    cold = Engine(graph, config.with_overrides(cache_size=0)).serve(k=k)
     for query in stream[:cold_queries]:
         cold.top_k(query)
     report.add_row(_tier_row("cold", "compute", cold, graph, k))
 
-    # Indexed tier: every stream query is a fresh CSR row lookup.
-    indexed = SimilarityService(
-        graph, index, k=k, damping=damping, iterations=iterations,
-        backend=backend, cache_size=0,
-    )
+    # Indexed tier: every stream query is a fresh CSR row lookup.  The
+    # service shares the engine session's transition operator and index.
+    indexed = indexed_engine.serve(k=k)
     for query in stream:
         indexed.top_k(query)
     report.add_row(_tier_row("indexed", "index", indexed, graph, k))
 
     # Cached tier: same stream against index + LRU; hot repeats hit the cache.
-    cached = SimilarityService(
-        graph, build_index(
-            graph, index_k=index_k, damping=damping,
-            iterations=iterations, backend=backend, workers=workers,
-        ),
-        k=k, damping=damping, iterations=iterations, backend=backend,
-        cache_size=1024,
-    )
+    cached_engine = Engine(graph, config)
+    cached_engine.build_index()
+    cached = cached_engine.serve(k=k)
     for query in stream:
         cached.top_k(query)
     report.add_row(_tier_row("cached", "cache", cached, graph, k))
@@ -163,15 +160,14 @@ def run(
     if approx:
         # Approximate tier: fingerprint estimates instead of exact rows, for
         # queries that opt in; accuracy is the price, reported as overlap.
+        approx_engine = Engine(
+            graph,
+            config.with_overrides(cache_size=0, approx_walks=128, approx_seed=3),
+        )
         fp_started = time.perf_counter()
-        fingerprints = FingerprintIndex.build(
-            graph, damping=damping, num_walks=128, backend=backend, seed=3
-        )
+        fingerprints = approx_engine.build_fingerprints()
         fp_seconds = time.perf_counter() - fp_started
-        approx_service = SimilarityService(
-            graph, None, k=k, damping=damping, iterations=iterations,
-            backend=backend, cache_size=0, fingerprints=fingerprints,
-        )
+        approx_service = approx_engine.serve(k=k)
         for query in stream[:cold_queries]:
             approx_service.top_k(query, approx=True)
         report.add_row(_tier_row("approx", "approx", approx_service, graph, k))
@@ -236,14 +232,9 @@ def run(
     refresh_started = time.perf_counter()
     refreshed = cached.refresh()
     refresh_seconds = time.perf_counter() - refresh_started
-    rebuilt = SimilarityService(
-        cached.current_graph(),
-        build_index(
-            cached.current_graph(), index_k=index_k, damping=damping,
-            iterations=iterations, backend=backend, workers=workers,
-        ),
-        k=k, damping=damping, iterations=iterations, backend=backend,
-    )
+    rebuilt_engine = Engine(cached.current_graph(), config)
+    rebuilt_engine.build_index()
+    rebuilt = rebuilt_engine.serve(k=k)
     update_sample = sorted(
         dirty | set(range(0, num_vertices, max(num_vertices // 16, 1)))
     )

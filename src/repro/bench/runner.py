@@ -78,12 +78,12 @@ def run_algorithm(
         Forwarded verbatim to the underlying solver (``damping``,
         ``iterations``, ``accuracy``, ...).
     """
-    spec = method_spec(name)
+    capabilities = method_spec(name).capabilities
     if backend is not None:
         get_backend(backend)  # unknown names must raise, not silently drop
-        if not spec.accepts_backend and backend not in spec.backends:
+        if not capabilities.accepts_backend and backend not in capabilities.backends:
             backend = None
-    if workers is not None and not spec.accepts_workers:
+    if workers is not None and not capabilities.accepts_workers:
         workers = None
     return simrank(graph, method=name, backend=backend, workers=workers, **params)
 

@@ -30,6 +30,19 @@ out-of-core index build under a byte budget, Monte-Carlo approximate tier)::
     repro-simrank index-build --out index.npz --memory-budget 1M
     repro-simrank serving --quick --approx
 
+Ask the engine's cost-based planner what it would run — method, backend,
+workers, serving tier and estimated cost per task shape — without running
+anything, and check the two public surfaces stay bit-identical::
+
+    repro-simrank explain --rmat-scale 11 --workers 4
+    repro-simrank explain --memory-budget 64K --json plan.json
+    repro-simrank engine-parity --quick
+
+Every subcommand builds one :class:`~repro.engine.config.EngineConfig` from
+its flags (``--config config.json`` loads a saved one instead), so a CLI
+run, a benchmark report and an ``Engine`` session all share the same
+reproducible configuration format.
+
 Evaluate the Section IV worked example (K' vs K at C=0.8, ε=1e-4)::
 
     repro-simrank bounds-example
@@ -46,6 +59,7 @@ from collections.abc import Sequence
 from .bench.experiments import (
     ablations,
     backends,
+    engine_parity,
     fig5,
     fig6a,
     fig6b,
@@ -83,6 +97,7 @@ _FIGURE_RUNNERS = {
     "ablation-budget": ablations.run_candidate_budget,
     "ablation-sharing": ablations.run_sharing_levels,
     "bench-backends": backends.run,
+    "engine-parity": engine_parity.run,
     "large-graph": large_graph.run,
     "scaling": scaling.run,
     "serving": serving.run,
@@ -123,13 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_FIGURE_RUNNERS) + [
             "all",
             "bounds-example",
+            "explain",
             "index-build",
             "serve-bench",
         ],
         help=(
             "which figure/table to regenerate ('all' runs every one); "
             "'index-build' precomputes a serving index, 'serve-bench' runs "
-            "the serving tier benchmark"
+            "the serving tier benchmark, 'explain' prints the engine "
+            "planner's execution plan without computing anything"
         ),
     )
     parser.add_argument(
@@ -190,6 +207,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--method",
+        default=None,
+        help=(
+            "all-pairs method for the engine planner ('auto' lets the cost "
+            "model choose; only used by the explain subcommand)"
+        ),
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PATH",
+        default=None,
+        help=(
+            "load an EngineConfig JSON file (as written by "
+            "EngineConfig.to_json or an earlier 'explain --json' run) "
+            "instead of building one from the flags above"
+        ),
+    )
+    parser.add_argument(
+        "--max-error",
+        type=float,
+        default=None,
+        help=(
+            "standard-error bound admitting the approximate serving tier "
+            "(engine planner; only used by the explain subcommand)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -200,7 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serving_options = parser.add_argument_group(
-        "serving options", "only used by the index-build subcommand"
+        "serving options", "used by the index-build and explain subcommands"
     )
     serving_options.add_argument(
         "--out",
@@ -255,31 +299,79 @@ def _run_one(name: str, args: argparse.Namespace):
     return runner(**kwargs)
 
 
+def _engine_config_from_args(args: argparse.Namespace):
+    """Build (or load, with ``--config``) the run's :class:`EngineConfig`.
+
+    Every subcommand funnels its knobs through this one record, so a CLI
+    invocation is reproducible from the config JSON alone.
+    """
+    from pathlib import Path
+
+    from .engine import EngineConfig
+
+    if args.config is not None:
+        return EngineConfig.from_json(Path(args.config).read_text())
+    overrides: dict[str, object] = {}
+    if args.damping is not None:
+        overrides["damping"] = args.damping
+    if args.method is not None:
+        overrides["method"] = args.method
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.memory_budget is not None:
+        overrides["memory_budget"] = args.memory_budget
+    if getattr(args, "max_error", None) is not None:
+        overrides["max_error"] = args.max_error
+    if args.index_k is not None:
+        overrides["index_k"] = args.index_k
+    return EngineConfig(**overrides)
+
+
+def _fixture_graph(args: argparse.Namespace):
+    """The r-mat fixture the serving subcommands run against."""
+    from .graph.generators.rmat import rmat_edge_list
+
+    return rmat_edge_list(
+        args.rmat_scale, args.edge_factor * (1 << args.rmat_scale), seed=args.seed
+    )
+
+
+def _explain(args: argparse.Namespace) -> int:
+    """Print (and optionally dump as JSON) the engine's execution plan."""
+    import json
+
+    from .engine.engine import Engine
+
+    config = _engine_config_from_args(args)
+    graph = _fixture_graph(args)
+    plan = Engine(graph, config).explain()
+    print(plan.render())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(plan.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote execution plan to {args.json}")
+    return 0
+
+
 def _index_build(args: argparse.Namespace) -> int:
     """Precompute a serving index for an r-mat graph and write it to disk."""
-    from .graph.generators.rmat import rmat_edge_list
-    from .service import build_index, save_index
+    from .engine.engine import Engine
+    from .service import save_index
 
     if args.out is None:
         print("index-build requires --out PATH", file=sys.stderr)
         return 2
-    damping = args.damping if args.damping is not None else 0.6
-    graph = rmat_edge_list(
-        args.rmat_scale, args.edge_factor * (1 << args.rmat_scale), seed=args.seed
-    )
+    config = _engine_config_from_args(args)
+    graph = _fixture_graph(args)
     started = time.perf_counter()
-    index = build_index(
-        graph,
-        index_k=args.index_k,
-        damping=damping,
-        backend=args.backend,
-        workers=args.workers,
-        memory_budget=args.memory_budget,
-    )
+    with Engine(graph, config) as engine:
+        index = engine.build_index()
     elapsed = time.perf_counter() - started
     save_index(index, args.out)
     print(
-        f"built top-{args.index_k} index for n={graph.num_vertices} "
+        f"built top-{config.index_k} index for n={graph.num_vertices} "
         f"m={graph.num_edges} in {elapsed:.2f}s "
         f"({index.num_stored_scores} stored scores, "
         f"{index.memory_bytes() / 1e6:.1f} MB) -> {args.out}"
@@ -311,6 +403,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         damping = args.damping if args.damping is not None else 0.8
         print(_bounds_example(damping=damping))
         return 0
+    if args.experiment == "explain":
+        return _explain(args)
     if args.experiment == "index-build":
         return _index_build(args)
 

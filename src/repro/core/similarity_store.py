@@ -29,7 +29,7 @@ from ..exceptions import ConfigurationError
 from ..graph.digraph import DiGraph
 from .result import SimRankResult
 
-__all__ = ["SimilarityStore", "row_top_k"]
+__all__ = ["SimilarityStore", "ranked_entries", "row_top_k"]
 
 PathLike = Union[str, Path]
 
@@ -57,6 +57,51 @@ def row_top_k(
         candidates = candidates[order]
     candidates = np.sort(candidates)
     return candidates.astype(np.int64), row[candidates]
+
+
+def ranked_entries(
+    row: np.ndarray, k: int, exclude: Optional[int] = None
+) -> list[tuple[int, float]]:
+    """Return the top-``k`` ``(column, score)`` entries of ``row``, ranked.
+
+    This is the single implementation of the package's ranking semantics —
+    :func:`repro.simrank_top_k`, the serving engine's on-demand tier and
+    the engine facade all truncate through it, so a ranking means the same
+    thing on every path:
+
+    * candidates are ordered by ``(-score, column)`` (the deterministic
+      tie-break of :func:`row_top_k`);
+    * ``exclude`` (the query vertex, for ``include_self=False``) never
+      appears;
+    * zero-score columns pad the ranking in ascending column order — the
+      exact ordering a full ``(-score, id)`` sort of the row produces,
+      since every zero ties.
+
+    **Short rankings.**  The result holds ``min(k, n - excluded)`` entries:
+    on a graph with at most ``k`` (other) vertices the list is shorter
+    than ``k``.  Entries beyond the query's reach carry score 0.0; entries
+    beyond the vertex set do not exist.
+    """
+    row = np.asarray(row, dtype=np.float64).ravel()
+    if exclude is not None and row[exclude] != 0.0:
+        row = row.copy()
+        row[exclude] = 0.0
+    columns, values = row_top_k(row, k)
+    # row_top_k returns canonical ascending-column CSR order; a ranking
+    # wants (-score, column) order back.
+    order = np.lexsort((columns, -values))
+    entries = [
+        (int(columns[position]), float(values[position])) for position in order
+    ]
+    if len(entries) < k:
+        positive = set(int(column) for column in columns)
+        for candidate in range(row.size):
+            if len(entries) == k:
+                break
+            if candidate == exclude or candidate in positive:
+                continue
+            entries.append((candidate, 0.0))
+    return entries
 
 
 class SimilarityStore:

@@ -1,0 +1,61 @@
+"""The session-level engine API: config, capabilities, planner, facade.
+
+This package is the primary public surface for computing and serving
+SimRank::
+
+    from repro import Engine, EngineConfig
+
+    engine = Engine(graph, EngineConfig(damping=0.6, workers=4))
+    print(engine.explain().render())     # what would run, and why
+    scores = engine.all_pairs()          # plans, builds, computes
+    rankings = engine.top_k([0, 5])      # reuses the shared operator
+    service = engine.serve(warm=True)    # serving tier on shared artifacts
+
+Submodules: :mod:`.config` (the one validated knob record),
+:mod:`.capabilities` (declarative method/backend capability registry),
+:mod:`.planner` (the deterministic cost-based plan/explain layer) and
+:mod:`.engine` (the :class:`Engine` facade).
+
+The legacy free functions (``repro.simrank``, ``repro.simrank_top_k``) are
+one-shot wrappers over an ephemeral engine and return bit-identical
+answers.
+"""
+
+from .capabilities import (
+    ALL_TASKS,
+    BACKEND_TRAITS,
+    BackendTraits,
+    Capabilities,
+    backend_traits,
+    register_backend_traits,
+)
+from .config import EngineConfig
+from .planner import ExecutionPlan, GraphStats, TaskPlan, plan_all, plan_task
+
+__all__ = [
+    "ALL_TASKS",
+    "ArtifactCounters",
+    "BACKEND_TRAITS",
+    "BackendTraits",
+    "Capabilities",
+    "Engine",
+    "EngineConfig",
+    "ExecutionPlan",
+    "GraphStats",
+    "TaskPlan",
+    "backend_traits",
+    "plan_all",
+    "plan_task",
+    "register_backend_traits",
+]
+
+
+def __getattr__(name: str):
+    # `Engine` imports `repro.api` (which itself imports this package for
+    # the Capabilities registry); loading it lazily keeps the import graph
+    # acyclic while `from repro.engine import Engine` keeps working.
+    if name in ("Engine", "ArtifactCounters"):
+        from . import engine as _engine
+
+        return getattr(_engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

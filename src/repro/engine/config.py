@@ -1,0 +1,201 @@
+"""One frozen, validated configuration record for an engine session.
+
+Every knob that used to be scattered across the free-function kwargs —
+``simrank(method=, backend=, workers=)``, ``simrank_top_k(damping=,
+accuracy=)``, ``build_index(memory_budget=)``, ``SimilarityService(
+cache_size=, max_batch=)`` — lives here once, with one validation pass and
+one serialisation format.  ``to_dict``/``from_dict`` (and the JSON variants)
+round-trip losslessly, so the CLI, the benchmark harness and experiment
+reports all share a single reproducible description of how a computation
+was configured::
+
+    >>> from repro import EngineConfig
+    >>> config = EngineConfig(damping=0.8, workers=4)
+    >>> EngineConfig.from_json(config.to_json()) == config
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Optional
+
+from ..core.iteration_bounds import conventional_iterations
+from ..core.result import validate_damping, validate_iterations
+from ..exceptions import ConfigurationError
+
+__all__ = ["AUTO_METHOD", "EngineConfig"]
+
+AUTO_METHOD = "auto"
+"""Sentinel method name: let the planner pick from the graph statistics."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every knob of an :class:`~repro.engine.Engine` session, validated.
+
+    Attributes
+    ----------
+    method:
+        Algorithm for all-pairs computation — a name from
+        :func:`repro.available_methods`, an alias, or ``"auto"`` to let the
+        planner choose from the graph statistics.  (Top-k, pair and serve
+        tasks always run the matrix-form series path; the method only
+        governs the all-pairs solve.)
+    backend:
+        Compute backend (``"dense"``/``"sparse"``) or ``None`` to let the
+        planner pick (the method default for explicit methods, the
+        cost-model choice under ``method="auto"``).
+    damping:
+        The damping factor ``C`` in ``(0, 1)``.
+    accuracy:
+        Target accuracy ``ε``; sets the series length when ``iterations``
+        is ``None``.
+    iterations:
+        Explicit series length ``K`` (overrides ``accuracy``).
+    workers:
+        Process-parallel worker count: ``None``/1 serial, ``0``/negative
+        all cores, anything else verbatim.
+    memory_budget:
+        Optional byte budget.  Bounds resident truncated rows during index
+        builds (spilling to disk beyond it) and steers the planner away
+        from artifacts that would not fit.
+    index_k:
+        Scores kept per vertex in the serving index.
+    cache_size:
+        LRU capacity of the serving cache tier (0 disables it).
+    max_batch:
+        Micro-batcher auto-flush threshold for serving misses.
+    approx_walks:
+        Reverse walks per vertex for the Monte-Carlo fingerprint tier.
+    approx_head:
+        Series terms the fingerprint tier evaluates exactly (variance
+        reduction; see :class:`~repro.service.fingerprints.FingerprintIndex`).
+    approx_seed:
+        Seed for fingerprint sampling.
+    max_error:
+        Optional standard-error bound that admits the approximate serving
+        tier; ``None`` keeps every query exact unless it opts in.
+    """
+
+    method: str = AUTO_METHOD
+    backend: Optional[str] = None
+    damping: float = 0.6
+    accuracy: float = 1e-3
+    iterations: Optional[int] = None
+    workers: Optional[int] = None
+    memory_budget: Optional[int] = None
+    index_k: int = 50
+    cache_size: int = 1024
+    max_batch: int = 64
+    approx_walks: int = 128
+    approx_head: int = 4
+    approx_seed: int = 0
+    max_error: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "damping", validate_damping(self.damping))
+        if not isinstance(self.method, str) or not self.method:
+            raise ConfigurationError(
+                f"method must be a non-empty string, got {self.method!r}"
+            )
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ConfigurationError(
+                "backend must be a backend name or None, got "
+                f"{type(self.backend).__name__} (pass instances to the "
+                "free functions, names to EngineConfig)"
+            )
+        if not self.accuracy > 0.0:
+            raise ConfigurationError(
+                f"accuracy must be positive, got {self.accuracy}"
+            )
+        if self.iterations is not None:
+            object.__setattr__(
+                self, "iterations", validate_iterations(self.iterations)
+            )
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ConfigurationError(
+                f"memory_budget must be positive, got {self.memory_budget}"
+            )
+        if self.index_k <= 0:
+            raise ConfigurationError(
+                f"index_k must be positive, got {self.index_k}"
+            )
+        if self.cache_size < 0:
+            raise ConfigurationError(
+                f"cache_size must be non-negative, got {self.cache_size}"
+            )
+        if self.max_batch <= 0:
+            raise ConfigurationError(
+                f"max_batch must be positive, got {self.max_batch}"
+            )
+        if self.approx_walks <= 0:
+            raise ConfigurationError(
+                f"approx_walks must be positive, got {self.approx_walks}"
+            )
+        if self.approx_head < 0:
+            raise ConfigurationError(
+                f"approx_head must be non-negative, got {self.approx_head}"
+            )
+        if self.max_error is not None and self.max_error <= 0:
+            raise ConfigurationError(
+                f"max_error must be positive, got {self.max_error}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived values
+    # ------------------------------------------------------------------ #
+    def resolved_iterations(self) -> int:
+        """The series length: ``iterations`` or the conventional bound."""
+        if self.iterations is not None:
+            return self.iterations
+        return conventional_iterations(self.accuracy, self.damping)
+
+    def with_overrides(self, **changes) -> "EngineConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, object]:
+        """A plain, JSON-serialisable dict of every field."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "EngineConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`~repro.exceptions.ConfigurationError`
+        (a typo in a config file must not silently fall back to a
+        default).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown EngineConfig keys: {', '.join(sorted(unknown))}; "
+                f"valid keys: {', '.join(sorted(known))}"
+            )
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise to a JSON string (key-sorted, reproducible)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineConfig":
+        """Rebuild a config from :meth:`to_json` output."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"invalid EngineConfig JSON: {error}"
+            ) from None
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                "EngineConfig JSON must be an object of fields, got "
+                f"{type(data).__name__}"
+            )
+        return cls.from_dict(data)

@@ -1,0 +1,597 @@
+"""The session facade: one ``Engine`` per graph, shared artifacts across tasks.
+
+Before this module, every entry point rebuilt its own state: ``simrank``
+materialised a transition operator, ``simrank_top_k`` another,
+``build_index`` a third, and ``SimilarityService`` a fourth — four copies of
+the same CSR matrix for one graph.  :class:`Engine` owns that state once per
+session: the transition operator, the worker pool, the truncated serving
+index and the Monte-Carlo fingerprints are all built lazily on first use and
+reused by every task (``all_pairs`` / ``top_k`` / ``pair`` / ``serve``),
+with build counts exposed on :attr:`Engine.counters` so reuse is a testable
+invariant, not a hope.  Mutations (:meth:`add_edge` / :meth:`remove_edge`)
+bump the session version and invalidate every cached artifact coherently —
+the same version-stamp discipline the serving layer already uses.
+
+Task execution goes through the cost-based planner
+(:mod:`repro.engine.planner`): :meth:`explain` returns the chosen plan —
+method, backend, workers, serving tier, estimated cost — as an inspectable
+dataclass before any work runs.
+
+The legacy free functions (:func:`repro.simrank`,
+:func:`repro.simrank_top_k`) are thin wrappers over an ephemeral one-shot
+engine, so both surfaces return bit-identical answers.
+
+Examples
+--------
+>>> from repro import Engine, EngineConfig
+>>> from repro.graph.generators import web_graph
+>>> engine = Engine(web_graph(num_pages=200, num_hosts=8, seed=1))
+>>> result = engine.all_pairs()
+>>> rankings = engine.top_k([0, 5], k=5)     # reuses the operator
+>>> print(engine.explain().task("top_k").backend)
+sparse
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..api import METHODS, _resolve_backend
+from ..baselines.topk import RankedList
+from ..core.backends import get_backend
+from ..core.instrumentation import Instrumentation
+from ..core.result import SimRankResult
+from ..core.similarity_store import SimilarityStore, ranked_entries
+from ..exceptions import ConfigurationError
+from ..graph.edgelist import edge_list_from_pairs
+from ..parallel import ParallelExecutor, resolve_workers
+from ..service.fingerprints import FingerprintIndex
+from ..service.index import build_index as _build_index
+from ..service.service import SimilarityService
+from .config import EngineConfig
+from .planner import ExecutionPlan, GraphStats, TaskPlan, plan_all, plan_task
+
+__all__ = ["ArtifactCounters", "Engine"]
+
+
+@dataclass
+class ArtifactCounters:
+    """How many times each shared artifact was (re)built this session.
+
+    The whole point of the session facade is that these stay at 1 until a
+    mutation invalidates the artifacts — the parity suite asserts exactly
+    that, so artifact reuse is enforced, not assumed.
+    """
+
+    transition_builds: int = 0
+    executor_builds: int = 0
+    index_builds: int = 0
+    fingerprint_builds: int = 0
+    plans: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "transition_builds": self.transition_builds,
+            "executor_builds": self.executor_builds,
+            "index_builds": self.index_builds,
+            "fingerprint_builds": self.fingerprint_builds,
+            "plans": self.plans,
+        }
+
+
+class Engine:
+    """A SimRank session over one graph: plan, compute, serve — share state.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.digraph.DiGraph` or
+        :class:`~repro.graph.edgelist.EdgeListGraph`.  The vertex set is
+        fixed for the session; edges may be mutated through
+        :meth:`add_edge` / :meth:`remove_edge`.
+    config:
+        An :class:`~repro.engine.config.EngineConfig` (or a plain dict of
+        its fields).  ``None`` uses the defaults — auto method/backend
+        selection, serial execution.
+
+    The engine is a context manager; :meth:`close` retires the shared
+    worker pool.
+    """
+
+    def __init__(
+        self,
+        graph,
+        config: Union[EngineConfig, dict, None] = None,
+    ) -> None:
+        if config is None:
+            config = EngineConfig()
+        elif isinstance(config, dict):
+            config = EngineConfig.from_dict(config)
+        elif not isinstance(config, EngineConfig):
+            raise ConfigurationError(
+                "config must be an EngineConfig, a dict of its fields, or "
+                f"None; got {type(config).__name__}"
+            )
+        self.config = config
+        self.counters = ArtifactCounters()
+        self._graph = graph
+        self._lock = threading.RLock()
+        self._version = 0
+        # Edge overlay, materialised lazily on the first mutation; until
+        # then the session serves the caller's graph object untouched.
+        self._edges: Optional[set[tuple[int, int]]] = None
+        self._compute_graph = None
+        self._stats: Optional[GraphStats] = None
+        self._transition = None
+        self._transition_backend: Optional[str] = None
+        self._executor: Optional[ParallelExecutor] = None
+        self._index: Optional[SimilarityStore] = None
+        self._fingerprints: Optional[FingerprintIndex] = None
+
+    # ------------------------------------------------------------------ #
+    # Session state
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Session version; bumped by every effective edge mutation."""
+        with self._lock:
+            return self._version
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self._graph.num_vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count at the current version.
+
+        Before any mutation this is the underlying graph's own count
+        (which, for :class:`~repro.graph.edgelist.EdgeListGraph` inputs,
+        may include duplicate edge samples); once the session has mutated,
+        it is the overlay's count of *distinct* directed edges.
+        """
+        with self._lock:
+            if self._edges is not None:
+                return len(self._edges)
+        return int(self._graph.num_edges)
+
+    def current_graph(self):
+        """The session's graph at the current version.
+
+        Until the first mutation this is the caller's graph object; after
+        a mutation it is an :class:`~repro.graph.edgelist.EdgeListGraph`
+        rebuilt from the edge overlay through the shared
+        :func:`~repro.graph.edgelist.edge_list_from_pairs` helper — the
+        same convention :meth:`SimilarityService.current_graph` uses.
+        Labels keep resolving through the *original* graph on every query
+        surface (the vertex set is fixed; only edges mutate).
+        """
+        with self._lock:
+            if self._edges is None:
+                return self._graph
+            if self._compute_graph is None:
+                self._compute_graph = edge_list_from_pairs(
+                    self.num_vertices,
+                    self._edges,
+                    name=getattr(self._graph, "name", ""),
+                )
+            return self._compute_graph
+
+    def stats(self) -> GraphStats:
+        """Graph statistics at the current version (cached)."""
+        with self._lock:
+            if self._stats is None:
+                self._stats = GraphStats.from_graph(self.current_graph())
+            return self._stats
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def _plan(self, task: str, queries: int = 1) -> TaskPlan:
+        return plan_task(task, self.stats(), self.config, queries=queries)
+
+    def plan(self, task: str, queries: int = 1) -> TaskPlan:
+        """The execution plan for one task shape (see :mod:`.planner`)."""
+        self.counters.plans += 1
+        return self._plan(task, queries=queries)
+
+    def explain(
+        self, task: Optional[str] = None, queries: int = 1
+    ) -> Union[ExecutionPlan, TaskPlan]:
+        """Explain what the engine would run, without running it.
+
+        With ``task=None`` returns an :class:`~.planner.ExecutionPlan`
+        covering every task shape (all-pairs, top-k, pair, serve); with a
+        task name, that shape's :class:`~.planner.TaskPlan`.  Either way
+        the result names the selected method, backend, worker count,
+        serving tier and estimated cost, and serialises via ``to_dict()``.
+        """
+        self.counters.plans += 1
+        if task is not None:
+            return self._plan(task, queries=queries)
+        return plan_all(self.stats(), self.config, queries=queries)
+
+    # ------------------------------------------------------------------ #
+    # Shared artifacts
+    # ------------------------------------------------------------------ #
+    def _series_backend_name(self) -> str:
+        """The backend the shared series artifacts are built on."""
+        spec = METHODS["matrix"]
+        if self.config.backend is not None:
+            return _resolve_backend(spec, self.config.backend)
+        return self._plan("top_k").backend
+
+    def transition(self):
+        """The session's transition operator, built once and reused.
+
+        Every task shape — the matrix all-pairs solve, batched top-k rows,
+        single-pair scores, the serving index, the fingerprint head — runs
+        against this one operator; :attr:`counters` records the build.
+        """
+        backend = self._series_backend_name()
+        with self._lock:
+            if self._transition is None or self._transition_backend != backend:
+                engine = get_backend(backend)
+                self._transition = engine.transition(self.current_graph())
+                self._transition_backend = backend
+                self.counters.transition_builds += 1
+            return self._transition
+
+    def _shared_executor(self, workers: int) -> Optional[ParallelExecutor]:
+        """The session worker pool, bound to the shared operator.
+
+        Returns ``None`` when the session runs serially.  The pool is
+        created once per (version, backend) and reused by every parallel
+        task whose series parameters match the session config.
+        """
+        if workers <= 1:
+            return None
+        transition = self.transition()
+        with self._lock:
+            if self._executor is None:
+                self._executor = ParallelExecutor(
+                    transition,
+                    damping=self.config.damping,
+                    iterations=self.config.resolved_iterations(),
+                    backend=self._transition_backend,
+                    workers=workers,
+                )
+                self.counters.executor_builds += 1
+            return self._executor
+
+    def build_index(self, index_k: Optional[int] = None) -> SimilarityStore:
+        """Build (or rebuild) the session's truncated serving index.
+
+        Runs the batched series sweep against the shared transition
+        operator — the operator is *not* rebuilt — honouring the config's
+        ``workers`` and ``memory_budget``.  The index is retained as a
+        session artifact and attached to any service :meth:`serve` wires
+        (``top_k``/``pair`` always evaluate the series directly; the index
+        serves the *service's* tiered path).
+        """
+        plan = self._plan("serve")
+        index = _build_index(
+            self.current_graph(),
+            index_k=self.config.index_k if index_k is None else index_k,
+            damping=self.config.damping,
+            iterations=self.config.resolved_iterations(),
+            backend=plan.backend,
+            workers=plan.workers,
+            memory_budget=self.config.memory_budget,
+            transition=self.transition(),
+        )
+        # Serve labels through the session's original graph, not the
+        # integer edge overlay (same convention as the service's rebuild).
+        index.graph = self._graph
+        with self._lock:
+            self._index = index
+            self.counters.index_builds += 1
+        return index
+
+    def build_fingerprints(self) -> FingerprintIndex:
+        """Sample the session's Monte-Carlo fingerprint index.
+
+        Uses the config's ``approx_walks`` / ``approx_head`` /
+        ``approx_seed`` and the shared transition operator for the exact
+        series head.
+        """
+        fingerprints = FingerprintIndex.build(
+            self.current_graph(),
+            damping=self.config.damping,
+            num_walks=self.config.approx_walks,
+            head_iterations=self.config.approx_head,
+            backend=self._series_backend_name(),
+            seed=self.config.approx_seed,
+            transition=(
+                self.transition() if self.config.approx_head > 0 else None
+            ),
+        )
+        with self._lock:
+            self._fingerprints = fingerprints
+            self.counters.fingerprint_builds += 1
+        return fingerprints
+
+    @property
+    def index(self) -> Optional[SimilarityStore]:
+        """The session's serving index, if built."""
+        return self._index
+
+    @property
+    def fingerprints(self) -> Optional[FingerprintIndex]:
+        """The session's fingerprint index, if built."""
+        return self._fingerprints
+
+    # ------------------------------------------------------------------ #
+    # Tasks
+    # ------------------------------------------------------------------ #
+    def all_pairs(self, **params) -> SimRankResult:
+        """All-pairs SimRank under the planned method/backend.
+
+        ``params`` are forwarded verbatim to the selected solver
+        (``damping``, ``iterations``, ``diagonal``, ``num_walks``, ...),
+        exactly like :func:`repro.simrank` forwards its kwargs — the two
+        surfaces are bit-identical.  When the solver can share the
+        session's transition operator it receives it instead of rebuilding
+        one.
+        """
+        plan = self._plan("all_pairs")
+        spec = METHODS[plan.method]
+        capabilities = spec.capabilities
+        graph = self.current_graph()
+        if capabilities.needs_adjacency and hasattr(graph, "to_digraph"):
+            graph = graph.to_digraph()
+        if capabilities.accepts_backend and plan.backend is not None:
+            params.setdefault("backend", plan.backend)
+        if capabilities.accepts_workers and self.config.workers is not None:
+            params.setdefault("workers", self.config.workers)
+        # Config-driven series parameters, injected only where the solver's
+        # signature takes them (per-vertex baselines differ) and only when
+        # the caller did not override them — explicit kwargs always win,
+        # which is what keeps the one-shot wrappers bit-identical.
+        accepted = inspect.signature(spec.solver).parameters
+        if "damping" in accepted:
+            params.setdefault("damping", self.config.damping)
+        if "iterations" not in params and "accuracy" not in params:
+            if self.config.iterations is not None and "iterations" in accepted:
+                params["iterations"] = self.config.iterations
+            elif "accuracy" in accepted:
+                params["accuracy"] = self.config.accuracy
+        if (
+            capabilities.shares_transition
+            and params.get("backend") == self._series_backend_name()
+        ):
+            params.setdefault("transition", self.transition())
+            # The pool is only worth attaching when the *effective* worker
+            # count (a call-level override wins over the plan) is parallel
+            # and the solver would run it with the session's series
+            # parameters baked into it.
+            effective = resolve_workers(params.get("workers"))
+            if effective > 1 and self._series_params_match(params):
+                params.setdefault(
+                    "executor", self._shared_executor(effective)
+                )
+        return spec.solver(graph, **params)
+
+    def _series_params_match(self, params: dict) -> bool:
+        """Whether ``params`` agree with the session's series parameters.
+
+        The shared worker pool bakes damping/iterations in at creation;
+        a task overriding either must spawn its own pool instead.
+        """
+        damping = params.get("damping", self.config.damping)
+        iterations = params.get("iterations")
+        if iterations is None:
+            iterations = self.config.resolved_iterations()
+        return (
+            float(damping) == self.config.damping
+            and int(iterations) == self.config.resolved_iterations()
+        )
+
+    def top_k(
+        self,
+        queries,
+        k: int = 10,
+        include_self: bool = False,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> list[RankedList]:
+        """Batched top-``k`` rankings via the shared series evaluation.
+
+        Matches :func:`repro.simrank_top_k` bit for bit — one transition
+        operator and one Horner series evaluation serve the whole batch,
+        ``O(K · n · |queries|)`` memory, scores in the matrix-form
+        convention with ``(-score, id)`` tie-breaking.
+
+        **Short rankings.**  A ranking holds at most
+        ``n - (0 if include_self else 1)`` entries: on a graph with at
+        most ``k`` (other) vertices the list is simply shorter than ``k``
+        — vertices outside the query's reach still appear, carrying score
+        0.0 in vertex-id order, but no entry is ever invented beyond the
+        vertex set.
+        """
+        if isinstance(queries, (str, bytes)) or not isinstance(
+            queries, (Sequence, np.ndarray)
+        ):
+            queries = [queries]
+        plan = self._plan("top_k", queries=len(queries))
+        # Labels always resolve through the session's original graph — the
+        # vertex set is fixed; a mutated session's integer edge overlay is
+        # a compute representation, never the query surface.
+        indices = np.array(
+            [self._graph.index_of(query) for query in queries], dtype=np.int64
+        )
+        transition = self.transition()
+        iterations = self.config.resolved_iterations()
+        executor = self._shared_executor(plan.workers)
+        if executor is not None:
+            rows = executor.similarity_rows(
+                indices, instrumentation=instrumentation
+            )
+        else:
+            rows = get_backend(self._transition_backend).similarity_rows(
+                transition,
+                indices,
+                damping=self.config.damping,
+                iterations=iterations,
+                instrumentation=instrumentation,
+            )
+        rankings: list[RankedList] = []
+        for position, query in enumerate(queries):
+            entries = ranked_entries(
+                rows[position],
+                k,
+                exclude=None if include_self else int(indices[position]),
+            )
+            rankings.append(
+                RankedList(
+                    query=query,
+                    entries=tuple(
+                        (self._graph.label_of(column), score)
+                        for column, score in entries
+                    ),
+                )
+            )
+        return rankings
+
+    def pair(self, first: Hashable, second: Hashable) -> float:
+        """The similarity score ``s(first, second)``.
+
+        Series convention (matching :meth:`top_k` rows): self-similarity
+        is exactly 1.  One series evaluation against the shared operator;
+        no ``n × n`` matrix.
+        """
+        source = self._graph.index_of(first)
+        target = self._graph.index_of(second)
+        if source == target:
+            return 1.0
+        self._plan("pair")
+        transition = self.transition()
+        row = get_backend(self._transition_backend).similarity_rows(
+            transition,
+            np.array([source], dtype=np.int64),
+            damping=self.config.damping,
+            iterations=self.config.resolved_iterations(),
+        )[0]
+        return float(row[target])
+
+    def serve(self, k: int = 10, warm: bool = False) -> SimilarityService:
+        """A :class:`~repro.service.service.SimilarityService` on shared state.
+
+        The service receives the session's transition operator (so its
+        compute tier never rebuilds it), the serving index and the
+        fingerprint set *if the session has built them* — call
+        :meth:`build_index` / :meth:`build_fingerprints` first, or pass
+        ``warm=True`` to build whatever the serving plan selects before
+        wiring the service.  Answers are bit-identical to a standalone
+        ``SimilarityService`` over the same graph and artifacts.
+        """
+        plan = self._plan("serve")
+        if warm:
+            if plan.tier == "index" and self._index is None:
+                self.build_index()
+            elif plan.tier == "approx" and self._fingerprints is None:
+                self.build_fingerprints()
+        return SimilarityService(
+            self.current_graph(),
+            self._index,
+            k=k,
+            damping=self.config.damping,
+            iterations=self.config.resolved_iterations(),
+            backend=plan.backend,
+            cache_size=self.config.cache_size,
+            max_batch=self.config.max_batch,
+            workers=plan.workers,
+            fingerprints=self._fingerprints,
+            transition=self.transition(),
+            label_graph=self._graph,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, source: Hashable, target: Hashable) -> bool:
+        """Insert a directed edge; returns ``False`` when already present."""
+        edge = (self._graph.index_of(source), self._graph.index_of(target))
+        with self._lock:
+            edges = self._materialise_edges()
+            if edge in edges:
+                return False
+            edges.add(edge)
+            self._invalidate()
+            return True
+
+    def remove_edge(self, source: Hashable, target: Hashable) -> bool:
+        """Delete a directed edge; returns ``False`` when absent."""
+        edge = (self._graph.index_of(source), self._graph.index_of(target))
+        with self._lock:
+            edges = self._materialise_edges()
+            if edge not in edges:
+                return False
+            edges.remove(edge)
+            self._invalidate()
+            return True
+
+    def _materialise_edges(self) -> set[tuple[int, int]]:
+        # Caller holds the lock.
+        if self._edges is None:
+            self._edges = {
+                (int(source), int(target))
+                for source, target in self._graph.edges()
+            }
+        return self._edges
+
+    def _invalidate(self) -> None:
+        """Version-stamp invalidation of every cached artifact.
+
+        Caller holds the lock.  SimRank is a global measure — one edge
+        perturbs every score — so invalidation is total: operator, pool,
+        index, fingerprints and cached statistics all go; they rebuild
+        lazily (and the counters record that they did).
+        """
+        self._version += 1
+        self._compute_graph = None
+        self._stats = None
+        self._transition = None
+        self._transition_backend = None
+        self._index = None
+        self._fingerprints = None
+        if self._executor is not None:
+            self._executor.close(wait=False)
+            self._executor = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Retire the session worker pool, if any (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        built = [
+            name
+            for name, artifact in (
+                ("transition", self._transition),
+                ("executor", self._executor),
+                ("index", self._index),
+                ("fingerprints", self._fingerprints),
+            )
+            if artifact is not None
+        ]
+        return (
+            f"<Engine n={self.num_vertices} m={self.num_edges} "
+            f"version={self.version} method={self.config.method} "
+            f"artifacts=[{', '.join(built) or 'none'}]>"
+        )

@@ -1,0 +1,540 @@
+"""The cost-based query planner behind :meth:`Engine.explain`.
+
+Given one :class:`GraphStats` snapshot and one
+:class:`~repro.engine.config.EngineConfig`, :func:`plan_task` picks — for a
+task shape from :data:`~repro.engine.capabilities.ALL_TASKS` — the method,
+compute backend, worker count and (for serving) answer tier, together with
+estimated multiply-adds and resident bytes.  The decision procedure is a
+pure function of ``(stats, config)``: no wall-clock, no randomness, no
+global state — calling it twice always yields the same plan, which is what
+lets ``explain()`` output double as a reproducible experiment artifact.
+
+The cost model is the paper's own accounting:
+
+* matrix-form paths cost ``2 · K · nnz(W)`` multiply-adds per dense column
+  (``nnz`` from the backend's :class:`~repro.engine.capabilities
+  .BackendTraits` — ``m`` for CSR, ``n²`` dense), with a constant-factor
+  discount for dense BLAS throughput;
+* per-vertex paths are priced by the partial-sum model of Eq. 7
+  (:mod:`repro.core.transition_cost`): the measured *sharing ratio* —
+  mean ``TC_{I(a) → I(b)} / (|I(b)| − 1)`` over sampled in-neighbour sets —
+  scales the ``O(K · d · n²)`` baseline exactly the way the paper's
+  OIP-SR analysis predicts;
+* serving tiers are priced by their offline build cost and per-query cost,
+  and the planner degrades index → approx → compute as the configured
+  ``memory_budget`` tightens (the approximate tier is only admitted when
+  the configured fingerprints satisfy ``max_error``).
+
+Every choice is recorded in the plan's ``reasons`` so ``explain()`` shows
+*why*, not just *what*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.transition_cost import scratch_cost, transition_cost
+from ..exceptions import ConfigurationError
+from ..parallel import resolve_workers
+from .capabilities import ALL_TASKS, backend_traits
+from .config import AUTO_METHOD, EngineConfig
+
+__all__ = [
+    "DENSE_BLAS_SPEEDUP",
+    "PYTHON_LOOP_PENALTY",
+    "ExecutionPlan",
+    "GraphStats",
+    "TaskPlan",
+    "plan_task",
+    "plan_all",
+]
+
+DENSE_BLAS_SPEEDUP = 8.0
+"""Throughput advantage assumed for dense BLAS over CSR products, per
+multiply-add.  The auto backend rule picks dense only when
+``density > 1 / DENSE_BLAS_SPEEDUP`` — the regime where the operator is
+dense enough that BLAS wins despite touching every entry."""
+
+PYTHON_LOOP_PENALTY = 64.0
+"""Constant factor charged to per-vertex (Python-loop) solvers relative to
+vectorised matrix arithmetic.  It keeps the cost estimates of explicitly
+configured per-vertex methods comparable with the matrix family's."""
+
+SHARING_SAMPLE = 64
+"""In-neighbour sets sampled when measuring the sharing ratio."""
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """The graph statistics the planner decides from.
+
+    ``sharing_ratio`` is the measured mean of the paper's Eq. 7 cost ratio
+    ``TC_{I(a) → I(b)} / (|I(b)| − 1)`` over sampled pairs of in-neighbour
+    sets — 1.0 means sharing never beats recomputing, values near 0 mean
+    the partial-sum reuse the paper exploits is almost free.  It is
+    ``None`` when the graph's adjacency is not materialised (edge-list
+    inputs), in which case per-vertex costs fall back to the unshared
+    baseline.
+    """
+
+    num_vertices: int
+    num_edges: int
+    sharing_ratio: Optional[float] = None
+
+    @property
+    def density(self) -> float:
+        """Edge density ``m / n²`` (0 for the empty graph)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / float(self.num_vertices**2)
+
+    @property
+    def mean_degree(self) -> float:
+        """Mean (in-)degree ``m / n``."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / float(self.num_vertices)
+
+    @classmethod
+    def from_graph(cls, graph, sample: int = SHARING_SAMPLE) -> "GraphStats":
+        """Measure ``graph``; samples the sharing ratio when adjacency exists.
+
+        The sample walks up to ``sample`` evenly spaced vertices in id
+        order and prices deriving each in-neighbour set from the previous
+        one (Eq. 7) against recomputing it — deterministic for a given
+        graph, ``O(sample · d)`` work.
+        """
+        n = int(graph.num_vertices)
+        m = int(graph.num_edges)
+        sharing: Optional[float] = None
+        if hasattr(graph, "in_neighbors") and n > 1 and m > 0:
+            step = max(n // max(sample, 1), 1)
+            vertices = range(0, n, step)
+            shared_cost = 0
+            scratch = 0
+            previous: Optional[frozenset[int]] = None
+            for vertex in vertices:
+                current = frozenset(graph.in_neighbors(vertex))
+                if previous is not None and current:
+                    shared_cost += transition_cost(previous, current)
+                    scratch += max(scratch_cost(current), 1)
+                previous = current
+            if scratch:
+                sharing = min(shared_cost / scratch, 1.0)
+        return cls(num_vertices=n, num_edges=m, sharing_ratio=sharing)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "density": self.density,
+            "mean_degree": self.mean_degree,
+            "sharing_ratio": self.sharing_ratio,
+        }
+
+
+@dataclass(frozen=True)
+class TaskPlan:
+    """The planner's decision for one task shape, with its cost estimates.
+
+    ``estimated_ops`` prices the task itself (for ``serve``: the offline
+    artifact build); ``estimated_query_ops`` prices one online query where
+    that distinction matters.  ``estimated_bytes`` is the peak resident
+    working set, operator included.
+    """
+
+    task: str
+    method: str
+    backend: Optional[str]
+    workers: int
+    iterations: int
+    tier: Optional[str] = None
+    estimated_ops: int = 0
+    estimated_query_ops: int = 0
+    estimated_bytes: int = 0
+    reasons: tuple[str, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict[str, object]:
+        """A plain, JSON-serialisable summary of the decision."""
+        data = asdict(self)
+        data["reasons"] = list(self.reasons)
+        return data
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Plans for every task shape of one engine session, as one artifact."""
+
+    graph: GraphStats
+    config: EngineConfig
+    tasks: tuple[TaskPlan, ...]
+
+    def task(self, name: str) -> TaskPlan:
+        """The plan for one task shape; unknown names raise."""
+        for plan in self.tasks:
+            if plan.task == name:
+                return plan
+        raise ConfigurationError(
+            f"no plan for task {name!r}; planned: "
+            f"{', '.join(plan.task for plan in self.tasks)}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "graph": self.graph.to_dict(),
+            "config": self.config.to_dict(),
+            "tasks": [plan.to_dict() for plan in self.tasks],
+        }
+
+    def render(self) -> str:
+        """A human-readable multi-line rendering (the CLI's output)."""
+        stats = self.graph
+        lines = [
+            f"graph: n={stats.num_vertices} m={stats.num_edges} "
+            f"density={stats.density:.2e}"
+            + (
+                f" sharing_ratio={stats.sharing_ratio:.3f}"
+                if stats.sharing_ratio is not None
+                else ""
+            ),
+            f"config: method={self.config.method} backend="
+            f"{self.config.backend or 'auto'} damping={self.config.damping} "
+            f"workers={self.config.workers}",
+        ]
+        for plan in self.tasks:
+            tier = f" tier={plan.tier}" if plan.tier else ""
+            lines.append(
+                f"  {plan.task:>9}: method={plan.method} "
+                f"backend={plan.backend or '-'} workers={plan.workers} "
+                f"K={plan.iterations}{tier} "
+                f"ops~{plan.estimated_ops:.2e} bytes~{plan.estimated_bytes:.2e}"
+            )
+            for reason in plan.reasons:
+                lines.append(f"             - {reason}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Cost model
+# ---------------------------------------------------------------------- #
+def _series_ops(traits, stats: GraphStats, iterations: int, columns: int) -> int:
+    """Multiply-adds for ``columns`` dense columns through ``2K`` products."""
+    nnz = traits.operator_nnz(stats.num_vertices, stats.num_edges)
+    return int(2 * iterations * nnz * columns)
+
+
+def _weighted_series_ops(traits, stats, iterations, columns) -> float:
+    """Series ops discounted by the backend's throughput constant."""
+    ops = _series_ops(traits, stats, iterations, columns)
+    if traits.dense_operator:
+        return ops / DENSE_BLAS_SPEEDUP
+    return float(ops)
+
+
+def _per_vertex_ops(
+    capabilities, stats: GraphStats, iterations: int
+) -> tuple[int, Optional[str]]:
+    """Partial-sum cost of one per-vertex all-pairs solve (Eq. 7 pricing)."""
+    baseline = iterations * stats.num_edges * stats.num_vertices  # K·d·n²
+    if capabilities.uses_partial_sums and stats.sharing_ratio is not None:
+        shared = int(baseline * stats.sharing_ratio)
+        return (
+            shared,
+            f"partial-sum sharing prices {shared:.2e} of the "
+            f"{baseline:.2e} unshared additions "
+            f"(sharing_ratio={stats.sharing_ratio:.3f})",
+        )
+    return int(baseline), None
+
+
+def _auto_backend(
+    stats: GraphStats, config: EngineConfig, iterations: int, columns: int
+) -> tuple[str, list[str]]:
+    """Pick dense vs sparse for a matrix-form task by weighted cost."""
+    reasons: list[str] = []
+    sparse = backend_traits("sparse")
+    dense = backend_traits("dense")
+    sparse_cost = _weighted_series_ops(sparse, stats, iterations, columns)
+    dense_cost = _weighted_series_ops(dense, stats, iterations, columns)
+    choice = "dense" if dense_cost < sparse_cost else "sparse"
+    if config.memory_budget is not None and choice == "dense":
+        operator = dense.operator_bytes(stats.num_vertices, stats.num_edges)
+        if operator > config.memory_budget:
+            reasons.append(
+                f"dense operator ({operator:.2e} B) exceeds the "
+                f"memory budget ({config.memory_budget:.2e} B); "
+                "falling back to sparse"
+            )
+            choice = "sparse"
+    reasons.append(
+        f"auto backend: sparse ~{sparse_cost:.2e} weighted ops vs dense "
+        f"~{dense_cost:.2e} (BLAS discount {DENSE_BLAS_SPEEDUP:g}x, "
+        f"density {stats.density:.2e}) -> {choice}"
+    )
+    return choice, reasons
+
+
+def _resolve_method_and_backend(
+    task: str, stats: GraphStats, config: EngineConfig, iterations: int,
+    columns: int,
+) -> tuple[str, Optional[str], list[str]]:
+    """Select (method, backend) for ``task``, honouring explicit config."""
+    from ..api import METHODS, _resolve_backend, method_spec  # lazy: no cycle
+
+    reasons: list[str] = []
+    if task == "all_pairs":
+        if config.method != AUTO_METHOD:
+            spec = method_spec(config.method)
+            reasons.append(f"method {spec.name!r} pinned by config")
+        else:
+            spec = METHODS["matrix"]
+            reasons.append(
+                "auto method: matrix-form series (vectorised; per-vertex "
+                f"solvers carry a ~{PYTHON_LOOP_PENALTY:g}x Python-loop "
+                "constant)"
+            )
+            if stats.sharing_ratio is not None and stats.sharing_ratio < 1.0:
+                reasons.append(
+                    "partial-sum sharing would save "
+                    f"{(1.0 - stats.sharing_ratio) * 100:.0f}% of per-vertex "
+                    "additions (select method='oip-sr' explicitly to use it)"
+                )
+    else:
+        # Top-k / pair / serve always run the shared series path — the only
+        # registered method whose capabilities admit those task shapes.
+        spec = next(
+            METHODS[name]
+            for name in sorted(METHODS)
+            if task in METHODS[name].capabilities.tasks
+        )
+        if config.method not in (AUTO_METHOD, spec.name):
+            reasons.append(
+                f"task {task!r} always runs the {spec.name!r} series path "
+                f"(config method {config.method!r} only governs all-pairs)"
+            )
+    if not spec.capabilities.admits(task):
+        raise ConfigurationError(
+            f"method {spec.name!r} cannot execute task {task!r}; "
+            f"it supports: {', '.join(sorted(spec.capabilities.tasks))}"
+        )
+
+    if config.backend is not None:
+        backend = _resolve_backend(spec, config.backend)
+        reasons.append(f"backend {backend!r} pinned by config")
+    elif spec.capabilities.accepts_backend:
+        backend, auto_reasons = _auto_backend(stats, config, iterations, columns)
+        reasons.extend(auto_reasons)
+    else:
+        backend = spec.capabilities.default_backend
+        if backend is None:
+            reasons.append(
+                f"method {spec.name!r} is backend-agnostic (Python adjacency)"
+            )
+    return spec.name, backend, reasons
+
+
+def _resolve_workers_for(
+    task: str, method: str, config: EngineConfig
+) -> tuple[int, list[str]]:
+    """Worker count for ``task``; serial-only methods reject parallelism."""
+    from ..api import METHODS  # lazy: no cycle
+
+    reasons: list[str] = []
+    resolved = resolve_workers(config.workers)
+    if resolved <= 1:
+        return 1, reasons
+    if task == "pair":
+        reasons.append("single-row task; pool startup would dominate — serial")
+        return 1, reasons
+    capabilities = METHODS[method].capabilities
+    if task == "all_pairs" and not capabilities.accepts_workers:
+        raise ConfigurationError(
+            f"method {method!r} does not support parallel execution; "
+            "methods accepting workers: "
+            + ", ".join(
+                sorted(
+                    name
+                    for name, spec in METHODS.items()
+                    if spec.capabilities.accepts_workers
+                )
+            )
+        )
+    reasons.append(
+        f"{resolved} workers requested; sharded execution is "
+        "bit-identical to serial on the sparse backend"
+    )
+    return resolved, reasons
+
+
+def plan_task(
+    task: str,
+    stats: GraphStats,
+    config: EngineConfig,
+    queries: int = 1,
+) -> TaskPlan:
+    """Plan one task shape — a pure function of ``(stats, config)``.
+
+    ``queries`` sizes the batch for ``top_k`` cost estimates (it never
+    changes the selected method/backend, only the estimate).
+    """
+    if task not in ALL_TASKS:
+        raise ConfigurationError(
+            f"unknown task {task!r}; valid: {', '.join(ALL_TASKS)}"
+        )
+    from ..api import METHODS  # lazy: no cycle
+
+    iterations = config.resolved_iterations()
+    n = stats.num_vertices
+    columns = {"all_pairs": n, "top_k": max(queries, 1), "pair": 1}.get(task, n)
+    method, backend, reasons = _resolve_method_and_backend(
+        task, stats, config, iterations, columns
+    )
+    workers, worker_reasons = _resolve_workers_for(task, method, config)
+    reasons.extend(worker_reasons)
+    capabilities = METHODS[method].capabilities
+
+    tier: Optional[str] = None
+    query_ops = 0
+    if backend is not None:
+        traits = backend_traits(backend)
+        operator_bytes = traits.operator_bytes(n, stats.num_edges)
+        nnz = traits.operator_nnz(n, stats.num_edges)
+    else:
+        traits = None
+        operator_bytes = 0
+        nnz = stats.num_edges
+
+    if task == "all_pairs":
+        if capabilities.shares_transition and traits is not None:
+            ops = _series_ops(traits, stats, iterations, n)
+            peak = operator_bytes + 2 * n * n * 8
+        else:
+            ops, sharing_reason = _per_vertex_ops(
+                capabilities, stats, iterations
+            )
+            ops = int(ops * PYTHON_LOOP_PENALTY)
+            peak = n * n * 8 + n * 8
+            if sharing_reason is not None:
+                reasons.append(sharing_reason)
+    elif task == "top_k":
+        ops = _series_ops(traits, stats, iterations, columns)
+        query_ops = _series_ops(traits, stats, iterations, 1)
+        peak = operator_bytes + (iterations + 1) * n * columns * 8
+    elif task == "pair":
+        ops = _series_ops(traits, stats, iterations, 1)
+        query_ops = ops
+        peak = operator_bytes + (iterations + 1) * n * 8
+    else:  # serve
+        tier, ops, query_ops, peak, tier_reasons = _plan_serving_tier(
+            stats, config, iterations, nnz, operator_bytes
+        )
+        reasons.extend(tier_reasons)
+
+    return TaskPlan(
+        task=task,
+        method=method,
+        backend=backend,
+        workers=workers,
+        iterations=iterations,
+        tier=tier,
+        estimated_ops=int(ops),
+        estimated_query_ops=int(query_ops),
+        estimated_bytes=int(peak),
+        reasons=tuple(reasons),
+    )
+
+
+def _plan_serving_tier(
+    stats: GraphStats,
+    config: EngineConfig,
+    iterations: int,
+    nnz: int,
+    operator_bytes: int,
+) -> tuple[str, int, int, int, list[str]]:
+    """Pick the serving tier the session should precompute toward."""
+    n = stats.num_vertices
+    reasons: list[str] = []
+    # Exact truncated index: one batched series sweep offline, a CSR row
+    # lookup per query online.
+    index_bytes = n * min(config.index_k, max(n - 1, 1)) * 16
+    index_build = 2 * iterations * nnz * n
+    # Monte-Carlo fingerprints: the sampling sweep offline, a coincidence
+    # scan per query online.
+    walk_length = (
+        int(math.ceil(math.log(1e-3) / math.log(config.damping)))
+        if 0.0 < config.damping < 1.0
+        else iterations
+    )
+    fingerprint_bytes = config.approx_walks * n * (walk_length + 1) * 8
+    fingerprint_build = config.approx_walks * n * walk_length
+    standard_error = float(
+        config.damping ** (config.approx_head + 1)
+        / np.sqrt(config.approx_walks)
+    )
+
+    budget = config.memory_budget
+    if budget is None or index_bytes + operator_bytes <= budget:
+        reasons.append(
+            f"exact index fits ({index_bytes + operator_bytes:.2e} B"
+            + ("" if budget is None else f" <= budget {budget:.2e} B")
+            + "); serving tier: index"
+        )
+        return (
+            "index",
+            index_build,
+            2 * config.index_k,  # row lookup + (-score, id) truncation
+            index_bytes + operator_bytes,
+            reasons,
+        )
+    reasons.append(
+        f"exact index ({index_bytes + operator_bytes:.2e} B) exceeds the "
+        f"memory budget ({budget:.2e} B)"
+    )
+    if (
+        config.max_error is not None
+        and standard_error <= config.max_error
+        and fingerprint_bytes + operator_bytes <= budget
+    ):
+        reasons.append(
+            f"fingerprints fit ({fingerprint_bytes + operator_bytes:.2e} B) "
+            f"and satisfy max_error ({standard_error:.2e} <= "
+            f"{config.max_error:.2e}); serving tier: approx"
+        )
+        return (
+            "approx",
+            fingerprint_build,
+            config.approx_walks * walk_length,
+            fingerprint_bytes + operator_bytes,
+            reasons,
+        )
+    if config.max_error is not None and standard_error > config.max_error:
+        reasons.append(
+            f"fingerprint standard error {standard_error:.2e} exceeds "
+            f"max_error {config.max_error:.2e}; approximate tier not admitted"
+        )
+    reasons.append("serving tier: compute (on-demand series, micro-batched)")
+    return (
+        "compute",
+        0,
+        2 * iterations * nnz,
+        operator_bytes + (iterations + 1) * n * config.max_batch * 8,
+        reasons,
+    )
+
+
+def plan_all(
+    stats: GraphStats, config: EngineConfig, queries: int = 1
+) -> ExecutionPlan:
+    """Plan every task shape of a session as one inspectable artifact."""
+    return ExecutionPlan(
+        graph=stats,
+        config=config,
+        tasks=tuple(
+            plan_task(task, stats, config, queries=queries)
+            for task in ALL_TASKS
+        ),
+    )

@@ -130,18 +130,26 @@ class FingerprintIndex:
         head_iterations: int = 4,
         backend: Union[str, SimRankBackend, None] = None,
         seed: int = 0,
+        transition: Optional[TransitionOperator] = None,
     ) -> "FingerprintIndex":
         """Sample fingerprints for ``graph`` and wrap them as an index.
 
         ``walk_length`` defaults to ``⌈log_C 10⁻³⌉`` (negligible truncated
         tail), matching
         :func:`~repro.baselines.monte_carlo.monte_carlo_simrank`.
+        ``transition`` optionally supplies a prebuilt operator for the
+        exact series head (the engine session's artifact-reuse seam);
+        without one the backend materialises it when
+        ``head_iterations > 0``.
         """
         damping = validate_damping(damping)
         if walk_length is None:
             walk_length = int(np.ceil(np.log(1e-3) / np.log(damping)))
         engine = get_backend(backend if backend is not None else "sparse")
-        transition = engine.transition(graph) if head_iterations > 0 else None
+        if head_iterations > 0 and transition is None:
+            transition = engine.transition(graph)
+        elif head_iterations <= 0:
+            transition = None
         walks = sample_fingerprints(graph, num_walks, walk_length, seed=seed)
         return cls(
             walks,

@@ -54,6 +54,7 @@ def build_index(
     spill_directory: Optional[PathLike] = None,
     spill_stats: Optional[SpillStats] = None,
     instrumentation: Optional[Instrumentation] = None,
+    transition=None,
 ) -> SimilarityStore:
     """Precompute a truncated all-pairs similarity index for ``graph``.
 
@@ -106,6 +107,12 @@ def build_index(
     instrumentation:
         Optional collector; the series costs are recorded into it (by the
         parent process when parallel — the cost model is deterministic).
+    transition:
+        Optional prebuilt :class:`~repro.core.backends.TransitionOperator`
+        for ``graph`` on ``backend`` — the engine session's artifact-reuse
+        seam.  When given, the operator is *not* rebuilt; it must match
+        the graph's vertex count (validated) and the backend's format (the
+        caller's responsibility).
     """
     if index_k <= 0:
         raise ConfigurationError(f"index_k must be positive, got {index_k}")
@@ -117,7 +124,13 @@ def build_index(
     iterations = validate_iterations(iterations)
 
     engine = _resolve_backend(backend)
-    transition = engine.transition(graph)
+    if transition is None:
+        transition = engine.transition(graph)
+    elif transition.n != graph.num_vertices:
+        raise ConfigurationError(
+            f"prebuilt transition covers {transition.n} vertices, graph "
+            f"has {graph.num_vertices}"
+        )
     n = transition.n
 
     # One sweep over the vertex range, sharded by the executor (serial when

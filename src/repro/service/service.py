@@ -71,9 +71,9 @@ from ..baselines.topk import RankedList
 from ..core.backends import SimRankBackend, get_backend
 from ..core.iteration_bounds import conventional_iterations
 from ..core.result import validate_damping, validate_iterations
-from ..core.similarity_store import SimilarityStore
+from ..core.similarity_store import SimilarityStore, ranked_entries
 from ..exceptions import ConfigurationError
-from ..graph.edgelist import EdgeListGraph
+from ..graph.edgelist import EdgeListGraph, edge_list_from_pairs
 from ..parallel import ParallelExecutor, resolve_workers
 from .batcher import MicroBatcher
 from .cache import LRUCache
@@ -224,6 +224,19 @@ class SimilarityService:
         match).  Enables the Monte-Carlo ``approx`` tier for queries that
         pass ``approx=True`` or a satisfiable ``max_error``; mutations
         stale it until :meth:`resample_fingerprints`.
+    transition:
+        Optional prebuilt :class:`~repro.core.backends.TransitionOperator`
+        for the *initial* graph on the service's backend — the engine
+        session's artifact-reuse seam (``engine.serve()`` passes its shared
+        operator so the compute tier never rebuilds it).  Mutations retire
+        it like any other version-stamped artifact.
+    label_graph:
+        Optional graph used for label resolution (``index_of``/``label_of``)
+        in place of ``graph``.  The engine session passes its original
+        labelled graph here when serving a *mutated* session: ``graph``
+        then carries the current edge set (an integer-labelled overlay)
+        while queries keep resolving through the caller's labels.  Vertex
+        ids must coincide (the vertex count is validated).
     """
 
     def __init__(
@@ -241,6 +254,8 @@ class SimilarityService:
         auto_warm: bool = True,
         workers: Optional[int] = None,
         fingerprints: Optional[FingerprintIndex] = None,
+        transition=None,
+        label_graph=None,
     ) -> None:
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k}")
@@ -254,7 +269,12 @@ class SimilarityService:
         self.workers = resolve_workers(workers)
 
         self._lock = threading.RLock()
-        self._graph = graph
+        if label_graph is not None and label_graph.num_vertices != graph.num_vertices:
+            raise ConfigurationError(
+                f"label graph covers {label_graph.num_vertices} vertices, "
+                f"served graph has {graph.num_vertices}"
+            )
+        self._graph = label_graph if label_graph is not None else graph
         self._n = graph.num_vertices
         self._edges: set[tuple[int, int]] = {
             (int(source), int(target)) for source, target in graph.edges()
@@ -262,7 +282,12 @@ class SimilarityService:
         self._version = 0
         self._dirty: set[int] = set()
         self._compute_graph: Optional[EdgeListGraph] = None
-        self._transition = None
+        if transition is not None and transition.n != self._n:
+            raise ConfigurationError(
+                f"prebuilt transition covers {transition.n} vertices, "
+                f"service graph has {self._n}"
+            )
+        self._transition = transition
         self._executor: Optional[ParallelExecutor] = None
         self._pool_disabled = False
         self.pool_failures = 0
@@ -316,18 +341,10 @@ class SimilarityService:
         """The served graph at the current version, as an edge list."""
         with self._lock:
             if self._compute_graph is None:
-                if self._edges:
-                    pairs = np.fromiter(
-                        (value for edge in self._edges for value in edge),
-                        dtype=np.int64,
-                        count=2 * len(self._edges),
-                    ).reshape(-1, 2)
-                    sources, targets = pairs[:, 0], pairs[:, 1]
-                else:
-                    sources = np.empty(0, dtype=np.int64)
-                    targets = np.empty(0, dtype=np.int64)
-                self._compute_graph = EdgeListGraph.from_arrays(
-                    self._n, sources, targets, name=getattr(self._graph, "name", "")
+                self._compute_graph = edge_list_from_pairs(
+                    self._n,
+                    self._edges,
+                    name=getattr(self._graph, "name", ""),
                 )
             return self._compute_graph
 
@@ -862,16 +879,16 @@ class SimilarityService:
     def _rank_row(
         self, row: np.ndarray, query: Hashable, vertex: int, k: int
     ) -> RankedList:
-        order = np.lexsort((np.arange(self._n), -row))
-        entries: list[tuple[Hashable, float]] = []
-        for candidate in order:
-            candidate = int(candidate)
-            if candidate == vertex:
-                continue
-            entries.append((self._graph.label_of(candidate), float(row[candidate])))
-            if len(entries) == k:
-                break
-        return RankedList(query=query, entries=tuple(entries))
+        # The shared (-score, id) truncation — the same implementation the
+        # batch API and the index builder use, so every tier ranks alike.
+        entries = ranked_entries(row, k, exclude=vertex)
+        return RankedList(
+            query=query,
+            entries=tuple(
+                (self._graph.label_of(column), score)
+                for column, score in entries
+            ),
+        )
 
     def _pad_entries(
         self, entries: list[tuple[Hashable, float]], vertex: int, k: int

@@ -185,3 +185,67 @@ class TestLargeGraphCli:
         assert main(["serving", "--quick", "--approx"]) == 0
         output = capsys.readouterr().out
         assert "approx" in output
+
+
+class TestExplainSubcommand:
+    def test_explain_prints_plan_for_every_task_shape(self, capsys):
+        assert main(["explain", "--rmat-scale", "7"]) == 0
+        output = capsys.readouterr().out
+        for token in ("all_pairs", "top_k", "pair", "serve", "backend=", "ops~"):
+            assert token in output
+
+    def test_explain_json_is_machine_parseable(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "plan.json"
+        assert main(
+            ["explain", "--rmat-scale", "7", "--workers", "2", "--json", str(path)]
+        ) == 0
+        data = json.loads(path.read_text())
+        assert set(data) == {"graph", "config", "tasks"}
+        tasks = {entry["task"]: entry for entry in data["tasks"]}
+        for shape in ("all_pairs", "top_k", "serve"):
+            entry = tasks[shape]
+            assert entry["method"]
+            assert entry["backend"] in ("dense", "sparse")
+            assert entry["workers"] == 2 or shape == "pair"
+            assert entry["estimated_ops"] > 0
+        # The embedded config must round-trip through EngineConfig.
+        from repro import EngineConfig
+
+        assert EngineConfig.from_dict(data["config"]).workers == 2
+
+    def test_explain_accepts_config_file(self, tmp_path, capsys):
+        from repro import EngineConfig
+
+        config_path = tmp_path / "config.json"
+        config_path.write_text(
+            EngineConfig(method="matrix", backend="dense", workers=3).to_json()
+        )
+        assert main(
+            ["explain", "--rmat-scale", "6", "--config", str(config_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "backend=dense" in output
+        assert "workers=3" in output
+
+    def test_explain_method_and_budget_flags(self, capsys):
+        assert main(
+            [
+                "explain", "--rmat-scale", "6", "--method", "oip-sr",
+                "--memory-budget", "64K",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "method=oip-sr" in output  # pinned for all-pairs...
+        assert "series path" in output  # ...but top-k stays on matrix
+
+    def test_engine_parity_registered(self, capsys):
+        args = build_parser().parse_args(["engine-parity", "--quick"])
+        assert args.experiment == "engine-parity"
+
+    def test_engine_parity_runs_quick(self, capsys):
+        assert main(["engine-parity", "--quick", "--scale", "0.5"]) == 0
+        output = capsys.readouterr().out
+        assert "bit-identical" in output
+        assert "built exactly once" in output

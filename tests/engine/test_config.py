@@ -1,0 +1,127 @@
+"""Unit tests for :class:`repro.engine.config.EngineConfig`."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EngineConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = EngineConfig()
+        assert config.method == "auto"
+        assert config.backend is None
+        assert config.damping == 0.6
+
+    def test_frozen(self):
+        config = EngineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.damping = 0.9
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("damping", 0.0),
+            ("damping", 1.0),
+            ("damping", -0.5),
+            ("accuracy", 0.0),
+            ("accuracy", -1e-3),
+            ("iterations", -1),
+            ("memory_budget", 0),
+            ("memory_budget", -10),
+            ("index_k", 0),
+            ("cache_size", -1),
+            ("max_batch", 0),
+            ("approx_walks", 0),
+            ("approx_head", -1),
+            ("max_error", 0.0),
+            ("method", ""),
+        ],
+    )
+    def test_out_of_domain_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(**{field: value})
+
+    def test_backend_must_be_name_or_none(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(backend=3.14)
+
+    def test_with_overrides_revalidates(self):
+        config = EngineConfig()
+        assert config.with_overrides(damping=0.8).damping == 0.8
+        with pytest.raises(ConfigurationError):
+            config.with_overrides(damping=2.0)
+
+    def test_resolved_iterations_prefers_explicit(self):
+        assert EngineConfig(iterations=7).resolved_iterations() == 7
+        # Conventional bound: ceil(log eps / log C) = 14 for (1e-3, 0.6).
+        assert EngineConfig().resolved_iterations() == 14
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        config = EngineConfig(
+            method="matrix",
+            backend="sparse",
+            damping=0.8,
+            iterations=9,
+            workers=4,
+            memory_budget=1 << 20,
+            index_k=25,
+            cache_size=0,
+            max_batch=16,
+            approx_walks=64,
+            approx_head=2,
+            approx_seed=11,
+            max_error=0.05,
+        )
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip_is_lossless(self):
+        config = EngineConfig(damping=0.7, workers=2, max_error=0.1)
+        assert EngineConfig.from_json(config.to_json()) == config
+
+    def test_json_is_a_flat_object_of_every_field(self):
+        data = json.loads(EngineConfig().to_json())
+        assert set(data) == {
+            field.name for field in dataclasses.fields(EngineConfig)
+        }
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig.from_dict({"dampign": 0.6})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig.from_json("{not json")
+        with pytest.raises(ConfigurationError):
+            EngineConfig.from_json("[1, 2]")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        damping=st.floats(min_value=0.05, max_value=0.95),
+        iterations=st.one_of(st.none(), st.integers(0, 40)),
+        workers=st.one_of(st.none(), st.integers(0, 8)),
+        cache_size=st.integers(0, 4096),
+        index_k=st.integers(1, 200),
+        memory_budget=st.one_of(st.none(), st.integers(1, 1 << 30)),
+    )
+    def test_round_trip_property(
+        self, damping, iterations, workers, cache_size, index_k, memory_budget
+    ):
+        config = EngineConfig(
+            damping=damping,
+            iterations=iterations,
+            workers=workers,
+            cache_size=cache_size,
+            index_k=index_k,
+            memory_budget=memory_budget,
+        )
+        assert EngineConfig.from_json(config.to_json()) == config

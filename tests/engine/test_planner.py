@@ -1,0 +1,246 @@
+"""Property tests for the cost-based planner (:mod:`repro.engine.planner`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EngineConfig
+from repro.api import METHODS
+from repro.engine.capabilities import ALL_TASKS, backend_traits
+from repro.engine.planner import GraphStats, plan_all, plan_task
+from repro.exceptions import ConfigurationError
+
+stats_strategy = st.builds(
+    GraphStats,
+    num_vertices=st.integers(min_value=1, max_value=100_000),
+    num_edges=st.integers(min_value=0, max_value=1_000_000),
+    sharing_ratio=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=1.0)
+    ),
+)
+
+# Parallel-admissible configs: either serial, or a method whose declared
+# capabilities accept workers (requesting workers from a serial-only
+# method is a *documented* ConfigurationError, tested separately).
+config_strategy = st.builds(
+    EngineConfig,
+    method=st.sampled_from(["auto", "matrix", "oip-sr", "psum", "naive"]),
+    backend=st.one_of(st.none(), st.sampled_from(["dense", "sparse"])),
+    damping=st.floats(min_value=0.1, max_value=0.9),
+    iterations=st.one_of(st.none(), st.integers(1, 30)),
+    workers=st.one_of(st.none(), st.integers(1, 8)),
+    memory_budget=st.one_of(st.none(), st.integers(1, 1 << 32)),
+    index_k=st.integers(1, 100),
+    max_error=st.one_of(st.none(), st.floats(min_value=1e-4, max_value=0.5)),
+).filter(
+    lambda config: (
+        (config.workers is None or config.workers <= 1)
+        or config.method in ("auto", "matrix")
+    )
+    # Backend-agnostic methods only honour their declared (no-op) backend.
+    and (
+        config.backend is None
+        or config.method in ("auto", "matrix")
+        or config.backend == "dense"
+    )
+)
+
+
+class TestPlannerProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(stats=stats_strategy, config=config_strategy)
+    def test_plan_is_deterministic(self, stats, config):
+        for task in ALL_TASKS:
+            assert plan_task(task, stats, config) == plan_task(
+                task, stats, config
+            )
+
+    @settings(max_examples=120, deadline=None)
+    @given(stats=stats_strategy, config=config_strategy)
+    def test_selection_is_admitted_by_declared_capabilities(
+        self, stats, config
+    ):
+        for task in ALL_TASKS:
+            plan = plan_task(task, stats, config)
+            capabilities = METHODS[plan.method].capabilities
+            assert capabilities.admits(
+                task, backend=plan.backend, workers=plan.workers
+            )
+            assert plan.iterations == config.resolved_iterations()
+            assert plan.estimated_ops >= 0
+            assert plan.estimated_bytes >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stats=stats_strategy,
+        config=config_strategy.filter(
+            lambda config: config.workers in (None, 1)
+        ),
+    )
+    def test_degrades_to_serial_when_workers_is_one(self, stats, config):
+        for task in ALL_TASKS:
+            assert plan_task(task, stats, config).workers == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(stats=stats_strategy, config=config_strategy)
+    def test_memory_budget_never_exceeded_by_dense_auto_choice(
+        self, stats, config
+    ):
+        # The auto rule must not pick the dense operator past the budget.
+        if config.backend is not None or config.method != "auto":
+            return
+        if config.memory_budget is None:
+            return
+        plan = plan_task("top_k", stats, config)
+        if plan.backend == "dense":
+            operator = backend_traits("dense").operator_bytes(
+                stats.num_vertices, stats.num_edges
+            )
+            assert operator <= config.memory_budget
+
+
+class TestPlannerDecisions:
+    def test_sparse_chosen_on_sparse_graphs(self):
+        stats = GraphStats(num_vertices=2048, num_edges=6144)
+        plan = plan_task("all_pairs", stats, EngineConfig())
+        assert plan.method == "matrix"
+        assert plan.backend == "sparse"
+
+    def test_dense_chosen_on_dense_graphs(self):
+        stats = GraphStats(num_vertices=64, num_edges=64 * 64 // 2)
+        plan = plan_task("all_pairs", stats, EngineConfig())
+        assert plan.backend == "dense"
+
+    def test_memory_budget_forces_sparse(self):
+        stats = GraphStats(num_vertices=64, num_edges=64 * 64 // 2)
+        budgeted = EngineConfig(memory_budget=1024)
+        assert plan_task("all_pairs", stats, budgeted).backend == "sparse"
+
+    def test_explicit_method_and_backend_pinned(self):
+        stats = GraphStats(num_vertices=100, num_edges=300)
+        config = EngineConfig(method="matrix", backend="dense")
+        plan = plan_task("all_pairs", stats, config)
+        assert (plan.method, plan.backend) == ("matrix", "dense")
+
+    def test_alias_methods_resolve(self):
+        stats = GraphStats(num_vertices=100, num_edges=300)
+        plan = plan_task(
+            "all_pairs", stats, EngineConfig(method="matrix-sr")
+        )
+        assert plan.method == "matrix"
+
+    def test_unknown_method_rejected(self):
+        stats = GraphStats(num_vertices=10, num_edges=10)
+        with pytest.raises(ConfigurationError):
+            plan_task("all_pairs", stats, EngineConfig(method="nope"))
+
+    def test_unknown_task_rejected(self):
+        stats = GraphStats(num_vertices=10, num_edges=10)
+        with pytest.raises(ConfigurationError):
+            plan_task("all-pairs", stats, EngineConfig())
+
+    def test_parallel_request_on_serial_method_raises(self):
+        stats = GraphStats(num_vertices=100, num_edges=300)
+        config = EngineConfig(method="naive", workers=4)
+        with pytest.raises(ConfigurationError):
+            plan_task("all_pairs", stats, config)
+
+    def test_pair_task_is_always_serial(self):
+        stats = GraphStats(num_vertices=5000, num_edges=20000)
+        plan = plan_task("pair", stats, EngineConfig(workers=8))
+        assert plan.workers == 1
+
+    def test_serving_tier_degrades_with_budget(self):
+        stats = GraphStats(num_vertices=4096, num_edges=12288)
+        roomy = plan_task("serve", stats, EngineConfig())
+        assert roomy.tier == "index"
+        # Too small for the index (index_k=500 -> ~33 MB), big enough for
+        # fingerprints (~8 MB), admitted by max_error: the planner steps
+        # down to the approximate tier.
+        config = EngineConfig(
+            memory_budget=9 << 20, index_k=500, approx_walks=16, max_error=0.5
+        )
+        squeezed = plan_task("serve", stats, config)
+        assert squeezed.tier == "approx"
+        # No admissible approximation: fall through to on-demand compute.
+        exact_only = plan_task(
+            "serve", stats, EngineConfig(memory_budget=200_000)
+        )
+        assert exact_only.tier == "compute"
+
+    def test_per_vertex_costs_scale_with_sharing_ratio(self):
+        config = EngineConfig(method="oip-sr", iterations=5)
+        unshared = plan_task(
+            "all_pairs",
+            GraphStats(num_vertices=500, num_edges=2000, sharing_ratio=1.0),
+            config,
+        )
+        shared = plan_task(
+            "all_pairs",
+            GraphStats(num_vertices=500, num_edges=2000, sharing_ratio=0.25),
+            config,
+        )
+        assert shared.estimated_ops < unshared.estimated_ops
+        assert shared.estimated_ops == pytest.approx(
+            unshared.estimated_ops * 0.25, rel=0.01
+        )
+
+
+class TestExecutionPlan:
+    def test_plan_all_covers_every_task_shape(self):
+        stats = GraphStats(num_vertices=256, num_edges=700)
+        plan = plan_all(stats, EngineConfig())
+        assert [task.task for task in plan.tasks] == list(ALL_TASKS)
+        for name in ("all_pairs", "top_k", "serve"):
+            task = plan.task(name)
+            assert task.method
+            assert task.backend in ("dense", "sparse")
+            assert task.workers >= 1
+            assert task.estimated_ops > 0
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        stats = GraphStats(num_vertices=256, num_edges=700)
+        plan = plan_all(stats, EngineConfig(workers=2))
+        data = json.loads(json.dumps(plan.to_dict()))
+        assert {entry["task"] for entry in data["tasks"]} == set(ALL_TASKS)
+        for entry in data["tasks"]:
+            assert {"method", "backend", "workers", "estimated_ops"} <= set(
+                entry
+            )
+
+    def test_render_names_the_decisions(self):
+        stats = GraphStats(num_vertices=256, num_edges=700)
+        text = plan_all(stats, EngineConfig()).render()
+        for token in ("all_pairs", "top_k", "serve", "backend=sparse", "ops~"):
+            assert token in text
+
+    def test_unknown_task_lookup_rejected(self):
+        stats = GraphStats(num_vertices=10, num_edges=5)
+        plan = plan_all(stats, EngineConfig())
+        with pytest.raises(ConfigurationError):
+            plan.task("everything")
+
+
+class TestGraphStats:
+    def test_from_graph_measures_counts(self, paper_graph):
+        stats = GraphStats.from_graph(paper_graph)
+        assert stats.num_vertices == paper_graph.num_vertices
+        assert stats.num_edges == paper_graph.num_edges
+        assert 0.0 <= stats.sharing_ratio <= 1.0
+
+    def test_edge_list_graphs_have_no_sharing_ratio(self):
+        from repro.graph.generators.rmat import rmat_edge_list
+
+        graph = rmat_edge_list(6, 192, seed=1)
+        stats = GraphStats.from_graph(graph)
+        assert stats.sharing_ratio is None
+        assert stats.num_vertices == 64
+
+    def test_from_graph_is_deterministic(self, small_web_graph):
+        assert GraphStats.from_graph(small_web_graph) == GraphStats.from_graph(
+            small_web_graph
+        )

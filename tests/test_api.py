@@ -166,3 +166,150 @@ class TestBackendPluggability:
             "oip-sr", paper_graph, backend="sparse", iterations=2
         )
         assert result.algorithm == "oip-sr"
+
+
+class TestSharedBackendResolution:
+    """Satellite: simrank_top_k resolves backends through _resolve_backend."""
+
+    def test_bad_backend_raises_configuration_error_not_keyerror(
+        self, paper_graph
+    ):
+        # Regression: this used to surface as a raw KeyError from
+        # get_backend because simrank_top_k bypassed the shared resolver.
+        with pytest.raises(ConfigurationError) as excinfo:
+            simrank_top_k(paper_graph, ["a"], backend="spasre", iterations=3)
+        assert "unknown backend" in str(excinfo.value)
+
+    def test_backend_instance_resolves_to_name(self, paper_graph):
+        from repro.core.backends import BACKENDS
+
+        via_instance = simrank_top_k(
+            paper_graph, ["a"], k=3, backend=BACKENDS["sparse"], iterations=8
+        )
+        via_name = simrank_top_k(
+            paper_graph, ["a"], k=3, backend="sparse", iterations=8
+        )
+        assert via_instance[0].entries == via_name[0].entries
+
+    def test_simrank_and_top_k_share_one_resolver(self, paper_graph):
+        # Both entry points must reject the same names with the same error.
+        for call in (
+            lambda: simrank(paper_graph, backend="gpu"),
+            lambda: simrank_top_k(paper_graph, ["a"], backend="gpu"),
+        ):
+            with pytest.raises(ConfigurationError):
+                call()
+
+
+class TestSharedRankingSemantics:
+    """Satellite: one ranked_entries implementation on every path."""
+
+    def test_top_k_matches_shared_helper(self, paper_graph):
+        from repro.core.backends import get_backend
+        from repro.core.similarity_store import ranked_entries
+
+        engine = get_backend("sparse")
+        transition = engine.transition(paper_graph)
+        query = paper_graph.index_of("a")
+        row = engine.similarity_rows(
+            transition, np.array([query]), damping=0.6, iterations=10
+        )[0]
+        expected = [
+            (paper_graph.label_of(column), score)
+            for column, score in ranked_entries(row, 5, exclude=query)
+        ]
+        ranking = simrank_top_k(paper_graph, ["a"], k=5, iterations=10)[0]
+        assert list(ranking.entries) == expected
+
+    def test_service_and_batch_api_rank_identically(self, paper_graph):
+        from repro import SimilarityService
+
+        service = SimilarityService(
+            paper_graph, None, k=4, iterations=10, cache_size=0
+        )
+        batch = simrank_top_k(
+            paper_graph, ["a", "b", "c"], k=4, iterations=10
+        )
+        for ranking in batch:
+            assert (
+                service.top_k(ranking.query).entries == ranking.entries
+            )
+
+    def test_ranked_entries_zero_padding_is_id_ordered(self):
+        from repro.core.similarity_store import ranked_entries
+
+        row = np.array([0.0, 0.5, 0.0, 0.5, 0.0])
+        entries = ranked_entries(row, 5, exclude=0)
+        # Positives by (-score, id), then zero-score columns in id order,
+        # never the excluded vertex.
+        assert entries == [(1, 0.5), (3, 0.5), (2, 0.0), (4, 0.0)]
+
+    def test_ranked_entries_include_self(self):
+        from repro.core.similarity_store import ranked_entries
+
+        row = np.array([1.0, 0.5, 0.25])
+        assert ranked_entries(row, 2, exclude=None) == [(0, 1.0), (1, 0.5)]
+
+
+class TestCapabilitiesRegistry:
+    """The MethodSpec booleans are now one declarative Capabilities record."""
+
+    def test_every_method_declares_capabilities(self):
+        from repro.api import METHODS
+        from repro.engine.capabilities import Capabilities
+
+        for spec in METHODS.values():
+            assert isinstance(spec.capabilities, Capabilities)
+            assert "all_pairs" in spec.capabilities.tasks
+
+    def test_only_matrix_serves_series_tasks(self):
+        from repro.api import METHODS
+
+        series = {
+            name
+            for name, spec in METHODS.items()
+            if "top_k" in spec.capabilities.tasks
+        }
+        assert series == {"matrix"}
+
+    def test_compat_accessors_mirror_capabilities(self):
+        from repro.api import method_spec
+
+        matrix = method_spec("matrix")
+        assert matrix.accepts_backend is matrix.capabilities.accepts_backend
+        assert matrix.accepts_workers is matrix.capabilities.accepts_workers
+        assert matrix.needs_adjacency is matrix.capabilities.needs_adjacency
+        assert matrix.default_backend == "sparse"
+        assert matrix.backends == ("dense", "sparse")
+
+    def test_register_method_is_the_plug_in_point(self, paper_graph):
+        from repro.api import METHODS, MethodSpec, register_method
+        from repro.baselines.matrix_sr import matrix_simrank
+        from repro.engine.capabilities import Capabilities
+
+        register_method(
+            MethodSpec(
+                name="matrix-test-alias",
+                solver=matrix_simrank,
+                capabilities=Capabilities(
+                    backends=("dense", "sparse"),
+                    accepts_backend=True,
+                    needs_adjacency=False,
+                    default_backend="sparse",
+                ),
+            )
+        )
+        try:
+            result = simrank(
+                paper_graph, method="matrix-test-alias", iterations=3
+            )
+            reference = simrank(paper_graph, method="matrix", iterations=3)
+            assert np.array_equal(result.scores, reference.scores)
+        finally:
+            METHODS.pop("matrix-test-alias", None)
+
+    def test_capabilities_reject_unknown_tasks(self):
+        from repro.engine.capabilities import Capabilities
+
+        with pytest.raises(ConfigurationError):
+            Capabilities(tasks=frozenset({"teleport"}))
