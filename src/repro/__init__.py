@@ -103,7 +103,11 @@ from .graph import (
 from .graph import generators
 from .parallel import ParallelExecutor, plan_shards, resolve_workers
 from .service import (
+    ErrorCode,
     FingerprintIndex,
+    QueryRequest,
+    QueryResponse,
+    ServeError,
     SimilarityService,
     build_index,
     load_index,
@@ -129,6 +133,10 @@ __all__ = sorted(
         "GraphError",
         "ReproError",
         "SharingPlan",
+        "ErrorCode",
+        "QueryRequest",
+        "QueryResponse",
+        "ServeError",
         "SimRankBackend",
         "SimRankResult",
         "SimilarityService",

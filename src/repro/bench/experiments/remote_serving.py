@@ -1,0 +1,311 @@
+"""Remote serving benchmark — the network tier under load, over localhost.
+
+Not a paper figure: this experiment drives the asyncio serving front-end
+(:mod:`repro.serve`) the way the in-process ``serving`` experiment drives
+the :class:`~repro.service.service.SimilarityService`, and is what
+``repro-simrank serve-bench --remote`` runs.  Two phases:
+
+* **steady** — an indexed server under hundreds of concurrent closed-loop
+  asyncio clients replaying a Zipf stream; reports client-observed
+  p50/p95/p99 latency, throughput and the (expectedly zero) shed rate.
+* **overload** — a deliberately under-provisioned server (no index, tiny
+  admission bounds, millisecond SLO) under the same client fleet; the
+  live p99 breaches the SLO, the dispatcher degrades undecided queries to
+  the Monte-Carlo tier, and admission control sheds the overflow with
+  typed errors.  The per-tier hit counters prove the degradation
+  happened; the shed rate is reported alongside the latency percentiles.
+
+Both phases verify every non-shed answer against an in-process
+``engine.serve()`` oracle sharing the same artifacts — exact-tier answers
+must match the exact oracle, degraded answers the ``approx=True`` oracle,
+bit for bit.  Violations raise instead of noting, so the CI smoke job
+fails loudly if the network path ever diverges from the in-process
+pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+import numpy as np
+
+from ...engine import EngineConfig
+from ...engine.engine import Engine
+from ...graph.generators.rmat import rmat_edge_list
+from ...serve import AsyncSimilarityClient, SimilarityServer
+from ...service import ErrorCode, QueryRequest, ServeError
+from ...workloads import zipf_query_stream
+from ..results import latency_summary
+from ..runner import ExperimentReport
+
+__all__ = ["run"]
+
+_K = 10
+_ITERATIONS = 25
+
+
+class _PhaseResult:
+    """What the client fleet observed during one phase."""
+
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.responses: list = []
+        self.shed = 0
+        self.errors: list[ServeError] = []
+        self.wall_seconds = 0.0
+
+
+async def _drive(
+    host: str, port: int, slices: list[tuple], k: int
+) -> _PhaseResult:
+    """Replay ``slices`` from one closed-loop client per slice."""
+    result = _PhaseResult()
+
+    async def one_client(stream: tuple) -> None:
+        client = await AsyncSimilarityClient.connect(host, port)
+        try:
+            for query in stream:
+                started = time.perf_counter()
+                try:
+                    response = await client.query(query, k=k)
+                except ServeError as error:
+                    if error.code is ErrorCode.SHED:
+                        result.shed += 1  # answered immediately, by design
+                    else:
+                        result.errors.append(error)
+                else:
+                    result.latencies.append(time.perf_counter() - started)
+                    result.responses.append(response)
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one_client(stream) for stream in slices))
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _slices(stream: tuple, clients: int) -> list[tuple]:
+    """Deal the stream round-robin onto ``clients`` closed-loop clients."""
+    return [stream[offset::clients] for offset in range(clients)]
+
+
+def _phase_row(
+    phase: str,
+    clients: int,
+    stream_length: int,
+    result: _PhaseResult,
+    server_stats: dict,
+    tier_stats: dict,
+) -> dict[str, object]:
+    summary = latency_summary(result.latencies or [0.0])
+    answered = len(result.responses)
+    return {
+        "phase": phase,
+        "clients": clients,
+        "queries": stream_length,
+        "answered": answered,
+        "shed": result.shed,
+        "shed_rate": round(result.shed / stream_length, 4),
+        "qps": round(answered / result.wall_seconds, 1)
+        if result.wall_seconds > 0
+        else float("inf"),
+        "p50_ms": round(summary["p50"] * 1e3, 3),
+        "p95_ms": round(summary["p95"] * 1e3, 3),
+        "p99_ms": round(summary["p99"] * 1e3, 3),
+        "index_hits": tier_stats["index_hits"],
+        "cache_hits": tier_stats["cache_hits"],
+        "approx_hits": tier_stats["approx_hits"],
+        "compute_hits": tier_stats["compute_hits"],
+        "degraded_queries": server_stats["degraded_queries"],
+    }
+
+
+def _verify_against_oracle(
+    responses: list, oracle, k: int, limit: int = 256
+) -> int:
+    """Check served answers against the in-process pipeline, bit for bit.
+
+    Exact-tier answers are compared to the exact oracle, approx-tier
+    answers to the ``approx=True`` oracle (the fingerprints are shared and
+    deterministic, so those must match exactly too).  Returns the number
+    of distinct (query, tier) pairs checked; raises on any divergence.
+    """
+    seen: set[tuple] = set()
+    checked = 0
+    for response in responses:
+        key = (response.query, response.tier == "approx")
+        if key in seen:
+            continue
+        seen.add(key)
+        expected = oracle.query(
+            QueryRequest(
+                query=response.query,
+                k=k,
+                approx=True if response.tier == "approx" else False,
+            )
+        )
+        if tuple(response.entries) != tuple(expected.entries):
+            raise RuntimeError(
+                f"network answer diverged from the in-process oracle for "
+                f"query {response.query!r} (tier {response.tier}): "
+                f"{response.entries[:3]}... != {expected.entries[:3]}..."
+            )
+        checked += 1
+        if checked >= limit:
+            break
+    return checked
+
+
+def run(
+    scale: float = 1.0,
+    quick: bool = False,
+    damping: float = 0.6,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    clients: Optional[int] = None,
+    slo_p99_ms: Optional[float] = None,
+    host: str = "127.0.0.1",
+) -> ExperimentReport:
+    """Benchmark the network serving tier over localhost.
+
+    ``clients`` sizes the steady-phase fleet (the overload phase uses a
+    proportional fleet against much tighter admission bounds);
+    ``slo_p99_ms`` optionally arms SLO-driven degradation during the
+    steady phase too (the overload phase always runs with a deliberately
+    unmeetable target).
+    """
+    report = ExperimentReport(
+        experiment="remote-serving",
+        title="Network serving: localhost load test with SLO degradation",
+    )
+    log_vertices = 7 if quick else 10
+    if scale != 1.0:
+        log_vertices = max(6, log_vertices + int(round(np.log2(max(scale, 1e-9)))))
+    num_vertices = 1 << log_vertices
+    graph = rmat_edge_list(log_vertices, 3 * num_vertices, seed=7)
+    steady_clients = clients if clients is not None else (24 if quick else 200)
+    overload_clients = max(8, steady_clients // 3) if quick else max(40, steady_clients // 2)
+    steady_stream = zipf_query_stream(
+        graph, steady_clients * (10 if quick else 20), exponent=1.0, seed=11
+    )
+    overload_stream = zipf_query_stream(
+        graph, overload_clients * 10, exponent=0.7, seed=13
+    )
+
+    config = EngineConfig(
+        method="matrix",
+        backend=backend,
+        damping=damping,
+        iterations=_ITERATIONS,
+        workers=workers,
+        slo_p99_ms=slo_p99_ms,
+    )
+
+    # ---------------------------------------------------------------- #
+    # Steady phase: indexed server, ample admission bounds.
+    # ---------------------------------------------------------------- #
+    steady_engine = Engine(graph, config)
+    steady_engine.build_index()
+    server = steady_engine.server(host=host)
+    server.start_in_thread()
+    try:
+        steady = asyncio.run(
+            _drive(host, server.port, _slices(steady_stream, steady_clients), _K)
+        )
+        steady_server_stats = server.snapshot()
+        steady_tier_stats = server.service.stats.snapshot()
+        steady_oracle = steady_engine.serve(k=_K)
+        steady_checked = _verify_against_oracle(
+            steady.responses, steady_oracle, _K
+        )
+    finally:
+        server.stop_in_thread()
+    if steady.errors:
+        raise RuntimeError(
+            f"steady phase saw {len(steady.errors)} unexpected errors; "
+            f"first: {steady.errors[0]}"
+        )
+    report.add_row(
+        _phase_row(
+            "steady",
+            steady_clients,
+            len(steady_stream),
+            steady,
+            steady_server_stats,
+            steady_tier_stats,
+        )
+    )
+    report.add_note(
+        f"steady phase: {steady_clients} concurrent clients, "
+        f"{len(steady_stream)} queries, {steady.shed} shed; "
+        f"{steady_checked} distinct answers verified against the in-process "
+        "oracle"
+    )
+
+    # ---------------------------------------------------------------- #
+    # Overload phase: no index, tiny bounds, unmeetable SLO — the server
+    # must degrade to the approx tier and shed the overflow, not hang.
+    # ---------------------------------------------------------------- #
+    overload_engine = Engine(
+        graph,
+        config.with_overrides(
+            slo_p99_ms=1.0,  # unmeetable for the compute tier: forces breach
+            shed_policy="degrade",
+            max_inflight=max(4, overload_clients // 4),
+            queue_depth=max(4, overload_clients // 4),
+            cache_size=0,  # keep misses flowing to compute/approx tiers
+        ),
+    )
+    overload_engine.build_fingerprints()
+    server = overload_engine.server(host=host)
+    server.start_in_thread()
+    try:
+        overload = asyncio.run(
+            _drive(
+                host, server.port, _slices(overload_stream, overload_clients), _K
+            )
+        )
+        overload_server_stats = server.snapshot()
+        overload_tier_stats = server.service.stats.snapshot()
+        overload_oracle = overload_engine.serve(k=_K)
+        overload_checked = _verify_against_oracle(
+            overload.responses, overload_oracle, _K
+        )
+    finally:
+        server.stop_in_thread()
+    if overload.errors:
+        raise RuntimeError(
+            f"overload phase saw {len(overload.errors)} non-shed errors; "
+            f"first: {overload.errors[0]}"
+        )
+    if overload_tier_stats["approx_hits"] == 0:
+        raise RuntimeError(
+            "overload phase never degraded to the approx tier "
+            f"(tier hits: {overload_tier_stats})"
+        )
+    report.add_row(
+        _phase_row(
+            "overload",
+            overload_clients,
+            len(overload_stream),
+            overload,
+            overload_server_stats,
+            overload_tier_stats,
+        )
+    )
+    slo_snapshot = overload_server_stats["slo"]
+    report.add_note(
+        f"overload phase: {overload_clients} clients against "
+        f"max_inflight={overload_server_stats['max_inflight']}, "
+        f"queue_depth={overload_server_stats['queue_depth']}, "
+        f"slo_p99_ms={slo_snapshot['slo_p99_ms']}; "
+        f"{overload.shed} shed ({overload.shed / len(overload_stream):.1%}), "
+        f"{overload_server_stats['degraded_queries']} queries degraded to the "
+        f"approx tier ({overload_tier_stats['approx_hits']} approx hits), "
+        f"{slo_snapshot['transitions']} SLO transitions; "
+        f"{overload_checked} distinct answers verified against the oracle"
+    )
+    return report

@@ -33,7 +33,7 @@ from ...baselines.topk import top_k_from_result
 from ...engine import EngineConfig
 from ...engine.engine import Engine
 from ...graph.generators.rmat import rmat_edge_list
-from ...service import SimilarityService
+from ...service import QueryRequest, SimilarityService
 from ...workloads import zipf_query_stream
 from ..results import latency_summary
 from ..runner import ExperimentReport
@@ -168,15 +168,22 @@ def run(
         fingerprints = approx_engine.build_fingerprints()
         fp_seconds = time.perf_counter() - fp_started
         approx_service = approx_engine.serve(k=k)
+        # The request API replaces the deprecated top_k(approx=True) kwarg:
+        # per-query policy rides on the QueryRequest itself.  Queries are
+        # issued one at a time, like the other tiers' loops.
         for query in stream[:cold_queries]:
-            approx_service.top_k(query, approx=True)
+            approx_service.query(QueryRequest(query=query, approx=True))
         report.add_row(_tier_row("approx", "approx", approx_service, graph, k))
         overlap_sample = list(dict.fromkeys(stream))[:16]
         mean_overlap = float(
             np.mean(
                 [
                     len(
-                        set(approx_service.top_k(query, approx=True).labels())
+                        set(
+                            approx_service.query(
+                                QueryRequest(query=query, approx=True)
+                            ).labels()
+                        )
                         & set(indexed.top_k(query).labels())
                     )
                     / k

@@ -23,6 +23,14 @@ Build a serving index offline, then benchmark the tiered online query path
     repro-simrank index-build --out index.npz --rmat-scale 11 --index-k 50
     repro-simrank serve-bench --quick --json serving.json
 
+Run a similarity server in the foreground, or load-test the network tier
+over localhost with hundreds of concurrent asyncio clients (latency
+percentiles, shed rate, SLO-driven degradation to the approx tier)::
+
+    repro-simrank serve --rmat-scale 11 --port 7411 --slo-p99-ms 20
+    repro-simrank serve-bench --remote --quick --json remote.json
+    repro-simrank serve-bench --remote --clients 400 --slo-p99-ms 20
+
 Exercise the memory-bounded large-graph pipeline (streamed SNAP ingestion,
 out-of-core index build under a byte budget, Monte-Carlo approximate tier)::
 
@@ -70,6 +78,7 @@ from .bench.experiments import (
     fig6g,
     fig6h,
     large_graph,
+    remote_serving,
     scaling,
     serving,
 )
@@ -99,9 +108,14 @@ _FIGURE_RUNNERS = {
     "bench-backends": backends.run,
     "engine-parity": engine_parity.run,
     "large-graph": large_graph.run,
+    "remote-serving": remote_serving.run,
     "scaling": scaling.run,
     "serving": serving.run,
 }
+
+_NETWORK_RUNNERS = frozenset({"remote-serving"})
+"""Experiments excluded from ``all``: they bind sockets and drive load
+over localhost — run them explicitly (``serve-bench --remote``)."""
 
 
 def parse_memory_budget(text: str) -> int:
@@ -124,6 +138,110 @@ def parse_memory_budget(text: str) -> int:
     return value
 
 
+def _serving_flags() -> argparse.ArgumentParser:
+    """The shared serving/benchmark flags, as one argparse parent.
+
+    ``serve-bench``, the ``serving`` experiment and the ``serve``
+    subcommand all accept the same execution knobs; defining them once
+    keeps names, defaults and help text consistent across the surfaces
+    (the satellite of the serving-tier redesign).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "process-parallel worker count for the sharded execution engine "
+            "(forwarded to index-build and to experiments that sweep or use "
+            "workers, e.g. 'scaling' and 'serving'; 0 means all cores)"
+        ),
+    )
+    parent.add_argument(
+        "--memory-budget",
+        type=parse_memory_budget,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "byte cap on resident truncated rows during index builds "
+            "(accepts K/M/G suffixes; spills segments to disk when exceeded; "
+            "forwarded to index-build and the large-graph experiment)"
+        ),
+    )
+    parent.add_argument(
+        "--approx",
+        action="store_true",
+        help=(
+            "also benchmark the Monte-Carlo approximate serving tier "
+            "(forwarded to experiments that take it, e.g. 'serving')"
+        ),
+    )
+    parent.add_argument(
+        "--remote",
+        action="store_true",
+        help=(
+            "serve-bench: benchmark the network serving tier over localhost "
+            "TCP (concurrent asyncio clients against a SimilarityServer) "
+            "instead of the in-process tiers"
+        ),
+    )
+    parent.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "concurrent asyncio clients for serve-bench --remote "
+            "(default 200, or 24 with --quick)"
+        ),
+    )
+    parent.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "p99 latency SLO in milliseconds for the serving tier; arms "
+            "live-latency degradation to the approx tier (serve, "
+            "serve-bench --remote, explain)"
+        ),
+    )
+    parent.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission-control cap on concurrently admitted requests for "
+            "the serve subcommand (default 256; overflow is shed with a "
+            "retryable typed error)"
+        ),
+    )
+    parent.add_argument(
+        "--shed-policy",
+        choices=("degrade", "shed"),
+        default=None,
+        help=(
+            "what an armed SLO does on a p99 breach: 'degrade' (default) "
+            "reroutes flexible queries to the approx tier, 'shed' only "
+            "sheds at admission"
+        ),
+    )
+    parent.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind/connect address for the network serving tier",
+    )
+    parent.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listening port for the serve subcommand (0 picks one)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -132,21 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction harness for 'Towards Efficient SimRank Computation "
             "on Large Networks' (ICDE 2013)."
         ),
+        parents=[_serving_flags()],
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_FIGURE_RUNNERS) + [
+        choices=sorted(set(_FIGURE_RUNNERS) - _NETWORK_RUNNERS) + [
             "all",
             "bounds-example",
             "explain",
             "index-build",
+            "serve",
             "serve-bench",
         ],
         help=(
             "which figure/table to regenerate ('all' runs every one); "
             "'index-build' precomputes a serving index, 'serve-bench' runs "
-            "the serving tier benchmark, 'explain' prints the engine "
-            "planner's execution plan without computing anything"
+            "the serving tier benchmark (--remote for the network tier), "
+            "'serve' runs a similarity server in the foreground, 'explain' "
+            "prints the engine planner's execution plan without computing "
+            "anything"
         ),
     )
     parser.add_argument(
@@ -174,36 +296,6 @@ def build_parser() -> argparse.ArgumentParser:
             "compute backend for matrix-form solvers (forwarded to the "
             "unified simrank() dispatch; algorithms that cannot honour it "
             "keep their default)"
-        ),
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help=(
-            "process-parallel worker count for the sharded execution engine "
-            "(forwarded to index-build and to experiments that sweep or use "
-            "workers, e.g. 'scaling' and 'serving'; 0 means all cores)"
-        ),
-    )
-    parser.add_argument(
-        "--memory-budget",
-        type=parse_memory_budget,
-        default=None,
-        metavar="BYTES",
-        help=(
-            "byte cap on resident truncated rows during index builds "
-            "(accepts K/M/G suffixes; spills segments to disk when exceeded; "
-            "forwarded to index-build and the large-graph experiment)"
-        ),
-    )
-    parser.add_argument(
-        "--approx",
-        action="store_true",
-        help=(
-            "also benchmark the Monte-Carlo approximate serving tier "
-            "(forwarded to experiments that take it, e.g. 'serving')"
         ),
     )
     parser.add_argument(
@@ -292,6 +384,11 @@ def _run_one(name: str, args: argparse.Namespace):
         kwargs["memory_budget"] = args.memory_budget
     if args.approx:
         kwargs["approx"] = True
+    if args.clients is not None:
+        kwargs["clients"] = args.clients
+    if args.slo_p99_ms is not None:
+        kwargs["slo_p99_ms"] = args.slo_p99_ms
+    kwargs["host"] = args.host
     # Experiments accept different option subsets (the ablations take no
     # damping override, several figures no backend); forward what each takes.
     accepted = inspect.signature(runner).parameters
@@ -324,6 +421,12 @@ def _engine_config_from_args(args: argparse.Namespace):
         overrides["memory_budget"] = args.memory_budget
     if getattr(args, "max_error", None) is not None:
         overrides["max_error"] = args.max_error
+    if getattr(args, "slo_p99_ms", None) is not None:
+        overrides["slo_p99_ms"] = args.slo_p99_ms
+    if getattr(args, "max_inflight", None) is not None:
+        overrides["max_inflight"] = args.max_inflight
+    if getattr(args, "shed_policy", None) is not None:
+        overrides["shed_policy"] = args.shed_policy
     if args.index_k is not None:
         overrides["index_k"] = args.index_k
     return EngineConfig(**overrides)
@@ -379,6 +482,41 @@ def _index_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Run a similarity server in the foreground until interrupted."""
+    import asyncio
+
+    from .engine.engine import Engine
+
+    config = _engine_config_from_args(args)
+    graph = _fixture_graph(args)
+    engine = Engine(graph, config)
+    # Warm the artifact the serving plan selects, plus fingerprints so
+    # SLO-driven degradation has an approx tier to fall back on.
+    plan = engine.plan("serve")
+    if plan.tier == "index":
+        engine.build_index()
+    engine.build_fingerprints()
+    server = engine.server(host=args.host, port=args.port)
+
+    async def main() -> None:
+        await server.start()
+        print(
+            f"serving n={graph.num_vertices} m={graph.num_edges} on "
+            f"{server.host}:{server.port} "
+            f"(tier plan: {plan.tier}, slo_p99_ms={config.slo_p99_ms}, "
+            f"shed_policy={config.shed_policy}); ctrl-c to stop",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _bounds_example(damping: float = 0.8, accuracy: float = 1e-4) -> str:
     """Reproduce the Section IV worked example as plain text."""
     lines = [
@@ -407,11 +545,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _explain(args)
     if args.experiment == "index-build":
         return _index_build(args)
+    if args.experiment == "serve":
+        return _serve(args)
 
     if args.experiment == "all":
-        names = sorted(_FIGURE_RUNNERS)
+        names = sorted(set(_FIGURE_RUNNERS) - _NETWORK_RUNNERS)
     elif args.experiment == "serve-bench":
-        names = ["serving"]
+        names = ["remote-serving" if args.remote else "serving"]
     else:
         names = [args.experiment]
     reports = []

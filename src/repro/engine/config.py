@@ -77,6 +77,22 @@ class EngineConfig:
     max_error:
         Optional standard-error bound that admits the approximate serving
         tier; ``None`` keeps every query exact unless it opts in.
+    slo_p99_ms:
+        Optional p99 latency target (milliseconds) for the network serving
+        tier.  When live p99 exceeds it the server degrades per
+        ``shed_policy``; ``None`` disables SLO-driven degradation.
+    shed_policy:
+        What the server does under overload: ``"degrade"`` routes
+        undecided queries (``approx=None``) to the Monte-Carlo tier while
+        the SLO is breached and sheds only when queues are full;
+        ``"shed"`` never degrades, returning typed SHED errors as soon as
+        admission control trips.
+    max_inflight:
+        Requests admitted concurrently by the network server before
+        load-shedding starts.
+    queue_depth:
+        Bound of the server's dispatch queue; arrivals beyond it are shed
+        immediately with a typed error instead of waiting.
     """
 
     method: str = AUTO_METHOD
@@ -93,6 +109,10 @@ class EngineConfig:
     approx_head: int = 4
     approx_seed: int = 0
     max_error: Optional[float] = None
+    slo_p99_ms: Optional[float] = None
+    shed_policy: str = "degrade"
+    max_inflight: int = 256
+    queue_depth: int = 1024
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "damping", validate_damping(self.damping))
@@ -141,6 +161,23 @@ class EngineConfig:
         if self.max_error is not None and self.max_error <= 0:
             raise ConfigurationError(
                 f"max_error must be positive, got {self.max_error}"
+            )
+        if self.slo_p99_ms is not None and self.slo_p99_ms <= 0:
+            raise ConfigurationError(
+                f"slo_p99_ms must be positive, got {self.slo_p99_ms}"
+            )
+        if self.shed_policy not in ("degrade", "shed"):
+            raise ConfigurationError(
+                "shed_policy must be 'degrade' or 'shed', got "
+                f"{self.shed_policy!r}"
+            )
+        if self.max_inflight <= 0:
+            raise ConfigurationError(
+                f"max_inflight must be positive, got {self.max_inflight}"
+            )
+        if self.queue_depth <= 0:
+            raise ConfigurationError(
+                f"queue_depth must be positive, got {self.queue_depth}"
             )
 
     # ------------------------------------------------------------------ #

@@ -510,6 +510,40 @@ class Engine:
             label_graph=self._graph,
         )
 
+    def server(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        k: int = 10,
+        warm: bool = False,
+    ):
+        """A network :class:`~repro.serve.server.SimilarityServer` over
+        :meth:`serve`.
+
+        The server speaks the length-prefixed JSON protocol of
+        :mod:`repro.serve`, coalesces concurrent requests into the
+        service's micro-batcher, and takes its admission-control and
+        SLO-degradation settings (``max_inflight``, ``queue_depth``,
+        ``slo_p99_ms``, ``shed_policy``) from this session's
+        :class:`EngineConfig` — the same settings ``explain("serve")``
+        reports.  ``port=0`` binds an ephemeral port (read it from
+        ``server.port`` after ``start()``).
+        """
+        # Imported lazily: repro.serve sits above the engine layer, and a
+        # module-level import would be a cycle.
+        from ..serve.server import SimilarityServer
+
+        return SimilarityServer(
+            self.serve(k=k, warm=warm),
+            host=host,
+            port=port,
+            max_inflight=self.config.max_inflight,
+            queue_depth=self.config.queue_depth,
+            slo_p99_ms=self.config.slo_p99_ms,
+            shed_policy=self.config.shed_policy,
+        )
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #

@@ -433,6 +433,7 @@ def plan_task(
             stats, config, iterations, nnz, operator_bytes
         )
         reasons.extend(tier_reasons)
+        reasons.extend(_serving_slo_reasons(config))
 
     return TaskPlan(
         task=task,
@@ -446,6 +447,39 @@ def plan_task(
         estimated_bytes=int(peak),
         reasons=tuple(reasons),
     )
+
+
+def _serving_slo_reasons(config: EngineConfig) -> list[str]:
+    """Describe the serving plan's runtime behaviour under load.
+
+    The static tier choice above is the *offline* decision; these lines
+    report the *online* half — admission control and SLO-driven
+    degradation — so ``explain()`` shows the full serving plan the network
+    front-end (:mod:`repro.serve`) will execute.
+    """
+    reasons = [
+        "admission control: max_inflight="
+        f"{config.max_inflight}, queue_depth={config.queue_depth} "
+        "(arrivals beyond both are shed with a typed error)"
+    ]
+    if config.slo_p99_ms is None:
+        reasons.append(
+            "no serving SLO configured; tier routing is static "
+            "(set slo_p99_ms to enable live p99-driven degradation)"
+        )
+    elif config.shed_policy == "degrade":
+        reasons.append(
+            f"serving SLO: p99 <= {config.slo_p99_ms:g} ms, "
+            "shed_policy=degrade — a live p99 breach routes undecided "
+            "queries to the approx tier until p99 recovers"
+        )
+    else:
+        reasons.append(
+            f"serving SLO: p99 <= {config.slo_p99_ms:g} ms, "
+            "shed_policy=shed — overload sheds instead of degrading; "
+            "answers stay exact"
+        )
+    return reasons
 
 
 def _plan_serving_tier(

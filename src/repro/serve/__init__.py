@@ -1,0 +1,33 @@
+"""Network serving: an asyncio front-end over the similarity service.
+
+The in-process serving stack (:mod:`repro.service`) answers queries
+through a tiered path; this package puts it on the network without
+forking that path.  A :class:`SimilarityServer` speaks a length-prefixed
+JSON protocol (:mod:`repro.serve.protocol`), validates and admits each
+frame into the *same* :class:`~repro.service.requests.QueryRequest`
+pipeline the in-process API uses, coalesces concurrent requests from
+independent connections into the service's micro-batcher, and defends
+its latency SLO with bounded queues (load shedding) and live-p99-driven
+degradation to the Monte-Carlo tier (:mod:`repro.serve.slo`).
+
+Everything here is standard library only — asyncio, sockets, json,
+struct — so the serving tier adds no dependencies.  New transports
+(HTTP, unix sockets, ...) should reuse the request/response layer in
+:mod:`repro.service.requests` and follow this package's
+admission/dispatch structure; see CONTRIBUTING.md.
+"""
+
+from .client import AsyncSimilarityClient, SimilarityClient
+from .protocol import MAX_FRAME, decode_frame, encode_frame
+from .server import SimilarityServer
+from .slo import SLOController
+
+__all__ = [
+    "AsyncSimilarityClient",
+    "MAX_FRAME",
+    "SLOController",
+    "SimilarityClient",
+    "SimilarityServer",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,298 @@
+"""Clients for the similarity server: pipelined asyncio and simple blocking.
+
+:class:`AsyncSimilarityClient` keeps many requests in flight on one
+connection — each request carries a correlation id, a background reader
+task routes every incoming frame to its waiting future, so hundreds of
+client coroutines can share one socket (the load generator in
+``serve-bench --remote`` does exactly that).  :class:`SimilarityClient`
+is the blocking one-request-at-a-time counterpart for scripts and the
+README example.
+
+Typed failures arrive as :class:`~repro.service.requests.ServeError`
+exactly as in-process callers see them; ``error.retryable`` tells a
+client whether backing off and retrying can help (``SHED``,
+``UNAVAILABLE``) or the request itself is defective.  A dropped
+connection fails every pending request with a retryable ``UNAVAILABLE``
+— callers reconnect and resubmit, which the recovery tests exercise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from collections.abc import Hashable
+from typing import Optional
+
+from ..service.requests import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    QueryRequest,
+    QueryResponse,
+    ServeError,
+)
+from .protocol import read_message, recv_message, send_message, write_message
+
+__all__ = ["AsyncSimilarityClient", "SimilarityClient"]
+
+
+class AsyncSimilarityClient:
+    """A pipelined asyncio client; safe for many concurrent coroutines.
+
+    Use as an async context manager or call :meth:`connect` /
+    :meth:`close` explicitly::
+
+        async with await AsyncSimilarityClient.connect(host, port) as client:
+            response = await client.query("author-17", k=10)
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._dead: Optional[str] = None
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, timeout: float = 10.0
+    ) -> "AsyncSimilarityClient":
+        """Open a connection and start the response reader."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "AsyncSimilarityClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -------------------------------------------------------------- #
+    # Requests
+    # -------------------------------------------------------------- #
+    async def query(
+        self,
+        query: Hashable,
+        k: Optional[int] = None,
+        *,
+        approx: Optional[bool] = None,
+        max_error: Optional[float] = None,
+        graph_version: Optional[int] = None,
+    ) -> QueryResponse:
+        """Ask one top-k question; raises :class:`ServeError` on failure."""
+        return await self.request(
+            QueryRequest(
+                query=query,
+                k=k,
+                approx=approx,
+                max_error=max_error,
+                graph_version=graph_version,
+            )
+        )
+
+    async def request(self, request: QueryRequest) -> QueryResponse:
+        """Send a prepared :class:`QueryRequest`; the id is assigned here."""
+        request_id = next(self._ids)
+        request = request.with_request_id(request_id)
+        payload = request.to_wire()  # serialise before registering
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            await self._send(payload)
+            result = await future
+        finally:
+            self._pending.pop(request_id, None)
+        return result
+
+    async def ping(self) -> bool:
+        """Round-trip a ping frame; ``True`` when the server answered."""
+        reply = await self._control({"op": "ping", "v": PROTOCOL_VERSION})
+        return reply.get("op") == "pong"
+
+    async def stats(self) -> dict:
+        """Fetch the server's counters and per-tier statistics."""
+        reply = await self._control({"op": "stats", "v": PROTOCOL_VERSION})
+        return reply
+
+    async def close(self) -> None:
+        """Close the connection; pending requests fail as ``UNAVAILABLE``."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._fail_pending("client closed")
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+    # -------------------------------------------------------------- #
+    # Internals
+    # -------------------------------------------------------------- #
+    async def _send(self, payload: dict) -> None:
+        if self._closed:
+            raise ServeError(ErrorCode.UNAVAILABLE, "client is closed")
+        if self._dead is not None:
+            # The reader already saw the connection die; a request sent now
+            # could never be answered — fail it immediately instead.
+            raise ServeError(ErrorCode.UNAVAILABLE, self._dead)
+        try:
+            async with self._write_lock:
+                await write_message(self._writer, payload)
+        except (ConnectionError, BrokenPipeError) as error:
+            raise ServeError(
+                ErrorCode.UNAVAILABLE, f"connection lost: {error}"
+            ) from None
+
+    async def _control(self, payload: dict) -> dict:
+        # Control ops carry no id; the reader routes id-less frames to the
+        # oldest waiting control future (ops are answered in order).
+        future = asyncio.get_running_loop().create_future()
+        key = -next(self._ids)  # negative: never collides with request ids
+        self._pending[key] = future
+        try:
+            await self._send(payload)
+            return await future
+        finally:
+            self._pending.pop(key, None)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                payload = await read_message(self._reader)
+                if payload is None:
+                    self._fail_pending("server closed the connection")
+                    return
+                self._route(payload)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — connection-level failure
+            self._fail_pending(f"connection lost: {error}")
+
+    def _route(self, payload: dict) -> None:
+        request_id = payload.get("id")
+        if request_id is None:
+            # Control reply: resolve the oldest waiting control future.
+            control_keys = sorted(
+                (k for k in self._pending if k < 0), reverse=True
+            )
+            for key in control_keys:
+                future = self._pending[key]
+                if not future.done():
+                    future.set_result(payload)
+                    return
+            return  # unsolicited frame; ignore
+        future = self._pending.get(request_id)
+        if future is None or future.done():
+            return  # caller gave up (cancelled/timed out); drop it
+        op = payload.get("op")
+        if op == "result":
+            try:
+                future.set_result(QueryResponse.from_wire(payload))
+            except ServeError as error:
+                future.set_exception(error)
+        elif op == "error":
+            future.set_exception(ServeError.from_wire(payload))
+        else:
+            future.set_exception(
+                ServeError(
+                    ErrorCode.INTERNAL, f"unexpected reply op {op!r}"
+                )
+            )
+
+    def _fail_pending(self, reason: str) -> None:
+        self._dead = reason
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(ServeError(ErrorCode.UNAVAILABLE, reason))
+
+
+class SimilarityClient:
+    """A blocking, one-request-at-a-time client (scripts, examples).
+
+    The ten-line usage from the README::
+
+        from repro.serve import SimilarityClient
+
+        with SimilarityClient("127.0.0.1", 7411) as client:
+            response = client.query("author-17", k=5)
+            for label, score in response.entries:
+                print(label, score)
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._ids = itertools.count(1)
+
+    def __enter__(self) -> "SimilarityClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def query(
+        self,
+        query: Hashable,
+        k: Optional[int] = None,
+        *,
+        approx: Optional[bool] = None,
+        max_error: Optional[float] = None,
+        graph_version: Optional[int] = None,
+    ) -> QueryResponse:
+        """Ask one top-k question; raises :class:`ServeError` on failure."""
+        request = QueryRequest(
+            query=query,
+            k=k,
+            approx=approx,
+            max_error=max_error,
+            graph_version=graph_version,
+            request_id=next(self._ids),
+        )
+        reply = self._round_trip(request.to_wire())
+        if reply.get("op") == "error":
+            raise ServeError.from_wire(reply)
+        return QueryResponse.from_wire(reply)
+
+    def ping(self) -> bool:
+        """Round-trip a ping frame; ``True`` when the server answered."""
+        return self._round_trip(
+            {"op": "ping", "v": PROTOCOL_VERSION}
+        ).get("op") == "pong"
+
+    def stats(self) -> dict:
+        """Fetch the server's counters and per-tier statistics."""
+        return self._round_trip({"op": "stats", "v": PROTOCOL_VERSION})
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _round_trip(self, payload: dict) -> dict:
+        try:
+            send_message(self._sock, payload)
+            reply = recv_message(self._sock)
+        except (ConnectionError, BrokenPipeError, socket.timeout, OSError) as error:
+            raise ServeError(
+                ErrorCode.UNAVAILABLE, f"connection lost: {error}"
+            ) from None
+        if reply is None:
+            raise ServeError(
+                ErrorCode.UNAVAILABLE, "server closed the connection"
+            )
+        return reply

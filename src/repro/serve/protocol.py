@@ -1,0 +1,158 @@
+"""Wire framing for the similarity server: length-prefixed JSON.
+
+One message is one *frame*::
+
+    +----------------+----------------------------------+
+    | length (4 B)   | payload (UTF-8 JSON object)      |
+    | big-endian u32 | exactly ``length`` bytes         |
+    +----------------+----------------------------------+
+
+The payload is a flat JSON object tagged by its ``"op"`` key — the wire
+form of the :class:`~repro.service.requests.QueryRequest` /
+:class:`~repro.service.requests.QueryResponse` /
+:class:`~repro.service.requests.ServeError` dataclasses plus the small
+control ops (``ping``/``pong``, ``stats``).  Frames larger than
+:data:`MAX_FRAME` are rejected before the payload is read, so a corrupt
+or hostile length prefix cannot make either side buffer unbounded input.
+
+Both framing directions are provided for asyncio streams
+(:func:`read_message` / :func:`write_message`) and for plain blocking
+sockets (:func:`recv_message` / :func:`send_message`) — the sync client
+and tests use the latter, the server and async client the former.  All
+decode failures raise :class:`~repro.service.requests.ServeError` with
+``BAD_REQUEST``; a cleanly closed peer reads as ``None``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Optional
+
+from ..service.requests import ErrorCode, ServeError
+
+__all__ = [
+    "MAX_FRAME",
+    "decode_frame",
+    "encode_frame",
+    "read_message",
+    "recv_message",
+    "send_message",
+    "write_message",
+]
+
+MAX_FRAME = 1 << 20
+"""Maximum payload size in bytes (1 MiB).
+
+Generous for this protocol — the largest legitimate message is a top-k
+result, tens of bytes per entry — while bounding what one frame can make
+the peer buffer.
+"""
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialise one message to its wire frame (header + JSON bytes)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ServeError(
+            ErrorCode.BAD_REQUEST,
+            f"message of {len(body)} bytes exceeds the {MAX_FRAME} byte "
+            "frame limit",
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict:
+    """Parse one frame payload back into a message dict."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServeError(
+            ErrorCode.BAD_REQUEST, f"frame is not valid JSON: {error}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ServeError(
+            ErrorCode.BAD_REQUEST,
+            f"frame must decode to a JSON object, got "
+            f"{type(payload).__name__}",
+        )
+    return payload
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME:
+        raise ServeError(
+            ErrorCode.BAD_REQUEST,
+            f"declared frame length {length} exceeds the {MAX_FRAME} byte "
+            "limit",
+        )
+
+
+# --------------------------------------------------------------------- #
+# asyncio streams
+# --------------------------------------------------------------------- #
+async def read_message(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one message; ``None`` when the peer closed cleanly.
+
+    A connection that drops mid-frame raises
+    :class:`asyncio.IncompleteReadError` — callers treat it like any other
+    transport failure.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:  # clean EOF between frames
+            return None
+        raise
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    body = await reader.readexactly(length)
+    return decode_frame(body)
+
+
+async def write_message(writer: asyncio.StreamWriter, payload: dict) -> None:
+    """Write one message frame and drain the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# --------------------------------------------------------------------- #
+# blocking sockets
+# --------------------------------------------------------------------- #
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:  # clean EOF between frames
+                return None
+            raise ServeError(
+                ErrorCode.UNAVAILABLE,
+                "connection closed mid-frame",
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[dict]:
+    """Read one message from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ServeError(ErrorCode.UNAVAILABLE, "connection closed mid-frame")
+    return decode_frame(body)
+
+
+def send_message(sock: socket.socket, payload: dict) -> None:
+    """Write one message frame to a blocking socket."""
+    sock.sendall(encode_frame(payload))

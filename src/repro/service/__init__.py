@@ -9,21 +9,39 @@ in-process :class:`SimilarityService` answers queries through a tiered
 path — index row lookup, LRU result cache, micro-batched on-demand
 compute — while supporting incremental edge updates with dirty-row
 refresh instead of full rebuilds.
+
+Queries travel through the package as :class:`QueryRequest` /
+:class:`QueryResponse` objects (:mod:`repro.service.requests`), the
+transport-agnostic request pipeline shared by in-process callers and the
+asyncio network front-end (:mod:`repro.serve`); serving-path failures are
+typed :class:`ServeError` codes on both paths.
 """
 
 from .batcher import MicroBatcher, PendingResult
 from .cache import LRUCache
 from .fingerprints import FingerprintIndex
 from .index import build_index, load_index, save_index
+from .requests import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    QueryRequest,
+    QueryResponse,
+    ServeError,
+)
 from .service import ServiceStats, SimilarityService, TierStats
 from .spill import RowSpillAccumulator, SpillStats
 
 __all__ = [
+    "PROTOCOL_VERSION",
+    "ErrorCode",
     "FingerprintIndex",
     "LRUCache",
     "MicroBatcher",
     "PendingResult",
+    "QueryRequest",
+    "QueryResponse",
     "RowSpillAccumulator",
+    "ServeError",
     "ServiceStats",
     "SimilarityService",
     "SpillStats",

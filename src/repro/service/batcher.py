@@ -20,7 +20,7 @@ lock (one flush at a time — the backend call is the shared resource).
 from __future__ import annotations
 
 import threading
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from typing import Optional
 
 import numpy as np
@@ -89,13 +89,30 @@ class MicroBatcher:
 
     def submit(self, index: int) -> PendingResult:
         """Enqueue vertex ``index``; duplicates share one computed row."""
+        return self.submit_many([index])[0]
+
+    def submit_many(self, indices: Iterable[int]) -> list[PendingResult]:
+        """Enqueue a batch of vertices under one lock acquisition.
+
+        This is the request pipeline's entry point: every miss of one
+        :meth:`SimilarityService.query_many` call — whether the requests
+        arrived in process or were coalesced off concurrent network
+        connections by the serving front-end — lands here as a single
+        batch, so the auto-flush threshold sees the true pending count
+        instead of racing per-query submits.  Duplicates still share one
+        computed row; handles resolve in submission order when a flush
+        triggers mid-batch.
+        """
         with self._lock:
-            handle = PendingResult(self)
-            self._pending.setdefault(int(index), []).append(handle)
-            self.queries_submitted += 1
-            if len(self._pending) >= self.max_batch:
-                self._flush_locked()
-            return handle
+            handles: list[PendingResult] = []
+            for index in indices:
+                handle = PendingResult(self)
+                self._pending.setdefault(int(index), []).append(handle)
+                self.queries_submitted += 1
+                if len(self._pending) >= self.max_batch:
+                    self._flush_locked()
+                handles.append(handle)
+            return handles
 
     def flush(self) -> int:
         """Compute every pending row now; return the number of distinct rows."""

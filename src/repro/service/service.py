@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Hashable, Iterable, Sequence
@@ -79,6 +80,7 @@ from .batcher import MicroBatcher
 from .cache import LRUCache
 from .fingerprints import FingerprintIndex
 from .index import build_index as _build_index
+from .requests import ErrorCode, QueryRequest, QueryResponse, ServeError
 
 __all__ = ["ServiceStats", "SimilarityService", "TierStats"]
 
@@ -578,7 +580,196 @@ class SimilarityService:
         return False
 
     # ------------------------------------------------------------------ #
-    # Query path
+    # Query path — the request pipeline
+    # ------------------------------------------------------------------ #
+    def validate_request(self, request: QueryRequest) -> QueryRequest:
+        """Check one request against this service; violations raise typed
+        :class:`~repro.service.requests.ServeError`.
+
+        Validates the schema (:meth:`QueryRequest.validated`), resolves the
+        query label against the served graph, and enforces the request's
+        ``graph_version`` freshness floor.  The network front-end calls
+        this at admission time so a defective request is answered with its
+        own typed error instead of poisoning the batch it would have
+        joined.
+        """
+        if not isinstance(request, QueryRequest):
+            raise ServeError(
+                ErrorCode.BAD_REQUEST,
+                f"expected a QueryRequest, got {type(request).__name__}",
+            )
+        request = request.validated()
+        self._resolve_query(request)
+        self._check_freshness(request)
+        return request
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Answer one :class:`QueryRequest` through the tiered path.
+
+        The single-request convenience over :meth:`query_many`; failures
+        raise :class:`~repro.service.requests.ServeError` with a stable
+        :class:`~repro.service.requests.ErrorCode` — the same errors a
+        network caller receives on the wire.
+        """
+        return self.query_many([request])[0]
+
+    def query_many(
+        self, requests: Sequence[QueryRequest]
+    ) -> list[QueryResponse]:
+        """Answer a batch of requests, coalescing every miss into one flush.
+
+        This is the one request pipeline every caller shares: the in-process
+        ``top_k``/``top_k_many`` adapters build requests and call it, and
+        the asyncio serving front-end (:mod:`repro.serve`) drains the
+        requests it admitted off concurrent connections into the same
+        method — so the network path and the in-process path are the same
+        code answering the same :class:`QueryRequest` objects.
+
+        Cache and index hits are answered inline under the service lock;
+        the remaining misses are submitted to the micro-batcher *outside*
+        the lock and resolved with a single backend call.  Computed rows
+        are written back to the cache/index only if the graph version is
+        unchanged since the first miss was probed — a concurrent mutation
+        turns the write-back into a no-op instead of a stale merge.
+
+        Per-request policy (``approx=True`` or a satisfiable ``max_error``)
+        routes cache/index misses to the Monte-Carlo fingerprint tier
+        instead of the exact compute tier.  Exact cache and index hits
+        still win (they are cheaper *and* exact), approximate answers are
+        never written back to the exact tiers, and queries with stale or
+        absent fingerprints fall through to exact compute — the policy can
+        loosen a query, never poison one.
+
+        Failures raise :class:`~repro.service.requests.ServeError`: an
+        unknown label is ``UNKNOWN_VERTEX``, malformed parameters are
+        ``BAD_REQUEST``, an unmet ``graph_version`` floor is
+        ``STALE_VERSION``.  Validation runs for the whole batch before any
+        tier is probed, so a defective request fails the call without
+        recording partial statistics.
+        """
+        prepared: list[tuple[QueryRequest, int, int]] = []
+        for request in requests:
+            if not isinstance(request, QueryRequest):
+                raise ServeError(
+                    ErrorCode.BAD_REQUEST,
+                    f"expected a QueryRequest, got {type(request).__name__}",
+                )
+            request = request.validated()
+            vertex = self._resolve_query(request)
+            self._check_freshness(request)
+            k = self.k if request.k is None else request.k
+            prepared.append((request, vertex, k))
+
+        responses: list[Optional[QueryResponse]] = [None] * len(prepared)
+        misses: list[tuple[int, QueryRequest, int, int]] = []
+        estimates: list[tuple[int, QueryRequest, int, int, float, int]] = []
+        # Timing starts at the first miss's probe so backend work triggered
+        # by the batcher's auto-flush (misses beyond max_batch) is
+        # attributed too.
+        compute_started: Optional[float] = None
+        version_before: Optional[int] = None
+        for position, (request, vertex, k) in enumerate(prepared):
+            started = time.perf_counter()
+            key = (vertex, k)
+            hit = False
+            approximate = False
+            with self._lock:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    responses[position] = self._respond(
+                        request,
+                        self._relabel(cached, request.query),
+                        "cache",
+                        self._version,
+                    )
+                    self.stats.record("cache", time.perf_counter() - started)
+                    hit = True
+                elif self._index_row_fresh(vertex) and k <= self.index_k:
+                    ranking = self._rank_from_index(request.query, vertex, k)
+                    responses[position] = self._respond(
+                        request, ranking, "index", self._version
+                    )
+                    self.cache.put(key, ranking)
+                    self.stats.record("index", time.perf_counter() - started)
+                    hit = True
+                elif self._approx_admitted(request.approx, request.max_error):
+                    approximate = True
+                    approx_version = self._version
+                elif version_before is None:
+                    version_before = self._version
+            if hit:
+                continue
+            if approximate:
+                estimates.append(
+                    (position, request, vertex, k, started, approx_version)
+                )
+                continue
+            if compute_started is None:
+                compute_started = started
+            misses.append((position, request, vertex, k))
+
+        if estimates:
+            # The fingerprint array is immutable, so estimation runs outside
+            # the lock; nothing is written back (approximate answers must
+            # never seed the exact cache or index), so no version gate is
+            # needed either.
+            fingerprints = self._fingerprints
+            assert fingerprints is not None
+            rows = fingerprints.estimate_rows(
+                [vertex for _, _, vertex, _, _, _ in estimates]
+            )
+            # One batched estimation served every admitted query; attribute
+            # the elapsed wall-clock evenly (same accounting as compute).
+            share = (time.perf_counter() - estimates[0][4]) / len(estimates)
+            for (position, request, vertex, k, _, version), row in zip(
+                estimates, rows
+            ):
+                ranking = self._rank_row(row, request.query, vertex, k)
+                responses[position] = self._respond(
+                    request, ranking, "approx", version
+                )
+                self.stats.record("approx", share)
+
+        if misses:
+            # Submitted outside the service lock: the batcher's compute
+            # callback re-enters the service, and holding both locks here
+            # would invert the batcher → service lock order.  One
+            # submit_many call hands the whole miss set to the coalescer.
+            handles = self.batcher.submit_many(
+                [vertex for _, _, vertex, _ in misses]
+            )
+            self.batcher.flush()
+            fresh: dict[int, np.ndarray] = {}
+            rankings: list[RankedList] = []
+            for (position, request, vertex, k), handle in zip(misses, handles):
+                row = handle.result()
+                ranking = self._rank_row(row, request.query, vertex, k)
+                rankings.append(ranking)
+                responses[position] = self._respond(
+                    request, ranking, "compute", version_before
+                )
+                fresh.setdefault(vertex, row)
+            share = (time.perf_counter() - compute_started) / len(misses)
+            with self._lock:
+                # Version gate: write computed answers back only when no
+                # mutation raced the computation (see class docstring).
+                if self._version == version_before:
+                    for (position, request, vertex, k), ranking in zip(
+                        misses, rankings
+                    ):
+                        self.cache.put((vertex, k), ranking)
+                    if self.auto_warm and self._index is not None:
+                        self._merge_fresh(
+                            list(fresh), np.stack(list(fresh.values()))
+                        )
+                # One flush (plus warm-back) served every miss; attribute the
+                # elapsed wall-clock evenly so tiers stay per-query comparable.
+                for _ in misses:
+                    self.stats.record("compute", share)
+        return [response for response in responses if response is not None]
+
+    # ------------------------------------------------------------------ #
+    # Query path — deprecated kwarg adapters
     # ------------------------------------------------------------------ #
     def top_k(
         self,
@@ -589,10 +780,17 @@ class SimilarityService:
     ) -> RankedList:
         """Answer one top-k query through the tiered path.
 
-        ``approx``/``max_error`` select the Monte-Carlo tier (see
-        :meth:`top_k_many`).
+        Thin adapter over :meth:`query`; the ``approx``/``max_error``
+        kwargs are deprecated in favour of the explicit
+        :class:`~repro.service.requests.QueryRequest` fields (see the
+        README migration table).  Errors keep their historical types
+        (``ConfigurationError``, ``VertexNotFoundError``); the request
+        pipeline's typed :class:`~repro.service.requests.ServeError` is
+        raised by :meth:`query`/:meth:`query_many` instead.
         """
-        return self.top_k_many([query], k=k, approx=approx, max_error=max_error)[0]
+        return self._legacy_query_many(
+            [query], k=k, approx=approx, max_error=max_error
+        )[0]
 
     def top_k_many(
         self,
@@ -601,115 +799,50 @@ class SimilarityService:
         approx: Optional[bool] = None,
         max_error: Optional[float] = None,
     ) -> list[RankedList]:
-        """Answer a batch of queries, coalescing every miss into one flush.
+        """Answer a batch of queries (adapter over :meth:`query_many`).
 
-        Cache and index hits are answered inline under the service lock;
-        the remaining misses are submitted to the micro-batcher *outside*
-        the lock and resolved with a single backend call.  Computed rows
-        are written back to the cache/index only if the graph version is
-        unchanged since the first miss was probed — a concurrent mutation
-        turns the write-back into a no-op instead of a stale merge.
-
-        ``approx=True`` lets cache/index misses be answered by the
-        Monte-Carlo fingerprint tier instead of the exact compute tier;
-        ``max_error`` admits the same path only while the attached
-        fingerprints' standard error (``1/√num_walks``) is at or below the
-        bound.  Exact cache and index hits still win (they are cheaper
-        *and* exact), approximate answers are never written back to the
-        exact tiers, and queries with stale or absent fingerprints fall
-        through to exact compute — the policy can loosen a query, never
-        poison one.
+        One ``k``/``approx``/``max_error`` policy applies to the whole
+        batch — the per-request policy of :class:`QueryRequest` is the
+        reason this surface is being migrated.  ``approx``/``max_error``
+        emit :class:`DeprecationWarning`; plain ``top_k_many(queries, k)``
+        remains the supported convenience form.
         """
-        k = self.k if k is None else int(k)
-        if k <= 0:
-            raise ConfigurationError(f"k must be positive, got {k}")
-        if max_error is not None and max_error <= 0:
-            raise ConfigurationError(
-                f"max_error must be positive, got {max_error}"
+        return self._legacy_query_many(
+            queries, k=k, approx=approx, max_error=max_error
+        )
+
+    def _legacy_query_many(
+        self,
+        queries: Sequence[Hashable],
+        k: Optional[int],
+        approx: Optional[bool],
+        max_error: Optional[float],
+    ) -> list[RankedList]:
+        if approx is not None or max_error is not None:
+            warnings.warn(
+                "passing approx=/max_error= to top_k/top_k_many is "
+                "deprecated; build a QueryRequest and call query()/"
+                "query_many() instead (see the README migration table)",
+                DeprecationWarning,
+                stacklevel=3,
             )
-
-        answers: list[Optional[RankedList]] = [None] * len(queries)
-        misses: list[tuple[int, Hashable, int, object]] = []
-        estimates: list[tuple[int, Hashable, int, float]] = []
-        # Timing starts at the first submit so backend work triggered by the
-        # batcher's auto-flush (misses beyond max_batch) is attributed too.
-        compute_started: Optional[float] = None
-        version_before: Optional[int] = None
-        for position, query in enumerate(queries):
-            vertex = self._graph.index_of(query)
-            started = time.perf_counter()
-            key = (vertex, k)
-            hit = False
-            approximate = False
-            with self._lock:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    answers[position] = self._relabel(cached, query)
-                    self.stats.record("cache", time.perf_counter() - started)
-                    hit = True
-                elif self._index_row_fresh(vertex) and k <= self.index_k:
-                    ranking = self._rank_from_index(query, vertex, k)
-                    answers[position] = ranking
-                    self.cache.put(key, ranking)
-                    self.stats.record("index", time.perf_counter() - started)
-                    hit = True
-                elif self._approx_admitted(approx, max_error):
-                    approximate = True
-                elif version_before is None:
-                    version_before = self._version
-            if hit:
-                continue
-            if approximate:
-                estimates.append((position, query, vertex, started))
-                continue
-            if compute_started is None:
-                compute_started = started
-            # Submitted outside the service lock: the batcher's compute
-            # callback re-enters the service, and holding both locks here
-            # would invert the batcher → service lock order.
-            misses.append((position, query, vertex, self.batcher.submit(vertex)))
-
-        if estimates:
-            # The fingerprint array is immutable, so estimation runs outside
-            # the lock; nothing is written back (approximate answers must
-            # never seed the exact cache or index), so no version gate is
-            # needed either.
-            fingerprints = self._fingerprints
-            assert fingerprints is not None
-            rows = fingerprints.estimate_rows(
-                [vertex for _, _, vertex, _ in estimates]
+        if k is not None:
+            try:
+                k = int(k)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"k must be a positive int, got {k!r}"
+                ) from None
+        request_template = dict(k=k, approx=approx, max_error=max_error)
+        try:
+            responses = self.query_many(
+                [QueryRequest(query=query, **request_template) for query in queries]
             )
-            # One batched estimation served every admitted query; attribute
-            # the elapsed wall-clock evenly (same accounting as compute).
-            share = (time.perf_counter() - estimates[0][3]) / len(estimates)
-            for (position, query, vertex, _), row in zip(estimates, rows):
-                answers[position] = self._rank_row(row, query, vertex, k)
-                self.stats.record("approx", share)
-
-        if misses:
-            self.batcher.flush()
-            fresh: dict[int, np.ndarray] = {}
-            for position, query, vertex, handle in misses:
-                row = handle.result()
-                ranking = self._rank_row(row, query, vertex, k)
-                answers[position] = ranking
-                fresh.setdefault(vertex, row)
-            share = (time.perf_counter() - compute_started) / len(misses)
-            with self._lock:
-                # Version gate: write computed answers back only when no
-                # mutation raced the computation (see class docstring).
-                if self._version == version_before:
-                    for position, query, vertex, handle in misses:
-                        self.cache.put((vertex, k), answers[position])
-                    if self.auto_warm and self._index is not None:
-                        self._merge_fresh(
-                            list(fresh), np.stack(list(fresh.values()))
-                        )
-                # One flush (plus warm-back) served every miss; attribute the
-                # elapsed wall-clock evenly so tiers stay per-query comparable.
-                for _ in misses:
-                    self.stats.record("compute", share)
-        return [answer for answer in answers if answer is not None]
+        except ServeError as error:
+            # The adapters promised these exception types long before the
+            # typed codes existed; keep that contract (migration table).
+            raise error.as_legacy() from None
+        return [response.ranking() for response in responses]
 
     # ------------------------------------------------------------------ #
     # Incremental updates
@@ -916,6 +1049,60 @@ class SimilarityService:
         if ranking.query == query:
             return ranking
         return RankedList(query=query, entries=ranking.entries)
+
+    def _resolve_query(self, request: QueryRequest) -> int:
+        """Map a request's query label to its vertex id (typed errors)."""
+        try:
+            return self._graph.index_of(request.query)
+        except KeyError as error:
+            raise ServeError(
+                ErrorCode.UNKNOWN_VERTEX,
+                f"unknown vertex {request.query!r}",
+                request_id=request.request_id,
+                vertex=request.query,
+            ) from error
+        except TypeError as error:  # unhashable label (e.g. a list)
+            raise ServeError(
+                ErrorCode.BAD_REQUEST,
+                f"query label is not hashable: {error}",
+                request_id=request.request_id,
+            ) from error
+
+    def _check_freshness(self, request: QueryRequest) -> None:
+        """Enforce a request's ``graph_version`` freshness floor.
+
+        ``graph_version`` is a *minimum*: the caller has observed that
+        version (read-your-writes) and refuses answers computed against an
+        older graph.  The served version only moves forward, so a floor
+        above the current version can never be satisfied by waiting —
+        ``STALE_VERSION`` tells the caller to re-resolve, and is marked
+        retryable because a raced mutation may have landed by the retry.
+        """
+        if request.graph_version is None:
+            return
+        current = self.version
+        if request.graph_version > current:
+            raise ServeError(
+                ErrorCode.STALE_VERSION,
+                f"request requires graph version >= {request.graph_version}, "
+                f"service is at {current}",
+                request_id=request.request_id,
+            )
+
+    @staticmethod
+    def _respond(
+        request: QueryRequest,
+        ranking: RankedList,
+        tier: str,
+        graph_version: Optional[int],
+    ) -> QueryResponse:
+        return QueryResponse(
+            query=request.query,
+            entries=ranking.entries,
+            tier=tier,
+            graph_version=int(graph_version or 0),
+            request_id=request.request_id,
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -1,0 +1,66 @@
+"""Shared fixtures for the network serving tests.
+
+One small r-mat graph and one engine session (index + fingerprints built)
+are shared across the module; servers are cheap per-test (ephemeral port,
+background thread) so every test gets a fresh one with its own admission
+and SLO settings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.graph.generators.rmat import rmat_edge_list
+
+ITERATIONS = 10
+DAMPING = 0.6
+
+
+@pytest.fixture(scope="session")
+def graph():
+    return rmat_edge_list(6, 3 * 64, seed=7)
+
+
+@pytest.fixture(scope="session")
+def engine(graph):
+    config = EngineConfig(
+        method="matrix", damping=DAMPING, iterations=ITERATIONS
+    )
+    engine = Engine(graph, config)
+    engine.build_index()
+    engine.build_fingerprints()
+    return engine
+
+
+@pytest.fixture(scope="session")
+def compute_engine(graph):
+    """An engine with no index and no cache: every miss is a slow compute.
+
+    Fingerprints are built so SLO-driven degradation has an approx tier
+    to fall back on — the configuration the overload tests need.
+    """
+    config = EngineConfig(
+        method="matrix", damping=DAMPING, iterations=ITERATIONS, cache_size=0
+    )
+    engine = Engine(graph, config)
+    engine.build_fingerprints()
+    return engine
+
+
+@pytest.fixture
+def server_factory():
+    """Start servers over an engine's service; stops them all at teardown."""
+    started = []
+
+    def factory(engine, **kwargs):
+        from repro.serve import SimilarityServer
+
+        server = SimilarityServer(engine.serve(k=10), **kwargs)
+        server.start_in_thread()
+        started.append(server)
+        return server
+
+    yield factory
+    for server in started:
+        server.stop_in_thread()

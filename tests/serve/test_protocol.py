@@ -1,0 +1,139 @@
+"""Wire framing: round trips, limits, and both transport flavours."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.requests import ErrorCode, ServeError
+from repro.serve.protocol import (
+    MAX_FRAME,
+    decode_frame,
+    encode_frame,
+    read_message,
+    recv_message,
+    send_message,
+)
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-(2**40), 2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=30),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+class TestFrames:
+    def test_round_trip(self):
+        payload = {"op": "query", "v": 1, "query": "a", "k": 5}
+        frame = encode_frame(payload)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_frame(frame[4:]) == payload
+
+    @settings(max_examples=150, deadline=None)
+    @given(payload=st.dictionaries(st.text(max_size=10), json_values, max_size=6))
+    def test_fuzz_round_trip(self, payload):
+        frame = encode_frame(payload)
+        assert decode_frame(frame[4:]) == payload
+
+    def test_oversized_payload_rejected_on_encode(self):
+        with pytest.raises(ServeError) as excinfo:
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+        assert excinfo.value.code is ErrorCode.BAD_REQUEST
+
+    def test_invalid_json_rejected_on_decode(self):
+        with pytest.raises(ServeError):
+            decode_frame(b"{not json")
+        with pytest.raises(ServeError):
+            decode_frame(b"\xff\xfe")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ServeError):
+            decode_frame(b"[1, 2, 3]")
+
+
+class TestAsyncStreams:
+    def _run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_read_write_round_trip_and_clean_eof(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"op": "ping", "v": 1}))
+            reader.feed_data(encode_frame({"op": "stats", "v": 1}))
+            reader.feed_eof()
+            first = await read_message(reader)
+            second = await read_message(reader)
+            third = await read_message(reader)
+            return first, second, third
+
+        first, second, third = self._run(scenario())
+        assert first == {"op": "ping", "v": 1}
+        assert second == {"op": "stats", "v": 1}
+        assert third is None  # clean EOF between frames
+
+    def test_mid_frame_eof_raises_incomplete_read(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"op": "ping", "v": 1})[:3])
+            reader.feed_eof()
+            await read_message(reader)
+
+        with pytest.raises(asyncio.IncompleteReadError):
+            self._run(scenario())
+
+    def test_hostile_length_prefix_rejected_before_buffering(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", MAX_FRAME + 1))
+            await read_message(reader)
+
+        with pytest.raises(ServeError) as excinfo:
+            self._run(scenario())
+        assert excinfo.value.code is ErrorCode.BAD_REQUEST
+
+
+class TestBlockingSockets:
+    def test_round_trip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            send_message(left, {"op": "ping", "v": 1})
+            assert recv_message(right) == {"op": "ping", "v": 1}
+            send_message(right, {"op": "pong", "v": 1})
+            assert recv_message(left) == {"op": "pong", "v": 1}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_reads_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_close_is_typed(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(encode_frame({"op": "ping", "v": 1})[:5])
+            left.close()
+            with pytest.raises(ServeError) as excinfo:
+                recv_message(right)
+            assert excinfo.value.code is ErrorCode.UNAVAILABLE
+        finally:
+            right.close()

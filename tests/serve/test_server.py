@@ -1,0 +1,341 @@
+"""The asyncio serving front-end: correctness, shedding, degradation, recovery.
+
+The server runs on a background thread (its own event loop); each test
+drives it over real localhost sockets with the async or sync client and
+compares answers against a fresh in-process service over the same engine
+artifacts — the oracle the network path must never diverge from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.serve import AsyncSimilarityClient, SimilarityClient
+from repro.serve.protocol import recv_message, send_message
+from repro.service import ErrorCode, QueryRequest, ServeError
+
+TIMEOUT = 30.0  # generous outer bound: these tests must never hang
+
+
+def run_async(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, TIMEOUT))
+
+
+class TestBasicServing:
+    def test_sync_client_round_trip_matches_oracle(self, engine, server_factory):
+        server = server_factory(engine)
+        oracle = engine.serve(k=10)
+        with SimilarityClient("127.0.0.1", server.port) as client:
+            for query in (0, 3, 17, 40):
+                response = client.query(query, k=5)
+                expected = oracle.query(QueryRequest(query=query, k=5))
+                assert response.entries == expected.entries
+                assert response.tier in ("index", "cache", "compute")
+
+    def test_ping_and_stats_ops(self, engine, server_factory):
+        server = server_factory(engine)
+        with SimilarityClient("127.0.0.1", server.port) as client:
+            assert client.ping()
+            client.query(5)
+            stats = client.stats()
+        assert stats["op"] == "stats"
+        assert stats["server"]["answered"] >= 1
+        assert "shed_rate" in stats["server"]
+        assert "index_hits" in stats["tiers"]
+
+    def test_unknown_vertex_is_typed_over_the_wire(self, engine, server_factory):
+        server = server_factory(engine)
+        with SimilarityClient("127.0.0.1", server.port) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.query("no-such-vertex")
+        assert excinfo.value.code is ErrorCode.UNKNOWN_VERTEX
+        assert not excinfo.value.retryable
+
+    def test_stale_version_floor_is_typed(self, engine, server_factory):
+        server = server_factory(engine)
+        with SimilarityClient("127.0.0.1", server.port) as client:
+            # The served graph is at version 0; demanding a future version
+            # can only be answered with STALE_VERSION (retryable).
+            with pytest.raises(ServeError) as excinfo:
+                client.query(3, graph_version=5)
+        assert excinfo.value.code is ErrorCode.STALE_VERSION
+        assert excinfo.value.retryable
+        with SimilarityClient("127.0.0.1", server.port) as client:
+            assert client.query(3, graph_version=0).entries
+
+    def test_unknown_op_answered_not_dropped(self, engine, server_factory):
+        server = server_factory(engine)
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+        try:
+            send_message(sock, {"op": "teleport", "v": 1, "id": 3})
+            reply = recv_message(sock)
+        finally:
+            sock.close()
+        assert reply["op"] == "error"
+        assert reply["code"] == "bad_request"
+        assert reply["id"] == 3
+
+    def test_corrupt_frame_gets_error_then_close(self, engine, server_factory):
+        server = server_factory(engine)
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+        try:
+            sock.sendall(struct.pack(">I", 3) + b"abc")  # not JSON
+            reply = recv_message(sock)
+            assert reply["op"] == "error"
+            assert reply["code"] == "bad_request"
+            assert recv_message(sock) is None  # server closed the connection
+        finally:
+            sock.close()
+
+    def test_bad_request_never_poisons_the_batch(self, engine, server_factory):
+        server = server_factory(engine)
+
+        async def scenario():
+            async with await AsyncSimilarityClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                good = [client.query(i) for i in range(8)]
+                bad = client.query("ghost")
+                results = await asyncio.gather(
+                    *good, bad, return_exceptions=True
+                )
+            return results
+
+        results = run_async(scenario())
+        assert isinstance(results[-1], ServeError)
+        assert results[-1].code is ErrorCode.UNKNOWN_VERTEX
+        for response in results[:-1]:
+            assert response.entries  # every valid query still answered
+
+
+class TestCoalescing:
+    def test_concurrent_clients_match_serial_oracle(self, engine, server_factory):
+        server = server_factory(engine)
+        queries = [(i * 7) % 60 for i in range(48)]
+
+        async def scenario():
+            clients = await asyncio.gather(
+                *(
+                    AsyncSimilarityClient.connect("127.0.0.1", server.port)
+                    for _ in range(8)
+                )
+            )
+            try:
+                tasks = [
+                    clients[index % len(clients)].query(query, k=10)
+                    for index, query in enumerate(queries)
+                ]
+                return await asyncio.gather(*tasks)
+            finally:
+                for client in clients:
+                    await client.close()
+
+        responses = run_async(scenario())
+        oracle = engine.serve(k=10)
+        for query, response in zip(queries, responses):
+            expected = oracle.query(QueryRequest(query=query, k=10))
+            assert response.entries == expected.entries, f"query {query}"
+
+    def test_concurrent_misses_coalesce_into_few_batches(
+        self, compute_engine, server_factory
+    ):
+        server = server_factory(compute_engine)
+        queries = list(range(40))  # all distinct: every one is a miss
+
+        async def scenario():
+            async with await AsyncSimilarityClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                return await asyncio.gather(
+                    *(client.query(query) for query in queries)
+                )
+
+        responses = run_async(scenario())
+        assert len(responses) == len(queries)
+        batcher = server.service.batcher
+        # The dispatcher drains concurrent arrivals into shared batches —
+        # far fewer backend calls than queries.
+        assert batcher.queries_submitted == len(queries)
+        assert batcher.batches_issued < len(queries)
+
+
+class TestShedding:
+    def test_overload_sheds_with_typed_errors_and_never_hangs(
+        self, compute_engine, server_factory
+    ):
+        server = server_factory(
+            compute_engine, max_inflight=2, queue_depth=2, shed_policy="shed"
+        )
+
+        async def scenario():
+            async with await AsyncSimilarityClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                return await asyncio.gather(
+                    *(client.query(i % 50) for i in range(60)),
+                    return_exceptions=True,
+                )
+
+        results = run_async(scenario())  # wait_for: the shed path may not hang
+        shed = [
+            r
+            for r in results
+            if isinstance(r, ServeError) and r.code is ErrorCode.SHED
+        ]
+        answered = [r for r in results if not isinstance(r, BaseException)]
+        unexpected = [
+            r
+            for r in results
+            if isinstance(r, BaseException)
+            and not (isinstance(r, ServeError) and r.code is ErrorCode.SHED)
+        ]
+        assert not unexpected
+        assert len(shed) + len(answered) == 60  # every request got an answer
+        assert shed, "60 concurrent queries against max_inflight=2 must shed"
+        assert all(error.retryable for error in shed)
+        assert server.snapshot()["shed"] == len(shed)
+
+    def test_shed_policy_shed_never_degrades(self, compute_engine, server_factory):
+        server = server_factory(
+            compute_engine,
+            max_inflight=64,
+            queue_depth=64,
+            slo_p99_ms=0.001,  # unmeetable: every batch breaches
+            shed_policy="shed",
+        )
+
+        async def scenario():
+            async with await AsyncSimilarityClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                return await asyncio.gather(
+                    *(client.query(i % 40) for i in range(80)),
+                    return_exceptions=True,
+                )
+
+        run_async(scenario())
+        assert server.degraded_queries == 0
+        assert server.service.stats.snapshot()["approx_hits"] == 0
+
+
+class TestDegradation:
+    def test_slo_breach_degrades_to_approx_tier(
+        self, compute_engine, server_factory
+    ):
+        server = server_factory(
+            compute_engine,
+            max_inflight=512,
+            queue_depth=512,
+            slo_p99_ms=0.001,  # unmeetable for the compute tier
+            shed_policy="degrade",
+        )
+        queries = [i % 50 for i in range(150)]
+
+        async def scenario():
+            clients = await asyncio.gather(
+                *(
+                    AsyncSimilarityClient.connect("127.0.0.1", server.port)
+                    for _ in range(6)
+                )
+            )
+            try:
+                return await asyncio.gather(
+                    *(
+                        clients[index % len(clients)].query(query)
+                        for index, query in enumerate(queries)
+                    )
+                )
+            finally:
+                for client in clients:
+                    await client.close()
+
+        responses = run_async(scenario())
+        tier_stats = server.service.stats.snapshot()
+        assert server.slo.degraded or server.slo.transitions > 0
+        assert server.degraded_queries > 0
+        assert tier_stats["approx_hits"] > 0, "degradation must reach approx"
+        # Degraded answers equal the in-process approx oracle (shared,
+        # deterministic fingerprints); exact answers the exact oracle.
+        oracle = compute_engine.serve(k=10)
+        for response in responses:
+            expected = oracle.query(
+                QueryRequest(
+                    query=response.query,
+                    approx=True if response.tier == "approx" else False,
+                )
+            )
+            assert response.entries == expected.entries
+
+    def test_explicit_exact_requests_are_never_degraded(
+        self, compute_engine, server_factory
+    ):
+        server = server_factory(
+            compute_engine,
+            max_inflight=512,
+            queue_depth=512,
+            slo_p99_ms=0.001,
+            shed_policy="degrade",
+        )
+
+        async def scenario():
+            async with await AsyncSimilarityClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                return await asyncio.gather(
+                    *(client.query(i % 30, approx=False) for i in range(90))
+                )
+
+        responses = run_async(scenario())
+        assert {response.tier for response in responses} <= {"compute"}
+        assert server.service.stats.snapshot()["approx_hits"] == 0
+
+
+class TestRecovery:
+    def test_client_survives_server_death_and_reconnects(
+        self, engine, server_factory
+    ):
+        first = server_factory(engine)
+
+        async def before(port):
+            async with await AsyncSimilarityClient.connect(
+                "127.0.0.1", port
+            ) as client:
+                return await client.query(3, k=5)
+
+        healthy = run_async(before(first.port))
+        assert healthy.entries
+
+        # Kill the server mid-stream: in-flight and subsequent requests
+        # must fail with a retryable typed error, never hang.
+        async def killed(port):
+            client = await AsyncSimilarityClient.connect("127.0.0.1", port)
+            try:
+                first.stop_in_thread()
+                outcomes = await asyncio.gather(
+                    *(client.query(i) for i in range(4)),
+                    return_exceptions=True,
+                )
+                return outcomes
+            finally:
+                await client.close()
+
+        outcomes = run_async(killed(first.port))
+        failures = [r for r in outcomes if isinstance(r, ServeError)]
+        assert failures, "queries against a dead server must fail fast"
+        assert all(error.code is ErrorCode.UNAVAILABLE for error in failures)
+        assert all(error.retryable for error in failures)
+
+        # Recovery: a fresh server over the same engine serves the same
+        # answers to a reconnecting client.
+        second = server_factory(engine)
+        recovered = run_async(before(second.port))
+        assert recovered.entries == healthy.entries
+
+    def test_stop_in_thread_is_idempotent(self, engine, server_factory):
+        server = server_factory(engine)
+        server.stop_in_thread()
+        server.stop_in_thread()  # second stop is a no-op
