@@ -50,6 +50,7 @@ The paper's own algorithm remains a first-class method:
 
 from ._version import __version__
 from .api import available_methods, simrank, simrank_top_k
+from .catalog import IndexCatalog
 from .engine import (
     Capabilities,
     Engine,
@@ -126,6 +127,7 @@ __all__ = sorted(
         "EngineConfig",
         "ExecutionPlan",
         "GraphStats",
+        "IndexCatalog",
         "TaskPlan",
         "FingerprintIndex",
         "GraphBuildError",

@@ -1,0 +1,213 @@
+"""Segment I/O: immutable base and delta files under a catalog directory.
+
+A **base segment** is a directory of raw ``.npy`` arrays — the CSR triple
+(``indptr``/``columns``/``values``) plus a per-row ``row_versions`` stamp —
+written once and opened with ``np.load(mmap_mode="r")``.  Raw ``.npy`` (not
+a compressed ``.npz``) is what makes the memory-mapped open real: serving
+starts warm with the OS paging rows in on demand, never materialising the
+full CSR.  Index arrays are written as int32 whenever the values fit —
+scipy keeps int32 CSR index arrays as zero-copy views over the memmap,
+while int64 arrays would be down-cast (copied, defeating the map).
+
+A **delta segment** is one compressed ``.npz`` holding a run of refreshed
+truncated rows keyed by the graph version that produced them.  Deltas are
+small (a handful of rows per mutation batch), so compression wins over
+mappability there.  Both kinds are written to a temp name and committed
+with ``os.replace`` so a torn write never leaves a half-file under a name
+the manifest could reference.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "DeltaSegment",
+    "open_base_segment",
+    "read_delta_segment",
+    "write_base_segment",
+    "write_delta_segment",
+]
+
+_INT32_MAX = np.iinfo(np.int32).max
+
+
+def _index_dtype(max_value: int) -> np.dtype:
+    """int32 when every value fits (the mmap-friendly choice), else int64."""
+    return np.dtype(np.int32) if max_value <= _INT32_MAX else np.dtype(np.int64)
+
+
+def _write_array(directory: Path, name: str, array: np.ndarray) -> None:
+    """Write one ``.npy`` under ``directory`` via temp + atomic replace."""
+    descriptor, temp_name = tempfile.mkstemp(prefix=name + ".", dir=str(directory))
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            np.save(handle, array)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, directory / f"{name}.npy")
+    except BaseException:
+        Path(temp_name).unlink(missing_ok=True)
+        raise
+
+
+def write_base_segment(
+    directory: Path,
+    matrix: sparse.csr_matrix,
+    row_versions: np.ndarray,
+) -> None:
+    """Write a CSR matrix and its row-version stamps as a base segment.
+
+    ``directory`` is created (parents included); existing arrays under it
+    are overwritten atomically.  The caller commits the segment by
+    referencing its name from the manifest — an unreferenced directory is
+    an ignorable orphan.
+    """
+    directory = Path(directory)
+    n = matrix.shape[0]
+    if row_versions.shape != (n,):
+        raise ConfigurationError(
+            f"row_versions must have shape ({n},), got {row_versions.shape}"
+        )
+    directory.mkdir(parents=True, exist_ok=True)
+    index_dtype = _index_dtype(max(int(matrix.indptr[-1]), n))
+    _write_array(directory, "indptr", matrix.indptr.astype(index_dtype, copy=False))
+    _write_array(directory, "columns", matrix.indices.astype(index_dtype, copy=False))
+    _write_array(
+        directory, "values", matrix.data.astype(np.float64, copy=False)
+    )
+    _write_array(
+        directory, "row_versions", np.asarray(row_versions, dtype=np.int64)
+    )
+
+
+def open_base_segment(
+    directory: Path, mmap: bool = True
+) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Open a base segment; return ``(matrix, row_versions)``.
+
+    With ``mmap=True`` (the default) the CSR arrays stay read-only views
+    over ``np.load(mmap_mode="r")`` memmaps — the store's copy-on-write
+    hook materialises private copies only if a mutation ever lands.
+    ``row_versions`` is always materialised (it is tiny and the restore
+    path updates it in place).
+    """
+    directory = Path(directory)
+    mode = "r" if mmap else None
+    try:
+        indptr = np.load(directory / "indptr.npy", mmap_mode=mode)
+        columns = np.load(directory / "columns.npy", mmap_mode=mode)
+        values = np.load(directory / "values.npy", mmap_mode=mode)
+        row_versions = np.array(
+            np.load(directory / "row_versions.npy"), dtype=np.int64
+        )
+    except (FileNotFoundError, ValueError) as error:
+        raise ConfigurationError(
+            f"{directory} is not a readable base segment: {error}"
+        ) from error
+    n = indptr.shape[0] - 1
+    if row_versions.shape != (n,):
+        raise ConfigurationError(
+            f"base segment {directory} is inconsistent: {n} rows but "
+            f"{row_versions.shape[0]} row versions"
+        )
+    matrix = sparse.csr_matrix((values, columns, indptr), shape=(n, n))
+    return matrix, row_versions
+
+
+@dataclass
+class DeltaSegment:
+    """One delta's payload: refreshed truncated rows at a graph version.
+
+    ``lengths[i]`` entries of ``columns``/``values`` belong to ``rows[i]``,
+    in :func:`~repro.core.similarity_store.row_top_k` convention (ascending
+    columns, diagonal excluded).
+    """
+
+    version: int
+    rows: np.ndarray
+    lengths: np.ndarray
+    columns: np.ndarray
+    values: np.ndarray
+
+    def parts(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Split the flat payload back into per-row ``(columns, values)``."""
+        bounds = np.concatenate(([0], np.cumsum(self.lengths)))
+        return [
+            (
+                self.columns[bounds[i] : bounds[i + 1]],
+                self.values[bounds[i] : bounds[i + 1]],
+            )
+            for i in range(self.rows.size)
+        ]
+
+
+def write_delta_segment(
+    path: Path,
+    version: int,
+    rows: np.ndarray,
+    parts: list[tuple[np.ndarray, np.ndarray]],
+) -> None:
+    """Write one delta ``.npz`` via temp + atomic replace."""
+    path = Path(path)
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size != len(parts):
+        raise ConfigurationError(
+            f"delta covers {rows.size} rows but carries {len(parts)} parts"
+        )
+    lengths = np.fromiter(
+        (columns.size for columns, _ in parts), dtype=np.int64, count=len(parts)
+    )
+    columns = (
+        np.concatenate([np.asarray(c, dtype=np.int64) for c, _ in parts])
+        if parts
+        else np.empty(0, dtype=np.int64)
+    )
+    values = (
+        np.concatenate([np.asarray(v, dtype=np.float64) for _, v in parts])
+        if parts
+        else np.empty(0, dtype=np.float64)
+    )
+    descriptor, temp_name = tempfile.mkstemp(prefix=path.name + ".", dir=str(path.parent))
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                version=np.int64(version),
+                rows=rows,
+                lengths=lengths,
+                columns=columns,
+                values=values,
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        Path(temp_name).unlink(missing_ok=True)
+        raise
+
+
+def read_delta_segment(path: Path) -> DeltaSegment:
+    """Read one committed delta ``.npz``."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return DeltaSegment(
+                version=int(archive["version"]),
+                rows=np.array(archive["rows"], dtype=np.int64),
+                lengths=np.array(archive["lengths"], dtype=np.int64),
+                columns=np.array(archive["columns"], dtype=np.int64),
+                values=np.array(archive["values"], dtype=np.float64),
+            )
+    except (FileNotFoundError, KeyError, ValueError) as error:
+        raise ConfigurationError(
+            f"{path} is not a readable delta segment: {error}"
+        ) from error

@@ -257,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(set(_FIGURE_RUNNERS) - _NETWORK_RUNNERS) + [
             "all",
             "bounds-example",
+            "compact",
             "explain",
             "index-build",
             "serve",
@@ -264,7 +265,9 @@ def build_parser() -> argparse.ArgumentParser:
         ],
         help=(
             "which figure/table to regenerate ('all' runs every one); "
-            "'index-build' precomputes a serving index, 'serve-bench' runs "
+            "'index-build' precomputes a serving index, 'compact' folds a "
+            "durable catalog's delta segments into a new base, "
+            "'serve-bench' runs "
             "the serving tier benchmark (--remote for the network tier), "
             "'serve' runs a similarity server in the foreground, 'explain' "
             "prints the engine planner's execution plan without computing "
@@ -342,7 +345,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         metavar="PATH",
         default=None,
-        help="output .npz path for the built index (required by index-build)",
+        help=(
+            "output .npz path for the built index (index-build needs --out "
+            "and/or --catalog)"
+        ),
+    )
+    serving_options.add_argument(
+        "--catalog",
+        metavar="DIR",
+        default=None,
+        help=(
+            "durable index catalog directory: index-build commits the "
+            "built index there, serve warm-starts from it without a "
+            "rebuild, and compact folds its delta segments into a new base"
+        ),
     )
     serving_options.add_argument(
         "--rmat-scale",
@@ -429,6 +445,8 @@ def _engine_config_from_args(args: argparse.Namespace):
         overrides["shed_policy"] = args.shed_policy
     if args.index_k is not None:
         overrides["index_k"] = args.index_k
+    if getattr(args, "catalog", None) is not None:
+        overrides["catalog_path"] = args.catalog
     return EngineConfig(**overrides)
 
 
@@ -459,12 +477,17 @@ def _explain(args: argparse.Namespace) -> int:
 
 
 def _index_build(args: argparse.Namespace) -> int:
-    """Precompute a serving index for an r-mat graph and write it to disk."""
+    """Precompute a serving index for an r-mat graph and write it to disk.
+
+    ``--out`` writes the legacy single-``.npz`` store, ``--catalog``
+    commits a durable catalog directory (the engine does so as part of the
+    build when ``catalog_path`` is configured); pass either or both.
+    """
     from .engine.engine import Engine
     from .service import save_index
 
-    if args.out is None:
-        print("index-build requires --out PATH", file=sys.stderr)
+    if args.out is None and args.catalog is None:
+        print("index-build requires --out PATH and/or --catalog DIR", file=sys.stderr)
         return 2
     config = _engine_config_from_args(args)
     graph = _fixture_graph(args)
@@ -472,12 +495,40 @@ def _index_build(args: argparse.Namespace) -> int:
     with Engine(graph, config) as engine:
         index = engine.build_index()
     elapsed = time.perf_counter() - started
-    save_index(index, args.out)
+    destinations = []
+    if args.out is not None:
+        save_index(index, args.out)
+        destinations.append(args.out)
+    if args.catalog is not None:
+        destinations.append(f"{args.catalog} (catalog)")
     print(
         f"built top-{config.index_k} index for n={graph.num_vertices} "
         f"m={graph.num_edges} in {elapsed:.2f}s "
         f"({index.num_stored_scores} stored scores, "
-        f"{index.memory_bytes() / 1e6:.1f} MB) -> {args.out}"
+        f"{index.memory_bytes() / 1e6:.1f} MB) -> {', '.join(destinations)}"
+    )
+    return 0
+
+
+def _compact(args: argparse.Namespace) -> int:
+    """Fold a catalog's committed delta segments into a new base generation."""
+    from .catalog import IndexCatalog
+
+    if args.catalog is None:
+        print("compact requires --catalog DIR", file=sys.stderr)
+        return 2
+    if not IndexCatalog.is_catalog(args.catalog):
+        print(f"{args.catalog} is not an index catalog", file=sys.stderr)
+        return 2
+    catalog = IndexCatalog.open(args.catalog)
+    started = time.perf_counter()
+    folded = catalog.compact(memory_budget=args.memory_budget)
+    elapsed = time.perf_counter() - started
+    manifest = catalog.manifest
+    print(
+        f"compacted {folded} delta segment(s) into {manifest.base_name} in "
+        f"{elapsed:.2f}s (graph version {manifest.graph_version}, "
+        f"n={manifest.num_vertices}, index_k={manifest.index_k})"
     )
     return 0
 
@@ -492,9 +543,18 @@ def _serve(args: argparse.Namespace) -> int:
     graph = _fixture_graph(args)
     engine = Engine(graph, config)
     # Warm the artifact the serving plan selects, plus fingerprints so
-    # SLO-driven degradation has an approx tier to fall back on.
+    # SLO-driven degradation has an approx tier to fall back on.  A
+    # committed catalog replaces the index build: engine.serve() opens it
+    # memory-mapped (and falls back with a warning if it doesn't match).
     plan = engine.plan("serve")
-    if plan.tier == "index":
+    catalog_ready = False
+    if config.catalog_path is not None:
+        from .catalog import IndexCatalog
+
+        catalog_ready = IndexCatalog.is_catalog(config.catalog_path)
+        if catalog_ready:
+            print(f"serving from catalog at {config.catalog_path}", flush=True)
+    if plan.tier == "index" and not catalog_ready:
         engine.build_index()
     engine.build_fingerprints()
     server = engine.server(host=args.host, port=args.port)
@@ -545,6 +605,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _explain(args)
     if args.experiment == "index-build":
         return _index_build(args)
+    if args.experiment == "compact":
+        return _compact(args)
     if args.experiment == "serve":
         return _serve(args)
 

@@ -34,6 +34,21 @@ __all__ = ["SimilarityStore", "ranked_entries", "row_top_k"]
 PathLike = Union[str, Path]
 
 
+def _npz_path(path: PathLike) -> Path:
+    """Normalise a store path to carry the ``.npz`` suffix.
+
+    ``numpy.savez_compressed`` appends ``.npz`` to suffix-less paths on its
+    own, which ``numpy.load`` does not mirror — so the normalisation must
+    happen here, identically for :meth:`SimilarityStore.save` and
+    :meth:`SimilarityStore.load`, or ``save(p)`` / ``load(p)`` breaks for
+    any ``p`` without the suffix.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def row_top_k(
     row: np.ndarray, k: Optional[int], threshold: float = 0.0
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -240,22 +255,52 @@ class SimilarityStore:
         return row
 
     def top_k(self, vertex: Hashable, k: int = 10) -> list[tuple[Hashable, float]]:
-        """Return the ``k`` highest stored scores for ``vertex`` (self excluded)."""
+        """Return the ``k`` best stored scores for ``vertex``, ranked.
+
+        The ranking follows :func:`ranked_entries` exactly — ``(-score,
+        vertex id)`` order, the query vertex excluded, zero-score vertices
+        padding the tail in id order — so a store lookup, a served index
+        row and an on-demand evaluation all mean the same thing by "top
+        k".  (An earlier implementation filtered the query vertex *after*
+        truncating to ``k`` and never padded, so rows storing an explicit
+        diagonal came back short and sparse rows came back unpadded.)
+        """
         index = self.graph.index_of(vertex)
-        row = self._matrix.getrow(index)
-        order = sorted(
-            zip(row.indices.tolist(), row.data.tolist()),
-            key=lambda pair: (-pair[1], pair[0]),
-        )
+        start, stop = self._matrix.indptr[index], self._matrix.indptr[index + 1]
+        row = np.zeros(self.num_vertices, dtype=np.float64)
+        row[self._matrix.indices[start:stop]] = self._matrix.data[start:stop]
         return [
-            (self.graph.label_of(candidate), float(score))
-            for candidate, score in order[:k]
-            if candidate != index
+            (self.graph.label_of(candidate), score)
+            for candidate, score in ranked_entries(row, k, exclude=index)
         ]
 
     # ------------------------------------------------------------------ #
     # Row-granular mutation (the serving layer's incremental-update hooks)
     # ------------------------------------------------------------------ #
+    def _ensure_writable(self) -> None:
+        """Copy-on-write for read-only (memory-mapped) backing arrays.
+
+        Stores opened from a durable catalog keep their CSR arrays as
+        read-only views over ``np.load(mmap_mode="r")`` memmaps; the first
+        in-place mutation materialises private writable copies so the
+        on-disk base segment is never written through.
+        """
+        matrix = self._matrix
+        if (
+            matrix.data.flags.writeable
+            and matrix.indices.flags.writeable
+            and matrix.indptr.flags.writeable
+        ):
+            return
+        self._matrix = sparse.csr_matrix(
+            (
+                np.array(matrix.data),
+                np.array(matrix.indices),
+                np.array(matrix.indptr),
+            ),
+            shape=matrix.shape,
+        )
+
     def invalidate_rows(self, rows: Sequence[int]) -> int:
         """Drop every stored score in the given rows; return how many fell.
 
@@ -267,6 +312,7 @@ class SimilarityStore:
         indices = self._validate_rows(rows)
         if indices.size == 0:
             return 0
+        self._ensure_writable()
         lengths = np.diff(self._matrix.indptr)
         hit = np.zeros(self.num_vertices, dtype=bool)
         hit[indices] = True
@@ -303,6 +349,31 @@ class SimilarityStore:
                 f"expected dense_rows of shape {(indices.size, self.num_vertices)}, "
                 f"got {dense_rows.shape}"
             )
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        for position, row_index in enumerate(indices):
+            fresh = dense_rows[position].copy()
+            fresh[row_index] = 0.0
+            parts.append(row_top_k(fresh, top_k, threshold=threshold))
+        self.merge_row_parts(indices, parts)
+
+    def merge_row_parts(
+        self,
+        rows: Sequence[int],
+        parts: Sequence[tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Replace rows with already-truncated ``(columns, values)`` parts.
+
+        The sparse-input sibling of :meth:`merge_rows` — the durable
+        catalog's delta replay splices persisted truncated rows straight
+        in without densifying them first.  Each part must follow the
+        :func:`row_top_k` convention (ascending columns, diagonal
+        excluded).
+        """
+        indices = self._validate_rows(rows)
+        if len(parts) != indices.size:
+            raise ConfigurationError(
+                f"expected {indices.size} row parts, got {len(parts)}"
+            )
         if indices.size != np.unique(indices).size:
             raise ConfigurationError("rows to merge must be distinct")
 
@@ -317,12 +388,23 @@ class SimilarityStore:
         kept_data = self._matrix.data[keep]
 
         new_rows: list[np.ndarray] = [kept_rows]
-        new_cols: list[np.ndarray] = [kept_cols]
+        new_cols: list[np.ndarray] = [np.asarray(kept_cols, dtype=np.int64)]
         new_data: list[np.ndarray] = [kept_data]
-        for position, row_index in enumerate(indices):
-            fresh = dense_rows[position].copy()
-            fresh[row_index] = 0.0
-            columns, values = row_top_k(fresh, top_k, threshold=threshold)
+        for row_index, (columns, values) in zip(indices, parts):
+            columns = np.asarray(columns, dtype=np.int64).ravel()
+            values = np.asarray(values, dtype=np.float64).ravel()
+            if columns.size != values.size:
+                raise ConfigurationError(
+                    f"row part for row {row_index} has {columns.size} columns "
+                    f"but {values.size} values"
+                )
+            if columns.size and (
+                columns.min() < 0 or columns.max() >= self.num_vertices
+            ):
+                raise ConfigurationError(
+                    f"row part for row {row_index} names columns outside "
+                    f"[0, {self.num_vertices})"
+                )
             new_rows.append(np.full(columns.size, row_index, dtype=np.int64))
             new_cols.append(columns)
             new_data.append(values)
@@ -352,8 +434,13 @@ class SimilarityStore:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: PathLike) -> None:
-        """Write the store to ``path`` (a ``.npz`` file)."""
-        path = Path(path)
+        """Write the store to ``path`` (a ``.npz`` file).
+
+        Paths without the ``.npz`` suffix gain it — symmetrically with
+        :meth:`load`, so ``save(p)`` followed by ``load(p)`` round-trips
+        for any path.
+        """
+        path = _npz_path(path)
         np.savez_compressed(
             path,
             data=self._matrix.data,
@@ -367,8 +454,12 @@ class SimilarityStore:
 
     @classmethod
     def load(cls, path: PathLike, graph: DiGraph) -> "SimilarityStore":
-        """Read a store written by :meth:`save`; the graph supplies labels."""
-        path = Path(path)
+        """Read a store written by :meth:`save`; the graph supplies labels.
+
+        The path is normalised exactly as :meth:`save` normalises it, so a
+        suffix-less ``save(p)`` target loads back under the same ``p``.
+        """
+        path = _npz_path(path)
         with np.load(path, allow_pickle=False) as archive:
             matrix = sparse.csr_matrix(
                 (archive["data"], archive["indices"], archive["indptr"]),

@@ -93,6 +93,13 @@ class EngineConfig:
     queue_depth:
         Bound of the server's dispatch queue; arrivals beyond it are shed
         immediately with a typed error instead of waiting.
+    catalog_path:
+        Optional directory of a durable index catalog
+        (:class:`~repro.catalog.IndexCatalog`).  ``Engine.build_index``
+        commits the built index there, and ``Engine.serve`` warm-starts
+        from it (memory-mapped, no rebuild) when the committed catalog
+        matches the session's graph and configuration; ``None`` keeps
+        indexes in memory only.
     """
 
     method: str = AUTO_METHOD
@@ -113,6 +120,7 @@ class EngineConfig:
     shed_policy: str = "degrade"
     max_inflight: int = 256
     queue_depth: int = 1024
+    catalog_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "damping", validate_damping(self.damping))
@@ -178,6 +186,13 @@ class EngineConfig:
         if self.queue_depth <= 0:
             raise ConfigurationError(
                 f"queue_depth must be positive, got {self.queue_depth}"
+            )
+        if self.catalog_path is not None and (
+            not isinstance(self.catalog_path, str) or not self.catalog_path
+        ):
+            raise ConfigurationError(
+                "catalog_path must be a non-empty directory path or None, "
+                f"got {self.catalog_path!r}"
             )
 
     # ------------------------------------------------------------------ #

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import inspect
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import Hashable, Optional, Sequence, Union
 
@@ -73,6 +74,7 @@ class ArtifactCounters:
     index_builds: int = 0
     fingerprint_builds: int = 0
     plans: int = 0
+    catalog_opens: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -81,6 +83,7 @@ class ArtifactCounters:
             "index_builds": self.index_builds,
             "fingerprint_builds": self.fingerprint_builds,
             "plans": self.plans,
+            "catalog_opens": self.catalog_opens,
         }
 
 
@@ -272,7 +275,11 @@ class Engine:
         ``workers`` and ``memory_budget``.  The index is retained as a
         session artifact and attached to any service :meth:`serve` wires
         (``top_k``/``pair`` always evaluate the series directly; the index
-        serves the *service's* tiered path).
+        serves the *service's* tiered path).  With ``catalog_path``
+        configured the built index is additionally committed as a durable
+        catalog there (recommitting over any previous one), so a later
+        session — or :meth:`serve` after a restart — opens it from disk
+        instead of rebuilding.
         """
         plan = self._plan("serve")
         index = _build_index(
@@ -285,6 +292,13 @@ class Engine:
             memory_budget=self.config.memory_budget,
             transition=self.transition(),
         )
+        if self.config.catalog_path is not None:
+            # Committed while the store still references the *structural*
+            # build graph, so the catalog fingerprint describes the edges
+            # the scores were computed from.
+            from ..catalog import IndexCatalog
+
+            IndexCatalog.create(self.config.catalog_path, index, overwrite=True)
         # Serve labels through the session's original graph, not the
         # integer edge overlay (same convention as the service's rebuild).
         index.graph = self._graph
@@ -488,8 +502,62 @@ class Engine:
         ``warm=True`` to build whatever the serving plan selects before
         wiring the service.  Answers are bit-identical to a standalone
         ``SimilarityService`` over the same graph and artifacts.
+
+        With ``catalog_path`` configured and a committed catalog on disk,
+        an unmutated session with no in-memory index serves straight from
+        the catalog: the base opens memory-mapped (no rebuild, no full
+        materialisation) and the service resumes the catalog's logged
+        state — including any edge mutations a previous serving process
+        durably logged.  A catalog that does not match the session's graph
+        or configuration is *not* served; it warns and falls back to the
+        ordinary path (the explicit ``load_index``/``SimilarityService``
+        route raises instead — an opportunistic warm start must never
+        break a legitimate session).
         """
         plan = self._plan("serve")
+        if (
+            self.config.catalog_path is not None
+            and self._index is None
+            and self._version == 0
+        ):
+            from ..catalog import IndexCatalog
+
+            if IndexCatalog.is_catalog(self.config.catalog_path):
+                try:
+                    catalog = IndexCatalog.open(self.config.catalog_path)
+                    catalog.validate(
+                        self.current_graph(),
+                        damping=self.config.damping,
+                        iterations=self.config.resolved_iterations(),
+                        index_k=self.config.index_k,
+                    )
+                except ConfigurationError as error:
+                    warnings.warn(
+                        f"ignoring catalog at {self.config.catalog_path}: "
+                        f"{error}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                else:
+                    with self._lock:
+                        self.counters.catalog_opens += 1
+                    # No shared transition handed over: the catalog start
+                    # is the cheap path (mmap open, no operator build),
+                    # and the catalog's replayed edge log may supersede
+                    # this session's graph anyway.
+                    return SimilarityService(
+                        self.current_graph(),
+                        k=k,
+                        damping=self.config.damping,
+                        iterations=self.config.resolved_iterations(),
+                        backend=plan.backend,
+                        cache_size=self.config.cache_size,
+                        max_batch=self.config.max_batch,
+                        workers=plan.workers,
+                        fingerprints=self._fingerprints,
+                        label_graph=self._graph,
+                        catalog=catalog,
+                    )
         if warm:
             if plan.tier == "index" and self._index is None:
                 self.build_index()

@@ -434,6 +434,12 @@ def plan_task(
         )
         reasons.extend(tier_reasons)
         reasons.extend(_serving_slo_reasons(config))
+        if config.catalog_path is not None:
+            reasons.append(
+                f"durable catalog at {config.catalog_path}: build_index "
+                "commits there; serve() warm-starts memory-mapped from a "
+                "matching committed catalog instead of rebuilding"
+            )
 
     return TaskPlan(
         task=task,

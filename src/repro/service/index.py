@@ -22,6 +22,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..api import METHODS
+from ..catalog.manifest import graph_fingerprint, index_config_digest
 from ..core.backends import SimRankBackend, get_backend
 from ..core.instrumentation import Instrumentation
 from ..core.iteration_bounds import conventional_iterations
@@ -161,7 +162,7 @@ def build_index(
                 accumulator.append(kept_columns, kept_values)
         matrix = accumulator.finish(n)
         if spill_stats is not None:
-            spill_stats.__dict__.update(accumulator.stats.__dict__)
+            spill_stats.copy_from(accumulator.stats)
         if instrumentation is not None and accumulator.stats.segments:
             instrumentation.operations.add(
                 "spill_segments", accumulator.stats.segments
@@ -178,6 +179,10 @@ def build_index(
             "index_k": int(index_k),
             "iterations": int(iterations),
             "backend": engine.name,
+            # Identity stamps: load_index refuses to serve this index
+            # against a different graph or different series parameters.
+            "graph_hash": graph_fingerprint(graph),
+            "config_digest": index_config_digest(damping, iterations, index_k),
         },
     )
 
@@ -187,18 +192,66 @@ def save_index(store: SimilarityStore, path: PathLike) -> None:
     store.save(path)
 
 
-def load_index(path: PathLike, graph) -> SimilarityStore:
-    """Load an index written by :func:`save_index`.
+def load_index(
+    path: PathLike,
+    graph,
+    damping: Optional[float] = None,
+    iterations: Optional[int] = None,
+    index_k: Optional[int] = None,
+) -> SimilarityStore:
+    """Load an index written by :func:`save_index` or a catalog directory.
 
-    The graph must be the one the index was built on (it supplies vertex
-    labels and the vertex count the stored matrix is validated against); a
-    mismatched vertex count raises
-    :class:`~repro.exceptions.ConfigurationError`.
+    The graph must be the one the index was built on.  Indexes carrying a
+    graph fingerprint (every index built since the stamp was introduced,
+    and every catalog) are validated against ``graph``'s own fingerprint —
+    a same-size-but-different graph raises
+    :class:`~repro.exceptions.ConfigurationError` instead of silently
+    serving garbage labels.  Passing ``damping``/``iterations``/``index_k``
+    additionally rejects an index built under different series parameters.
+    Legacy ``.npz`` stores without the stamp keep loading (vertex-count
+    check only), as do catalogs: when ``path`` is a catalog directory the
+    committed base is opened memory-mapped and every committed delta is
+    replayed, so the returned store is the catalog's newest state.
     """
+    from ..catalog import IndexCatalog
+
+    if IndexCatalog.is_catalog(path):
+        catalog = IndexCatalog.open(path)
+        catalog.validate(
+            graph, damping=damping, iterations=iterations, index_k=index_k
+        )
+        return catalog.restore(graph).store
     store = SimilarityStore.load(path, graph)
     if "index_k" not in store.extra:
         raise ConfigurationError(
             f"{path} is a SimilarityStore but not a serving index "
             "(missing index_k metadata); build one with build_index()"
+        )
+    stored_hash = store.extra.get("graph_hash")
+    if stored_hash is not None and stored_hash != graph_fingerprint(graph):
+        raise ConfigurationError(
+            f"index {path} was built for a different graph (fingerprint "
+            f"mismatch); an index serves garbage against the wrong graph, "
+            "rebuild it instead"
+        )
+    mismatches = []
+    if damping is not None and abs(float(damping) - store.damping) > 1e-12:
+        mismatches.append(f"damping {store.damping} vs requested {damping}")
+    stored_iterations = store.extra.get("iterations")
+    if (
+        iterations is not None
+        and stored_iterations is not None
+        and int(stored_iterations) != int(iterations)
+    ):
+        mismatches.append(
+            f"iterations {stored_iterations} vs requested {iterations}"
+        )
+    if index_k is not None and int(store.extra["index_k"]) != int(index_k):
+        mismatches.append(
+            f"index_k {store.extra['index_k']} vs requested {index_k}"
+        )
+    if mismatches:
+        raise ConfigurationError(
+            f"index {path} configuration mismatch: " + "; ".join(mismatches)
         )
     return store

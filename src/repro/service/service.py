@@ -72,7 +72,7 @@ from ..baselines.topk import RankedList
 from ..core.backends import SimRankBackend, get_backend
 from ..core.iteration_bounds import conventional_iterations
 from ..core.result import validate_damping, validate_iterations
-from ..core.similarity_store import SimilarityStore, ranked_entries
+from ..core.similarity_store import SimilarityStore, ranked_entries, row_top_k
 from ..exceptions import ConfigurationError
 from ..graph.edgelist import EdgeListGraph, edge_list_from_pairs
 from ..parallel import ParallelExecutor, resolve_workers
@@ -239,6 +239,19 @@ class SimilarityService:
         then carries the current edge set (an integer-labelled overlay)
         while queries keep resolving through the caller's labels.  Vertex
         ids must coincide (the vertex count is validated).
+    catalog:
+        Optional :class:`~repro.catalog.IndexCatalog` to serve from — the
+        durable successor of ``index`` (pass one or the other, not both).
+        ``graph`` must then be the *base* graph the catalog was built on:
+        the service validates the catalog's graph fingerprint and config
+        digest (:class:`~repro.exceptions.ConfigurationError` on
+        mismatch), opens the base segment memory-mapped, replays committed
+        delta segments and the edge log, and resumes at the logged
+        version with exactly the pre-shutdown dirty set — answers are
+        bit-identical to the process that wrote the catalog.  While
+        attached, every edge mutation is durably logged and every index
+        merge is committed as a delta segment, so the service can be
+        killed at any instant and restarted the same way.
     """
 
     def __init__(
@@ -258,6 +271,7 @@ class SimilarityService:
         fingerprints: Optional[FingerprintIndex] = None,
         transition=None,
         label_graph=None,
+        catalog=None,
     ) -> None:
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k}")
@@ -305,8 +319,16 @@ class SimilarityService:
 
         self._index: Optional[SimilarityStore] = None
         self._row_version: Optional[np.ndarray] = None
+        self._catalog = None
+        if catalog is not None and index is not None:
+            raise ConfigurationError(
+                "pass either index= or catalog=, not both: a catalog "
+                "restores its own index"
+            )
         if index is not None:
             self.attach_index(index)
+        if catalog is not None:
+            self._restore_from_catalog(catalog, graph)
 
         self._fingerprints: Optional[FingerprintIndex] = None
         self._fingerprint_version: int = -1
@@ -370,6 +392,48 @@ class SimilarityService:
         if self._index is None:
             return 0
         return int(self._index.extra.get("index_k", 0))
+
+    @property
+    def catalog(self):
+        """The attached durable catalog, if any."""
+        return self._catalog
+
+    def _restore_from_catalog(self, catalog, graph) -> None:
+        """Resume exactly where the catalog's writer stopped.
+
+        Called from the constructor with ``graph`` the catalog's *base*
+        graph.  The restored store attaches through :meth:`attach_index`
+        (which validates damping/iterations like any other index), the
+        edge log replays onto the edge overlay, and the dirty set is
+        rebuilt as every endpoint whose latest logged mutation outruns its
+        persisted row version — rows refreshed-and-committed before the
+        shutdown come back warm, everything else lazily recomputes, so
+        served answers are bit-identical to the pre-shutdown process.
+        """
+        state = catalog.restore(graph)
+        self.attach_index(state.store)
+        self._row_version = state.row_versions
+        last_op: dict[int, int] = {}
+        for op, source, target, version in state.edge_ops:
+            edge = (int(source), int(target))
+            if op == "add":
+                self._edges.add(edge)
+            else:
+                self._edges.discard(edge)
+            for endpoint in edge:
+                last_op[endpoint] = max(last_op.get(endpoint, 0), int(version))
+        self._version = state.log_version
+        if state.edge_ops:
+            # Any prebuilt transition/compute-graph covers the base graph
+            # only; the replayed overlay supersedes them.
+            self._compute_graph = None
+            self._transition = None
+        self._dirty = {
+            endpoint
+            for endpoint, version in last_op.items()
+            if version > int(state.row_versions[endpoint])
+        }
+        self._catalog = catalog
 
     def attach_index(self, index: SimilarityStore) -> None:
         """Attach ``index`` (built for the *current* graph version).
@@ -854,7 +918,7 @@ class SimilarityService:
             if edge in self._edges:
                 return False
             self._edges.add(edge)
-            self._note_mutation(edge)
+            self._note_mutation(edge, "add")
             return True
 
     def remove_edge(self, source: Hashable, target: Hashable) -> bool:
@@ -864,7 +928,7 @@ class SimilarityService:
             if edge not in self._edges:
                 return False
             self._edges.remove(edge)
-            self._note_mutation(edge)
+            self._note_mutation(edge, "remove")
             return True
 
     def refresh(self, vertices: Optional[Iterable[Hashable]] = None) -> int:
@@ -900,9 +964,14 @@ class SimilarityService:
         self.stats.note_refreshed(len(targets))
         return len(targets)
 
-    def _note_mutation(self, edge: tuple[int, int]) -> None:
+    def _note_mutation(self, edge: tuple[int, int], op: str) -> None:
         # Caller holds the service lock.
         self._version += 1
+        if self._catalog is not None:
+            # Log before the in-memory state changes: a logged-but-unapplied
+            # mutation is recoverable on restart (the endpoints restore as
+            # dirty), an applied-but-unlogged one would be silently lost.
+            self._catalog.append_edge(op, edge[0], edge[1], self._version)
         self._compute_graph = None
         self._transition = None
         if self._executor is not None:
@@ -997,11 +1066,23 @@ class SimilarityService:
     def _merge_fresh(self, vertices: Sequence[int], rows: np.ndarray) -> None:
         """Splice freshly computed rows into the index in one batched merge.
 
-        Caller holds the service lock and has already version-gated.
+        Caller holds the service lock and has already version-gated.  With
+        a catalog attached the truncated rows are additionally committed
+        as a delta segment at the current version, so a restart replays
+        them instead of recomputing.
         """
         assert self._index is not None and self._row_version is not None
-        self._index.merge_rows(list(vertices), rows, top_k=self.index_k)
-        self._row_version[list(vertices)] = self._version
+        vertices = list(vertices)
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        for position, vertex in enumerate(vertices):
+            fresh = rows[position].copy()
+            fresh[vertex] = 0.0
+            parts.append(row_top_k(fresh, self.index_k))
+        self._index.merge_row_parts(vertices, parts)
+        self._row_version[vertices] = self._version
+        if self._catalog is not None:
+            self._catalog.append_delta(self._version, vertices, parts)
 
     def _rank_from_index(self, query: Hashable, vertex: int, k: int) -> RankedList:
         entries = self._index.top_k(vertex, k=k)  # type: ignore[union-attr]

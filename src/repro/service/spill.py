@@ -59,6 +59,18 @@ class SpillStats:
     spilled_bytes: int = 0
     peak_resident_bytes: int = 0
 
+    def copy_from(self, other: "SpillStats") -> None:
+        """Copy every counter from ``other`` into this instance, in place.
+
+        Callers that hand out a stats object before the build runs (the
+        benchmark report pattern) use this to fill it afterwards without
+        splicing ``__dict__`` across instances.
+        """
+        self.segments = other.segments
+        self.spilled_entries = other.spilled_entries
+        self.spilled_bytes = other.spilled_bytes
+        self.peak_resident_bytes = other.peak_resident_bytes
+
 
 class RowSpillAccumulator:
     """Accumulate per-vertex truncated rows, spilling to disk over budget.
@@ -211,14 +223,23 @@ class RowSpillAccumulator:
             self.close()
 
     def close(self) -> None:
-        """Remove any temporary segment directory (idempotent)."""
+        """Remove every segment file this accumulator wrote (idempotent).
+
+        A caller-provided ``directory`` survives — only the ``segment-*.npz``
+        files written into it are unlinked — while an accumulator-owned
+        temporary directory is removed wholesale.
+        """
         self._columns.clear()
         self._values.clear()
         self._resident_entries = 0
+        if self._own_directory:
+            if self._directory is not None:
+                shutil.rmtree(self._directory, ignore_errors=True)
+                self._directory = None
+        else:
+            for path, _, _ in self._segments:
+                path.unlink(missing_ok=True)
         self._segments.clear()
-        if self._own_directory and self._directory is not None:
-            shutil.rmtree(self._directory, ignore_errors=True)
-            self._directory = None
 
     def __enter__(self) -> "RowSpillAccumulator":
         return self

@@ -1,0 +1,31 @@
+"""Shared fixtures for the durable-catalog tests: one small graph + index.
+
+The graph is deliberately small (64 vertices) — catalog tests exercise
+durability machinery (commit ordering, restore, compaction), not solver
+throughput, and the crash-restart test rebuilds the index in a subprocess.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators.rmat import rmat_edge_list
+from repro.service import build_index
+
+DAMPING = 0.6
+ITERATIONS = 20
+INDEX_K = 12
+
+
+@pytest.fixture(scope="session")
+def catalog_graph():
+    """A 64-vertex r-mat edge-list graph."""
+    return rmat_edge_list(6, 3 * 64, seed=13)
+
+
+@pytest.fixture(scope="session")
+def catalog_index(catalog_graph):
+    """A serving index over :func:`catalog_graph` with the pinned parameters."""
+    return build_index(
+        catalog_graph, index_k=INDEX_K, damping=DAMPING, iterations=ITERATIONS
+    )

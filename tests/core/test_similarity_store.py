@@ -27,7 +27,11 @@ class TestConstruction:
         n = dense_result.graph.num_vertices
         assert store.num_stored_scores <= 5 * n
         for vertex in range(0, n, 7):
-            assert len(store.top_k(vertex, k=10)) <= 5
+            ranking = store.top_k(vertex, k=10)
+            # Rankings share ranked_entries semantics: zero-score columns
+            # pad out to k, but at most 5 stored scores can be positive.
+            assert len(ranking) == min(10, n - 1)
+            assert sum(1 for _, score in ranking if score > 0.0) <= 5
 
     def test_invalid_parameters(self, dense_result):
         with pytest.raises(ConfigurationError):
@@ -115,8 +119,10 @@ class TestRowMutation:
         dropped = store.invalidate_rows([0, 3])
         assert dropped > 0
         assert store.num_stored_scores == before - dropped
-        assert store.top_k(0, k=5) == []
-        assert store.top_k(3, k=5) == []
+        # Invalidated rows rank as all-zero rows: zero-score padding in
+        # ascending column order, per ranked_entries semantics.
+        assert all(score == 0.0 for _, score in store.top_k(0, k=5))
+        assert all(score == 0.0 for _, score in store.top_k(3, k=5))
         # The diagonal stays implicit even for invalidated rows.
         assert store.similarity(0, 0) == 1.0
 
@@ -143,7 +149,8 @@ class TestRowMutation:
         untouched_before = store.top_k(1, k=5)
         store.merge_rows([4], dense_result.scores[4][np.newaxis, :], top_k=2)
         assert store.top_k(1, k=5) == untouched_before
-        assert len(store.top_k(4, k=5)) <= 2
+        merged = store.top_k(4, k=5)
+        assert sum(1 for _, score in merged if score > 0.0) <= 2
 
     def test_merge_shape_and_duplicate_validation(self, dense_result):
         from repro.exceptions import ConfigurationError as CfgError
@@ -171,6 +178,84 @@ class TestExtraMetadataPersistence:
         loaded = SimilarityStore.load(path, dense_result.graph)
         # Loading always yields a dict, even for pre-metadata archives.
         assert isinstance(loaded.extra, dict)
+
+
+class TestPersistencePathNormalisation:
+    """ISSUE satellite: ``save(p)``/``load(p)`` must round-trip for any path.
+
+    ``save`` lets numpy append ``.npz`` to suffix-less targets; ``load``
+    used to open the literal path instead, so the round trip raised
+    ``FileNotFoundError`` for every target without the suffix.
+    """
+
+    def test_suffixless_path_round_trips(self, dense_result, tmp_path):
+        store = SimilarityStore.from_result(dense_result, top_k=4)
+        path = tmp_path / "index"  # no .npz suffix
+        store.save(path)
+        assert (tmp_path / "index.npz").is_file()
+        loaded = SimilarityStore.load(path, dense_result.graph)
+        assert (loaded.matrix != store.matrix).nnz == 0
+
+    def test_foreign_suffix_round_trips(self, dense_result, tmp_path):
+        store = SimilarityStore.from_result(dense_result, top_k=4)
+        path = tmp_path / "index.v1"
+        store.save(path)
+        loaded = SimilarityStore.load(path, dense_result.graph)
+        assert (loaded.matrix != store.matrix).nnz == 0
+
+    def test_explicit_npz_suffix_unchanged(self, dense_result, tmp_path):
+        store = SimilarityStore.from_result(dense_result, top_k=4)
+        path = tmp_path / "index.npz"
+        store.save(path)
+        assert path.is_file()
+        assert not (tmp_path / "index.npz.npz").exists()
+
+
+class TestTopKRankingContract:
+    """ISSUE satellite: ``top_k`` must share ``ranked_entries`` semantics.
+
+    The old implementation filtered ``candidate != index`` *after* the
+    ``order[:k]`` slice and never zero-padded, so rankings could come back
+    short (or drop a real candidate when the diagonal was stored).
+    """
+
+    def test_top_k_matches_ranked_entries_exactly(self, dense_result):
+        from repro.core.similarity_store import ranked_entries
+
+        store = SimilarityStore.from_result(dense_result, top_k=5)
+        n = store.num_vertices
+        for vertex in range(n):
+            row = np.asarray(
+                store.matrix.getrow(vertex).todense(), dtype=np.float64
+            ).ravel()
+            expected = ranked_entries(row, 8, exclude=vertex)
+            assert store.top_k(vertex, k=8) == [
+                (store.graph.label_of(column), score)
+                for column, score in expected
+            ]
+
+    def test_explicit_diagonal_does_not_shorten_the_ranking(self, dense_result):
+        # Force a stored diagonal entry: the old post-slice filter would
+        # have dropped it from the k kept entries and returned k-1.
+        store = SimilarityStore.from_result(dense_result, top_k=5)
+        matrix = store.matrix.tolil()
+        matrix[0, 0] = 1.0
+        store._matrix = matrix.tocsr()
+        ranking = store.top_k(0, k=5)
+        assert len(ranking) == 5
+        assert all(label != store.graph.label_of(0) for label, _ in ranking)
+
+    def test_sparse_rows_are_zero_padded(self, dense_result):
+        store = SimilarityStore.from_result(dense_result, top_k=2)
+        n = store.num_vertices
+        ranking = store.top_k(1, k=6)
+        assert len(ranking) == min(6, n - 1)
+        positive = [entry for entry in ranking if entry[1] > 0.0]
+        padding = ranking[len(positive):]
+        assert all(score == 0.0 for _, score in padding)
+        # Zero padding arrives in ascending id order, as ranked_entries does.
+        pad_ids = [store.graph.index_of(label) for label, _ in padding]
+        assert pad_ids == sorted(pad_ids)
 
 
 class TestRmatEquivalence:

@@ -202,3 +202,37 @@ def test_save_load_round_trip_is_exact(built):
     assert np.array_equal(loaded.matrix.data, store.matrix.data)
     assert np.array_equal(loaded.matrix.indices, store.matrix.indices)
     assert np.array_equal(loaded.matrix.indptr, store.matrix.indptr)
+
+
+@PROPERTY
+@given(
+    built=stores(),
+    suffix=st.sampled_from(["", ".npz", ".index", ".tar.npz"]),
+    empty=st.booleans(),
+    extra=st.dictionaries(
+        st.sampled_from(["index_k", "iterations", "backend", "note"]),
+        st.one_of(st.integers(0, 99), st.text(max_size=8)),
+        max_size=4,
+    ),
+)
+def test_save_load_round_trips_for_any_suffix(built, suffix, empty, extra):
+    """save(p) → load(p) is exact for suffix-less paths, foreign suffixes,
+    empty stores and arbitrary JSON-able ``extra`` metadata.
+
+    Regression: ``save`` used to hand suffix-less paths to numpy (which
+    appends ``.npz``) while ``load`` opened the literal path — so the
+    round trip broke for every path not already ending in ``.npz``.
+    """
+    store, _, _ = built
+    if empty:
+        store.invalidate_rows(list(range(store.num_vertices)))
+    store.extra = dict(extra)
+    with tempfile.TemporaryDirectory() as directory:
+        path = Path(directory) / f"store{suffix}"
+        store.save(path)
+        loaded = SimilarityStore.load(path, store.graph)
+    assert loaded.extra == store.extra
+    assert (loaded.matrix != store.matrix).nnz == 0
+    assert np.array_equal(loaded.matrix.data, store.matrix.data)
+    assert np.array_equal(loaded.matrix.indices, store.matrix.indices)
+    assert np.array_equal(loaded.matrix.indptr, store.matrix.indptr)

@@ -1,0 +1,136 @@
+"""Engine ↔ catalog round trip: build once, restart warm from disk.
+
+``build_index`` under a configured ``catalog_path`` commits the index to a
+durable catalog; a later engine session over the same graph and
+configuration serves straight from it — memory-mapped, no rebuild — and a
+catalog that does not match the session warns and falls back instead of
+poisoning the answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import IndexCatalog
+from repro.engine import EngineConfig
+from repro.engine.engine import Engine
+from repro.graph.generators.rmat import rmat_edge_list
+
+DAMPING = 0.6
+ITERATIONS = 20
+INDEX_K = 12
+
+
+@pytest.fixture(scope="module")
+def catalog_graph():
+    return rmat_edge_list(6, 3 * 64, seed=13)
+
+
+def _config(catalog_path, **overrides):
+    fields = dict(
+        method="matrix",
+        damping=DAMPING,
+        iterations=ITERATIONS,
+        index_k=INDEX_K,
+        cache_size=0,
+        catalog_path=str(catalog_path),
+    )
+    fields.update(overrides)
+    return EngineConfig(**fields)
+
+
+@pytest.fixture
+def committed(tmp_path, catalog_graph):
+    """A catalog committed by one engine session's ``build_index``."""
+    catalog_path = tmp_path / "catalog"
+    engine = Engine(catalog_graph, _config(catalog_path))
+    engine.build_index()
+    return catalog_path, engine
+
+
+class TestWarmStart:
+    def test_build_index_commits_a_catalog(self, committed, catalog_graph):
+        catalog_path, _ = committed
+        assert IndexCatalog.is_catalog(catalog_path)
+        catalog = IndexCatalog.open(catalog_path)
+        catalog.validate(
+            catalog_graph, damping=DAMPING, iterations=ITERATIONS, index_k=INDEX_K
+        )
+
+    def test_second_session_serves_without_rebuilding(self, committed, catalog_graph):
+        catalog_path, first_engine = committed
+        baseline = first_engine.serve(k=8)
+
+        second = Engine(catalog_graph, _config(catalog_path))
+        service = second.serve(k=8)
+        assert second.counters.index_builds == 0
+        assert second.counters.catalog_opens == 1
+        assert service.index is not None
+        for query in range(0, catalog_graph.num_vertices, 7):
+            assert service.top_k(query).labels() == baseline.top_k(query).labels()
+
+    def test_rebuild_recommits_over_the_old_catalog(self, committed, catalog_graph):
+        catalog_path, engine = committed
+        generation_before = IndexCatalog.open(catalog_path).manifest.base_generation
+        engine.build_index()
+        assert (
+            IndexCatalog.open(catalog_path).manifest.base_generation
+            == generation_before + 1
+        )
+
+    def test_explain_names_the_catalog(self, committed, catalog_graph):
+        catalog_path, _ = committed
+        plan = Engine(catalog_graph, _config(catalog_path)).explain("serve")
+        assert any("catalog" in reason for reason in plan.reasons)
+
+
+class TestMismatchFallback:
+    def test_mismatched_config_warns_and_falls_back(self, committed, catalog_graph):
+        catalog_path, _ = committed
+        engine = Engine(catalog_graph, _config(catalog_path, damping=0.8))
+        with pytest.warns(RuntimeWarning, match="ignoring catalog"):
+            service = engine.serve(k=8)
+        assert engine.counters.catalog_opens == 0
+        assert service.index is None  # ordinary (cold) serving path
+
+    def test_wrong_graph_warns_and_falls_back(self, committed):
+        catalog_path, _ = committed
+        other = rmat_edge_list(6, 3 * 64, seed=99)
+        engine = Engine(other, _config(catalog_path))
+        with pytest.warns(RuntimeWarning, match="ignoring catalog"):
+            engine.serve(k=8)
+        assert engine.counters.catalog_opens == 0
+
+    def test_mutated_session_does_not_serve_the_catalog(
+        self, committed, catalog_graph
+    ):
+        catalog_path, _ = committed
+        engine = Engine(catalog_graph, _config(catalog_path))
+        existing = set(catalog_graph.edges())
+        edge = next(
+            (s, t)
+            for s in range(catalog_graph.num_vertices)
+            for t in range(catalog_graph.num_vertices)
+            if s != t and (s, t) not in existing
+        )
+        assert engine.add_edge(*edge)
+        engine.serve(k=8)
+        assert engine.counters.catalog_opens == 0
+
+    def test_missing_catalog_is_silently_cold(self, tmp_path, catalog_graph):
+        engine = Engine(catalog_graph, _config(tmp_path / "never-created"))
+        service = engine.serve(k=8)
+        assert engine.counters.catalog_opens == 0
+        assert service is not None
+
+
+class TestConfigPlumbing:
+    def test_catalog_path_round_trips_through_json(self, tmp_path):
+        config = _config(tmp_path / "catalog")
+        assert EngineConfig.from_json(config.to_json()) == config
+
+    def test_empty_catalog_path_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            EngineConfig(catalog_path="")

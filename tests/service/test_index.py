@@ -125,9 +125,10 @@ class TestOutOfCore:
             spill_stats=spill,
         )
         assert spill.segments > 0
-        # Segment files are consumed by the merge; the directory survives.
+        # Segment files are consumed by the merge and unlinked afterwards;
+        # only the caller's directory itself survives.
         assert tmp_path.exists()
-        assert list(tmp_path.glob("segment-*.npz"))
+        assert list(tmp_path.glob("segment-*.npz")) == []
 
     def test_instrumentation_records_spill_counters(self, served_graph):
         instrumentation = Instrumentation()
@@ -169,3 +170,62 @@ class TestPersistence:
             assert np.array_equal(
                 loaded.similarity_row(query), index.similarity_row(query)
             )
+
+
+class TestLoadValidation:
+    """``load_index`` must reject indexes built for another graph or config."""
+
+    @pytest.fixture(scope="class")
+    def saved(self, index, tmp_path_factory):
+        path = tmp_path_factory.mktemp("saved-index") / "index.npz"
+        save_index(index, path)
+        return path
+
+    def test_wrong_graph_rejected(self, saved, served_graph):
+        from repro.graph.generators.rmat import rmat_edge_list
+
+        other = rmat_edge_list(7, 3 * 128, seed=99)
+        assert other.num_vertices == served_graph.num_vertices
+        with pytest.raises(ConfigurationError, match="different graph"):
+            load_index(saved, other)
+
+    def test_matching_graph_and_config_accepted(self, saved, served_graph):
+        loaded = load_index(
+            saved, served_graph, damping=DAMPING,
+            iterations=ITERATIONS, index_k=20,
+        )
+        assert loaded.extra["index_k"] == 20
+
+    @pytest.mark.parametrize(
+        "override, fragment",
+        [
+            ({"damping": 0.8}, "damping"),
+            ({"iterations": 11}, "iterations"),
+            ({"index_k": 5}, "index_k"),
+        ],
+    )
+    def test_config_mismatch_rejected(self, saved, served_graph, override, fragment):
+        kwargs = {"damping": DAMPING, "iterations": ITERATIONS, "index_k": 20}
+        kwargs.update(override)
+        with pytest.raises(ConfigurationError, match=fragment):
+            load_index(saved, served_graph, **kwargs)
+
+    def test_legacy_store_without_hash_still_loads(
+        self, index, served_graph, tmp_path
+    ):
+        # Indexes saved before the graph hash existed must keep loading:
+        # strip the hash fields and round-trip.
+        legacy = SimilarityStore(
+            index.matrix, index.graph, algorithm=index.algorithm,
+            damping=index.damping,
+            extra={
+                key: value
+                for key, value in index.extra.items()
+                if key not in ("graph_hash", "config_digest")
+            },
+        )
+        path = tmp_path / "legacy.npz"
+        save_index(legacy, path)
+        loaded = load_index(path, served_graph)
+        assert "graph_hash" not in loaded.extra
+        assert loaded.top_k(0, k=10) == index.top_k(0, k=10)

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.service.spill import RowSpillAccumulator
+from repro.service.spill import RowSpillAccumulator, SpillStats
 
 
 def _rows(count: int, seed: int = 0) -> list[tuple[np.ndarray, np.ndarray]]:
@@ -79,6 +79,32 @@ class TestAccumulator:
             accumulator.finish(2)
         assert tmp_path.exists()
 
+    def test_caller_directory_segments_are_unlinked(self, tmp_path):
+        """ISSUE satellite: close() must remove its segment files even when
+        the spill directory belongs to the caller (only the directory itself
+        is the caller's; the segments are the accumulator's garbage)."""
+        with RowSpillAccumulator(memory_budget=1, directory=tmp_path) as accumulator:
+            for columns, values in _rows(20, seed=5):
+                accumulator.append(columns, values)
+            accumulator.finish(20)
+        assert accumulator.stats.segments > 1  # the spill really happened
+        assert list(tmp_path.iterdir()) == []  # ...but left nothing behind
+
+    def test_close_without_finish_unlinks_caller_directory_segments(self, tmp_path):
+        accumulator = RowSpillAccumulator(memory_budget=1, directory=tmp_path)
+        for columns, values in _rows(10, seed=6):
+            accumulator.append(columns, values)
+        accumulator.close()  # abandoned mid-build, e.g. by an exception
+        assert tmp_path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_close_is_idempotent(self, tmp_path):
+        accumulator = RowSpillAccumulator(memory_budget=1, directory=tmp_path)
+        accumulator.append(np.array([0]), np.array([0.5]))
+        accumulator.close()
+        accumulator.close()  # second close must not raise on missing files
+        assert list(tmp_path.iterdir()) == []
+
     def test_row_count_mismatch_raises(self):
         accumulator = RowSpillAccumulator()
         accumulator.append(np.array([1]), np.array([0.5]))
@@ -99,3 +125,22 @@ class TestAccumulator:
             RowSpillAccumulator(memory_budget=0)
         with pytest.raises(ConfigurationError):
             RowSpillAccumulator(memory_budget=-5)
+
+
+class TestSpillStats:
+    def test_copy_from_copies_every_counter(self):
+        source = SpillStats(
+            segments=3, spilled_entries=41, spilled_bytes=9999, peak_resident_bytes=512
+        )
+        target = SpillStats()
+        target.copy_from(source)
+        assert target == source
+        # A value copy, not aliasing: mutating the source leaves the copy alone.
+        source.segments = 7
+        assert target.segments == 3
+
+    def test_copy_from_overwrites_stale_values(self):
+        target = SpillStats(segments=9, spilled_entries=9, spilled_bytes=9,
+                            peak_resident_bytes=9)
+        target.copy_from(SpillStats())
+        assert target == SpillStats()
