@@ -31,6 +31,13 @@ from ..graph.digraph import DiGraph
 __all__ = ["ALGORITHMS", "run_algorithm", "ExperimentReport", "measurement_row"]
 
 
+def _active_profile_digest() -> str:
+    # Imported lazily: the engine layer imports this module's report type.
+    from ..engine.cost_model import active_cost_profile_digest
+
+    return active_cost_profile_digest()
+
+
 ALGORITHMS: dict[str, Callable[..., SimRankResult]] = {
     "oip-dsr": oip_dsr,
     "oip-sr": oip_sr,
@@ -119,12 +126,18 @@ class ExperimentReport:
         one report.
     notes:
         Free-form notes, e.g. which paper claims the rows support.
+    cost_profile:
+        Digest of the cost profile that was active when the report was
+        created (``"static"`` for the built-in planner weights) — so a
+        benchmark trajectory records which host calibration priced its
+        plans.
     """
 
     experiment: str
     title: str
     rows: list[dict[str, object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    cost_profile: str = field(default_factory=lambda: _active_profile_digest())
 
     def add_row(self, row: dict[str, object]) -> None:
         """Append one measurement row."""
@@ -153,4 +166,5 @@ class ExperimentReport:
             "title": self.title,
             "rows": [dict(row) for row in self.rows],
             "notes": list(self.notes),
+            "cost_profile": self.cost_profile,
         }

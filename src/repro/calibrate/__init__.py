@@ -1,0 +1,47 @@
+"""Self-calibration: measure this host, persist a cost profile, price plans.
+
+The planner's static weights (``DENSE_BLAS_SPEEDUP``,
+``PYTHON_LOOP_PENALTY``) are guesses that are wrong on any machine but the
+one they were eyeballed on.  This package replaces guessing with
+measurement:
+
+* :mod:`.probes` — deterministic micro-benchmarks, one per kernel the
+  planner prices (CSR matvec, dense GEMM, Horner step, top-k truncation,
+  Python per-vertex step, fingerprint sampling);
+* :mod:`.runner` — min-of-repeats monotonic timing that fits the probes
+  into per-kernel seconds-per-op rates;
+* :mod:`.profile` — the versioned per-host :class:`CostProfile` JSON, its
+  host/staleness validation, and the layered resolution order (explicit
+  path > ``REPRO_COST_PROFILE`` > user config dir > static fallback).
+
+``repro-simrank calibrate`` builds and persists a profile; the engine picks
+it up through :func:`repro.engine.cost_model.resolve_cost_model` and
+``explain()`` then labels every priced constant measured-vs-assumed.
+"""
+
+from .probes import PROBES, Probe, register_probe
+from .profile import (
+    ENV_VAR,
+    STATIC_SENTINEL,
+    CostProfile,
+    KernelMeasurement,
+    current_host,
+    default_profile_path,
+    resolve_profile,
+)
+from .runner import calibrate, time_probe
+
+__all__ = [
+    "ENV_VAR",
+    "PROBES",
+    "STATIC_SENTINEL",
+    "CostProfile",
+    "KernelMeasurement",
+    "Probe",
+    "calibrate",
+    "current_host",
+    "default_profile_path",
+    "register_probe",
+    "resolve_profile",
+    "time_probe",
+]

@@ -1,0 +1,208 @@
+"""Deterministic micro-probes: one per kernel the planner prices.
+
+Each probe builds a *synthetic* operator from a fixed seed — never the
+user's graph — sized so one call runs in well under a millisecond, and
+reports how many primitive operations a call performs.  The runner
+(:mod:`repro.calibrate.runner`) times the calls; the probes themselves own
+only the workload, so their op counts are exactly reproducible and the
+timing loop stays in one place.
+
+The built-in set covers every constant the planner consumes (see
+:data:`repro.engine.cost_model.STATIC_WEIGHTS`):
+
+``sparse_matvec``
+    CSR operator times a dense block — the unit every other weight is
+    expressed against.
+``dense_gemm``
+    Dense BLAS matmul, the operation the static ``DENSE_BLAS_SPEEDUP``
+    constant guesses at.
+``series_step``
+    One Horner update (scale-and-add over a dense block).
+``topk_truncate``
+    Row-wise ``argpartition`` truncation, the serving index's per-query
+    cost.
+``python_vertex_step``
+    Pure-Python partial-sum additions over adjacency lists — the
+    per-vertex family's loop, the static ``PYTHON_LOOP_PENALTY`` guess.
+``fingerprint_sample``
+    One reverse-walk step of the Monte-Carlo fingerprint sampler.
+
+Registering a new backend or kernel should ship a probe here (or via
+:func:`register_probe`) so ``repro-simrank calibrate`` covers it — see
+CONTRIBUTING.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["PROBES", "Probe", "register_probe"]
+
+_SEED = 20130408  # deterministic synthetic operators (the paper's venue date)
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One calibratable kernel: a workload factory plus its op count.
+
+    ``make(quick)`` returns ``(run, ops)`` — a zero-argument callable and
+    the number of primitive operations one call performs.  ``quick``
+    shrinks the synthetic operator for smoke-test runs; the op count must
+    stay deterministic for a given ``quick`` flag.
+    """
+
+    kernel: str
+    description: str
+    make: Callable[[bool], tuple[Callable[[], object], int]]
+
+
+PROBES: dict[str, Probe] = {}
+"""Registry of calibration probes, keyed by kernel name."""
+
+
+def register_probe(probe: Probe) -> Probe:
+    """Register ``probe`` (replacing any same-named one)."""
+    PROBES[probe.kernel] = probe
+    return probe
+
+
+def _make_sparse_matvec(quick: bool):
+    from scipy import sparse
+
+    n, degree, columns = (512, 8, 8) if quick else (2048, 8, 16)
+    rng = np.random.default_rng(_SEED)
+    rows = np.repeat(np.arange(n), degree)
+    cols = rng.integers(0, n, size=n * degree)
+    data = rng.random(n * degree)
+    operator = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+    block = rng.random((n, columns))
+    ops = 2 * operator.nnz * columns
+
+    def run():
+        return operator @ block
+
+    return run, ops
+
+
+def _make_dense_gemm(quick: bool):
+    n = 128 if quick else 256
+    rng = np.random.default_rng(_SEED)
+    left = rng.random((n, n))
+    right = rng.random((n, n))
+    ops = 2 * n * n * n
+
+    def run():
+        return left @ right
+
+    return run, ops
+
+
+def _make_series_step(quick: bool):
+    n, columns = (1024, 16) if quick else (4096, 32)
+    rng = np.random.default_rng(_SEED)
+    term = rng.random((n, columns))
+    accumulator = rng.random((n, columns))
+    damping = 0.6
+    ops = 2 * n * columns
+
+    def run():
+        return damping * accumulator + term
+
+    return run, ops
+
+
+def _make_topk_truncate(quick: bool):
+    batch, n, k = (8, 1024, 50) if quick else (16, 4096, 50)
+    rng = np.random.default_rng(_SEED)
+    scores = rng.random((batch, n))
+    ops = batch * n
+
+    def run():
+        return np.argpartition(-scores, k, axis=1)[:, :k]
+
+    return run, ops
+
+
+def _make_python_vertex_step(quick: bool):
+    n, degree = (200, 6) if quick else (600, 6)
+    rng = np.random.default_rng(_SEED)
+    neighbors = [
+        [int(v) for v in rng.integers(0, n, size=degree)] for _ in range(n)
+    ]
+    values = [float(v) for v in rng.random(n)]
+    ops = n * degree
+
+    def run():
+        total = 0.0
+        for in_set in neighbors:
+            partial = 0.0
+            for vertex in in_set:
+                partial += values[vertex]
+            total += partial
+        return total
+
+    return run, ops
+
+
+def _make_fingerprint_sample(quick: bool):
+    n, degree, walks, steps = (256, 4, 256, 8) if quick else (1024, 4, 512, 8)
+    rng = np.random.default_rng(_SEED)
+    in_neighbors = rng.integers(0, n, size=(n, degree))
+    start = rng.integers(0, n, size=walks)
+    choices = rng.integers(0, degree, size=(steps, walks))
+    ops = walks * steps
+
+    def run():
+        positions = start
+        for step in range(steps):
+            positions = in_neighbors[positions, choices[step]]
+        return positions
+
+    return run, ops
+
+
+register_probe(
+    Probe(
+        kernel="sparse_matvec",
+        description="CSR transition operator times a dense column block",
+        make=_make_sparse_matvec,
+    )
+)
+register_probe(
+    Probe(
+        kernel="dense_gemm",
+        description="dense BLAS matmul (the DENSE_BLAS_SPEEDUP guess)",
+        make=_make_dense_gemm,
+    )
+)
+register_probe(
+    Probe(
+        kernel="series_step",
+        description="one Horner series update (scale-and-add)",
+        make=_make_series_step,
+    )
+)
+register_probe(
+    Probe(
+        kernel="topk_truncate",
+        description="row-wise top-k argpartition truncation",
+        make=_make_topk_truncate,
+    )
+)
+register_probe(
+    Probe(
+        kernel="python_vertex_step",
+        description="pure-Python partial-sum additions (PYTHON_LOOP_PENALTY)",
+        make=_make_python_vertex_step,
+    )
+)
+register_probe(
+    Probe(
+        kernel="fingerprint_sample",
+        description="one reverse-walk step of the fingerprint sampler",
+        make=_make_fingerprint_sample,
+    )
+)

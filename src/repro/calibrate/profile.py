@@ -1,0 +1,338 @@
+"""Versioned per-host cost profiles and their layered resolution.
+
+A :class:`CostProfile` records what one machine actually measured for each
+registered kernel (seconds per primitive operation, min-of-repeats), plus
+enough host metadata to refuse to apply the numbers somewhere they were
+never measured.  The planner consumes profiles through
+:class:`~repro.engine.cost_model.ProfiledCostModel`; this module only owns
+the on-disk format and the resolution order.
+
+Resolution is layered the way a config file should be (an explicit request
+always wins, ambient state never breaks a run):
+
+1. an explicit path handed to :func:`resolve_profile` (or set as
+   ``EngineConfig.cost_profile``) — errors *raise*, because an explicit
+   request must not silently degrade;
+2. the ``REPRO_COST_PROFILE`` environment variable — an unusable profile
+   warns and falls back to static weights;
+3. the per-user config file (``$XDG_CONFIG_HOME/repro-simrank/
+   cost_profile.json``, written by ``repro-simrank calibrate``) — same
+   warn-and-fall-back behaviour;
+4. no profile: the planner's built-in static weights.
+
+The literal value ``"static"`` is accepted at layers 1 and 2 to pin the
+static weights even when a user profile exists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "ENV_VAR",
+    "PROFILE_SCHEMA_VERSION",
+    "STATIC_SENTINEL",
+    "CostProfile",
+    "KernelMeasurement",
+    "current_host",
+    "default_profile_path",
+    "resolve_profile",
+]
+
+ENV_VAR = "REPRO_COST_PROFILE"
+"""Environment variable naming the profile to use (or ``"static"``)."""
+
+STATIC_SENTINEL = "static"
+"""Explicit request for the built-in static weights (no profile)."""
+
+PROFILE_SCHEMA_VERSION = 1
+"""Schema version written into every profile; unknown versions are
+rejected rather than misread."""
+
+DEFAULT_MAX_AGE_DAYS = 30.0
+"""Profiles older than this are considered stale: hardware, BLAS builds
+and Python versions drift, so measurements have a shelf life."""
+
+_HOST_MATCH_KEYS = ("system", "machine", "cpu_count")
+"""The host fields that must agree for a profile to apply.  Node names and
+library versions are recorded for provenance but deliberately not matched —
+a renamed container is still the same silicon."""
+
+
+def current_host() -> dict[str, object]:
+    """Describe the running host the way profiles record it."""
+    return {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "node": platform.node(),
+        "python": platform.python_version(),
+    }
+
+
+def default_profile_path() -> Path:
+    """The per-user profile location (honours ``XDG_CONFIG_HOME``)."""
+    base = os.environ.get("XDG_CONFIG_HOME")
+    if not base:
+        base = os.path.join(os.path.expanduser("~"), ".config")
+    return Path(base) / "repro-simrank" / "cost_profile.json"
+
+
+@dataclass(frozen=True)
+class KernelMeasurement:
+    """One calibrated kernel: the fitted rate plus how it was obtained.
+
+    ``seconds_per_op`` is the quantity the cost model consumes;
+    ``ops``/``calls``/``repeats``/``best_seconds`` record the measurement
+    (min-of-repeats over ``calls`` back-to-back invocations of a probe
+    doing ``ops`` primitive operations each) so a profile is auditable,
+    not just a number.
+    """
+
+    kernel: str
+    seconds_per_op: float
+    ops: int
+    calls: int = 1
+    repeats: int = 1
+    best_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.kernel:
+            raise ConfigurationError("kernel name must be non-empty")
+        if not self.seconds_per_op > 0.0:
+            raise ConfigurationError(
+                f"seconds_per_op must be positive for {self.kernel!r}, "
+                f"got {self.seconds_per_op}"
+            )
+        if self.ops <= 0:
+            raise ConfigurationError(
+                f"ops must be positive for {self.kernel!r}, got {self.ops}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "seconds_per_op": self.seconds_per_op,
+            "ops": self.ops,
+            "calls": self.calls,
+            "repeats": self.repeats,
+            "best_seconds": self.best_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """A versioned set of per-kernel measurements for one host."""
+
+    kernels: dict[str, KernelMeasurement]
+    host: dict[str, object] = field(default_factory=current_host)
+    created_unix: float = field(default_factory=time.time)
+    schema_version: int = PROFILE_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ConfigurationError(
+                "a cost profile must measure at least one kernel"
+            )
+        for name, measurement in self.kernels.items():
+            if name != measurement.kernel:
+                raise ConfigurationError(
+                    f"kernel key {name!r} does not match its measurement "
+                    f"({measurement.kernel!r})"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def seconds_per_op(self, kernel: str) -> Optional[float]:
+        """The measured rate for ``kernel``; ``None`` when unmeasured."""
+        measurement = self.kernels.get(kernel)
+        return None if measurement is None else measurement.seconds_per_op
+
+    def digest(self) -> str:
+        """A short stable content digest (the plan-cache key component)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def matches_host(self, host: Optional[dict] = None) -> bool:
+        """Whether the profile was measured on (effectively) this host."""
+        host = current_host() if host is None else host
+        return all(
+            self.host.get(key) == host.get(key) for key in _HOST_MATCH_KEYS
+        )
+
+    def age_days(self, now: Optional[float] = None) -> float:
+        """Age of the profile in days (negative for future timestamps)."""
+        now = time.time() if now is None else now
+        return (now - self.created_unix) / 86400.0
+
+    def validate(
+        self,
+        max_age_days: float = DEFAULT_MAX_AGE_DAYS,
+        host: Optional[dict] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Reject profiles that must not be applied here and now.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` on a schema,
+        host or staleness mismatch; a passing profile is safe to price
+        plans with.
+        """
+        if self.schema_version != PROFILE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"cost profile schema v{self.schema_version} is not the "
+                f"supported v{PROFILE_SCHEMA_VERSION}; re-run "
+                "'repro-simrank calibrate'"
+            )
+        if not self.matches_host(host):
+            mine = {key: self.host.get(key) for key in _HOST_MATCH_KEYS}
+            theirs = {
+                key: (current_host() if host is None else host).get(key)
+                for key in _HOST_MATCH_KEYS
+            }
+            raise ConfigurationError(
+                f"cost profile was measured on {mine} but this host is "
+                f"{theirs}; re-run 'repro-simrank calibrate' here"
+            )
+        age = self.age_days(now)
+        if age < 0 or age > max_age_days:
+            raise ConfigurationError(
+                f"cost profile is {age:.1f} days old (limit "
+                f"{max_age_days:g}); re-run 'repro-simrank calibrate'"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "created_unix": self.created_unix,
+            "host": dict(self.host),
+            "kernels": {
+                name: measurement.to_dict()
+                for name, measurement in sorted(self.kernels.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostProfile":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"cost profile must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        try:
+            kernels = {
+                str(name): KernelMeasurement(kernel=str(name), **entry)
+                for name, entry in dict(data["kernels"]).items()
+            }
+            return cls(
+                kernels=kernels,
+                host=dict(data["host"]),
+                created_unix=float(data["created_unix"]),
+                schema_version=int(data["schema_version"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"malformed cost profile: {error!r}"
+            ) from None
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CostProfile":
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"invalid cost profile JSON: {error}"
+            ) from None
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the profile to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CostProfile":
+        """Read a profile from ``path`` (missing/invalid files raise)."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read cost profile {path}: {error}"
+            ) from None
+        return cls.from_json(text)
+
+
+def _load_validated(
+    path: Union[str, Path], max_age_days: float
+) -> CostProfile:
+    profile = CostProfile.load(path)
+    profile.validate(max_age_days=max_age_days)
+    return profile
+
+
+def resolve_profile(
+    explicit: Optional[str] = None,
+    max_age_days: float = DEFAULT_MAX_AGE_DAYS,
+) -> tuple[Optional[CostProfile], str]:
+    """Resolve the active profile through the documented layers.
+
+    Returns ``(profile, source)`` where ``profile`` is ``None`` for the
+    static fallback and ``source`` names the winning layer (``"static"``,
+    ``"explicit:<path>"``, ``"env:<path>"``, ``"user:<path>"``).  Only the
+    explicit layer raises on an unusable profile; the ambient layers warn
+    and fall back to static, so a stale file never breaks a session that
+    did not ask for it.
+    """
+    if explicit is not None:
+        if explicit == STATIC_SENTINEL:
+            return None, STATIC_SENTINEL
+        return _load_validated(explicit, max_age_days), f"explicit:{explicit}"
+
+    env = os.environ.get(ENV_VAR, "").strip()
+    if env:
+        if env == STATIC_SENTINEL:
+            return None, STATIC_SENTINEL
+        try:
+            return _load_validated(env, max_age_days), f"env:{env}"
+        except ConfigurationError as error:
+            warnings.warn(
+                f"ignoring {ENV_VAR}={env}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None, STATIC_SENTINEL
+
+    user_path = default_profile_path()
+    if user_path.is_file():
+        try:
+            return (
+                _load_validated(user_path, max_age_days),
+                f"user:{user_path}",
+            )
+        except ConfigurationError as error:
+            warnings.warn(
+                f"ignoring user cost profile {user_path}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return None, STATIC_SENTINEL

@@ -1,0 +1,92 @@
+"""Run the calibration probes and fit a :class:`CostProfile`.
+
+Timing discipline: monotonic clock (``time.perf_counter``), an autorange
+that batches calls until one sample exceeds a minimum duration (so the
+timer's resolution never dominates), and min-of-repeats — the minimum is
+the standard estimator for "how fast can this kernel go", since every
+source of error (scheduler preemption, cache pollution, turbo settle)
+only ever adds time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from .probes import PROBES
+from .profile import CostProfile, KernelMeasurement
+from ..exceptions import ConfigurationError
+
+__all__ = ["calibrate", "time_probe"]
+
+_MAX_AUTORANGE_CALLS = 1 << 16
+
+
+def time_probe(
+    run,
+    repeats: int = 5,
+    min_seconds: float = 2e-3,
+) -> tuple[float, int]:
+    """Return ``(best_seconds, calls)`` for ``run`` via min-of-repeats.
+
+    ``best_seconds`` is the fastest total over ``calls`` back-to-back
+    invocations; ``calls`` is chosen by autorange so each sample lasts at
+    least ``min_seconds``.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    run()  # warm caches, JITs, lazy imports
+    calls = 1
+    while True:
+        started = time.perf_counter()
+        for _ in range(calls):
+            run()
+        elapsed = time.perf_counter() - started
+        if elapsed >= min_seconds or calls >= _MAX_AUTORANGE_CALLS:
+            break
+        # Grow geometrically toward the target with headroom; plain
+        # doubling needs many rounds for sub-microsecond kernels.
+        scale = (1.5 * min_seconds) / max(elapsed, 1e-9)
+        calls = min(max(calls * 2, int(calls * scale)), _MAX_AUTORANGE_CALLS)
+    best = elapsed
+    for _ in range(repeats - 1):
+        started = time.perf_counter()
+        for _ in range(calls):
+            run()
+        best = min(best, time.perf_counter() - started)
+    return best, calls
+
+
+def calibrate(
+    quick: bool = False,
+    kernels: Optional[Iterable[str]] = None,
+) -> CostProfile:
+    """Measure every registered probe and return the fitted profile.
+
+    ``quick`` shrinks the synthetic operators and the repeat count — the
+    smoke-test mode CI runs.  ``kernels`` restricts the probe set (unknown
+    names raise, so a typo never yields a silently partial profile).
+    """
+    names = sorted(PROBES) if kernels is None else list(kernels)
+    unknown = [name for name in names if name not in PROBES]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown calibration kernels: {', '.join(unknown)}; "
+            f"registered: {', '.join(sorted(PROBES))}"
+        )
+    repeats = 3 if quick else 5
+    min_seconds = 1e-3 if quick else 2e-3
+    measurements: dict[str, KernelMeasurement] = {}
+    for name in names:
+        probe = PROBES[name]
+        run, ops = probe.make(quick)
+        best, calls = time_probe(run, repeats=repeats, min_seconds=min_seconds)
+        measurements[name] = KernelMeasurement(
+            kernel=name,
+            seconds_per_op=best / (calls * ops),
+            ops=ops,
+            calls=calls,
+            repeats=repeats,
+            best_seconds=best,
+        )
+    return CostProfile(kernels=measurements)

@@ -46,6 +46,14 @@ anything, and check the two public surfaces stay bit-identical::
     repro-simrank explain --memory-budget 64K --json plan.json
     repro-simrank engine-parity --quick
 
+Calibrate this host — measure the real per-kernel rates the planner's
+static weights only guess at — and price plans with the measured profile
+(``explain`` then labels every constant measured instead of assumed)::
+
+    repro-simrank calibrate
+    repro-simrank calibrate --quick --out profile.json
+    repro-simrank explain --cost-profile profile.json
+
 Every subcommand builds one :class:`~repro.engine.config.EngineConfig` from
 its flags (``--config config.json`` loads a saved one instead), so a CLI
 run, a benchmark report and an ``Engine`` session all share the same
@@ -257,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(set(_FIGURE_RUNNERS) - _NETWORK_RUNNERS) + [
             "all",
             "bounds-example",
+            "calibrate",
             "compact",
             "explain",
             "index-build",
@@ -271,7 +280,8 @@ def build_parser() -> argparse.ArgumentParser:
             "the serving tier benchmark (--remote for the network tier), "
             "'serve' runs a similarity server in the foreground, 'explain' "
             "prints the engine planner's execution plan without computing "
-            "anything"
+            "anything, 'calibrate' measures this host's kernel rates and "
+            "persists a cost profile the planner prices plans with"
         ),
     )
     parser.add_argument(
@@ -317,6 +327,17 @@ def build_parser() -> argparse.ArgumentParser:
             "load an EngineConfig JSON file (as written by "
             "EngineConfig.to_json or an earlier 'explain --json' run) "
             "instead of building one from the flags above"
+        ),
+    )
+    parser.add_argument(
+        "--cost-profile",
+        metavar="PATH",
+        default=None,
+        help=(
+            "price plans with this calibrated cost-profile JSON (as written "
+            "by the calibrate subcommand), or 'static' to pin the built-in "
+            "weights; default resolves REPRO_COST_PROFILE, then the "
+            "per-user profile, then static"
         ),
     )
     parser.add_argument(
@@ -447,6 +468,8 @@ def _engine_config_from_args(args: argparse.Namespace):
         overrides["index_k"] = args.index_k
     if getattr(args, "catalog", None) is not None:
         overrides["catalog_path"] = args.catalog
+    if getattr(args, "cost_profile", None) is not None:
+        overrides["cost_profile"] = args.cost_profile
     return EngineConfig(**overrides)
 
 
@@ -473,6 +496,40 @@ def _explain(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(plan.to_dict(), handle, indent=2, sort_keys=True)
         print(f"wrote execution plan to {args.json}")
+    return 0
+
+
+def _calibrate(args: argparse.Namespace) -> int:
+    """Measure this host's kernel rates and persist a cost profile.
+
+    ``--quick`` shrinks the synthetic operators and repeat counts (the CI
+    smoke mode); ``--out`` overrides the destination (default: the
+    per-user profile every later run picks up automatically).
+    """
+    from .calibrate import ENV_VAR, calibrate, default_profile_path
+
+    started = time.perf_counter()
+    profile = calibrate(quick=args.quick)
+    elapsed = time.perf_counter() - started
+    destination = args.out if args.out is not None else default_profile_path()
+    path = profile.save(destination)
+    unit = profile.seconds_per_op("sparse_matvec")
+    print(f"calibrated {len(profile.kernels)} kernels in {elapsed:.2f}s:")
+    for name, measurement in sorted(profile.kernels.items()):
+        weight = (
+            f" ({measurement.seconds_per_op / unit:8.3f}x sparse matvec)"
+            if unit
+            else ""
+        )
+        print(
+            f"  {name:20s} {measurement.seconds_per_op:.3e} s/op{weight}"
+        )
+    print(f"profile digest {profile.digest()} -> {path}")
+    if args.out is not None:
+        print(
+            f"activate it with {ENV_VAR}={path} or --cost-profile {path} "
+            "(the default path is picked up automatically)"
+        )
     return 0
 
 
@@ -603,6 +660,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.experiment == "explain":
         return _explain(args)
+    if args.experiment == "calibrate":
+        return _calibrate(args)
     if args.experiment == "index-build":
         return _index_build(args)
     if args.experiment == "compact":

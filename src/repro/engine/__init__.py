@@ -13,8 +13,10 @@ SimRank::
 
 Submodules: :mod:`.config` (the one validated knob record),
 :mod:`.capabilities` (declarative method/backend capability registry),
-:mod:`.planner` (the deterministic cost-based plan/explain layer) and
-:mod:`.engine` (the :class:`Engine` facade).
+:mod:`.cost_model` (the pluggable constant provider — static weights or a
+measured per-host calibration profile), :mod:`.planner` (the deterministic
+cost-based plan/explain layer) and :mod:`.engine` (the :class:`Engine`
+facade, with per-session plan caching).
 
 The legacy free functions (``repro.simrank``, ``repro.simrank_top_k``) are
 one-shot wrappers over an ephemeral engine and return bit-identical
@@ -30,6 +32,13 @@ from .capabilities import (
     register_backend_traits,
 )
 from .config import EngineConfig
+from .cost_model import (
+    STATIC_WEIGHTS,
+    CostModel,
+    ProfiledCostModel,
+    StaticCostModel,
+    resolve_cost_model,
+)
 from .planner import ExecutionPlan, GraphStats, TaskPlan, plan_all, plan_task
 
 __all__ = [
@@ -38,15 +47,20 @@ __all__ = [
     "BACKEND_TRAITS",
     "BackendTraits",
     "Capabilities",
+    "CostModel",
     "Engine",
     "EngineConfig",
     "ExecutionPlan",
     "GraphStats",
+    "ProfiledCostModel",
+    "STATIC_WEIGHTS",
+    "StaticCostModel",
     "TaskPlan",
     "backend_traits",
     "plan_all",
     "plan_task",
     "register_backend_traits",
+    "resolve_cost_model",
 ]
 
 

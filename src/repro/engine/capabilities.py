@@ -137,12 +137,27 @@ class BackendTraits:
     deterministic_parallel:
         Whether the sharded parallel execution is bit-identical to serial
         for this backend (CSR products are; BLAS blocking is not).
+    series_kernel:
+        Name of the calibratable kernel that prices one series
+        multiply-add on this backend (a key of
+        :data:`repro.engine.cost_model.STATIC_WEIGHTS`, probed by
+        :mod:`repro.calibrate.probes`).  ``None`` falls back by operator
+        shape — ``"dense_gemm"`` for dense operators, ``"sparse_matvec"``
+        otherwise; third-party backends that register their own kernel
+        should also register a calibration probe for it.
     """
 
     name: str
     dense_operator: bool
     bytes_per_entry: int = 8
     deterministic_parallel: bool = True
+    series_kernel: Optional[str] = None
+
+    def resolved_series_kernel(self) -> str:
+        """The kernel the cost model prices this backend's series with."""
+        if self.series_kernel:
+            return self.series_kernel
+        return "dense_gemm" if self.dense_operator else "sparse_matvec"
 
     def operator_nnz(self, num_vertices: int, num_edges: int) -> int:
         """Stored operator entries for an ``n``-vertex, ``m``-edge graph."""
@@ -191,6 +206,7 @@ register_backend_traits(
         dense_operator=False,
         bytes_per_entry=12,
         deterministic_parallel=True,
+        series_kernel="sparse_matvec",
     )
 )
 register_backend_traits(
@@ -199,6 +215,7 @@ register_backend_traits(
         dense_operator=True,
         bytes_per_entry=8,
         deterministic_parallel=False,
+        series_kernel="dense_gemm",
     )
 )
 

@@ -17,6 +17,7 @@ was configured::
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Optional
@@ -100,6 +101,13 @@ class EngineConfig:
         from it (memory-mapped, no rebuild) when the committed catalog
         matches the session's graph and configuration; ``None`` keeps
         indexes in memory only.
+    cost_profile:
+        Optional path to a calibrated cost-profile JSON (built by
+        ``repro-simrank calibrate``), or the sentinel ``"static"`` to pin
+        the built-in weights regardless of ambient profiles.  ``None``
+        resolves layered: the ``REPRO_COST_PROFILE`` environment variable,
+        then the per-user profile, then the static fallback (see
+        :func:`repro.calibrate.resolve_profile`).
     """
 
     method: str = AUTO_METHOD
@@ -121,6 +129,7 @@ class EngineConfig:
     max_inflight: int = 256
     queue_depth: int = 1024
     catalog_path: Optional[str] = None
+    cost_profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "damping", validate_damping(self.damping))
@@ -194,6 +203,13 @@ class EngineConfig:
                 "catalog_path must be a non-empty directory path or None, "
                 f"got {self.catalog_path!r}"
             )
+        if self.cost_profile is not None and (
+            not isinstance(self.cost_profile, str) or not self.cost_profile
+        ):
+            raise ConfigurationError(
+                "cost_profile must be a profile path, 'static', or None, "
+                f"got {self.cost_profile!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Derived values
@@ -207,6 +223,10 @@ class EngineConfig:
     def with_overrides(self, **changes) -> "EngineConfig":
         """A copy with ``changes`` applied (re-validated)."""
         return replace(self, **changes)
+
+    def digest(self) -> str:
+        """A short content hash of this config (plan-cache key component)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:12]
 
     # ------------------------------------------------------------------ #
     # Serialisation

@@ -1,0 +1,190 @@
+"""The pluggable cost-model seam the planner prices every decision through.
+
+Before this module the planner read two module-global guesses
+(:data:`DENSE_BLAS_SPEEDUP`, :data:`PYTHON_LOOP_PENALTY`) that were wrong on
+any machine but the one they were eyeballed on.  Now every weighted-ops
+comparison and every estimate goes through a :class:`CostModel` provider:
+
+* :class:`StaticCostModel` — the historical constants, bit-identical to the
+  pre-seam planner by construction (it *is* the same arithmetic, read
+  through the provider interface).  Every constant is ``"assumed"``.
+* :class:`ProfiledCostModel` — weights derived from a measured per-host
+  :class:`~repro.calibrate.profile.CostProfile` (built by ``repro-simrank
+  calibrate``), normalised so one sparse CSR multiply-add is the unit the
+  planner has always costed in.  Measured kernels are ``"measured"``;
+  anything the profile does not cover falls back to the static weight and
+  stays honestly labelled ``"assumed"``.
+
+Plans carry the constants they were priced with (kernel, weight,
+provenance), so ``explain()`` can say not just *what* was decided but which
+numbers the decision rested on — and a measured model additionally turns
+abstract op counts into wall-clock estimates (``estimated_seconds``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..calibrate.profile import CostProfile, resolve_profile
+from .capabilities import BackendTraits
+
+__all__ = [
+    "DENSE_BLAS_SPEEDUP",
+    "PYTHON_LOOP_PENALTY",
+    "STATIC_WEIGHTS",
+    "CostModel",
+    "ProfiledCostModel",
+    "StaticCostModel",
+    "active_cost_profile_digest",
+    "resolve_cost_model",
+]
+
+DENSE_BLAS_SPEEDUP = 8.0
+"""Assumed throughput advantage of dense BLAS over CSR products, per
+multiply-add — the static guess a measured ``dense_gemm`` probe replaces."""
+
+PYTHON_LOOP_PENALTY = 64.0
+"""Assumed constant factor of per-vertex (Python-loop) solvers relative to
+vectorised arithmetic — replaced by a measured ``python_vertex_step``."""
+
+ASSUMED = "assumed"
+MEASURED = "measured"
+
+STATIC_WEIGHTS: dict[str, float] = {
+    "sparse_matvec": 1.0,
+    "dense_gemm": 1.0 / DENSE_BLAS_SPEEDUP,
+    "series_step": 1.0,
+    "topk_truncate": 1.0,
+    "python_vertex_step": PYTHON_LOOP_PENALTY,
+    "fingerprint_sample": 1.0,
+}
+"""The historical planner constants, expressed per kernel in units of one
+sparse CSR multiply-add.  These are exactly the pre-seam weights: sparse
+series ops at 1.0, dense discounted by ``DENSE_BLAS_SPEEDUP``, per-vertex
+Python loops penalised by ``PYTHON_LOOP_PENALTY``."""
+
+_UNIT_KERNEL = "sparse_matvec"
+"""The kernel measured weights are normalised against (weight 1.0)."""
+
+
+class CostModel:
+    """Provider interface for every constant the planner prices with.
+
+    ``weight(kernel)`` is the relative cost of one primitive operation of
+    ``kernel`` in sparse-matvec units (what decisions compare);
+    ``seconds_per_op(kernel)`` is the absolute measured rate when one
+    exists (what wall-clock estimates multiply); ``provenance(kernel)``
+    labels the number ``"measured"`` or ``"assumed"``; ``digest()`` keys
+    plan caches.
+    """
+
+    source: str = "static"
+
+    def weight(self, kernel: str) -> float:
+        raise NotImplementedError
+
+    def seconds_per_op(self, kernel: str) -> Optional[float]:
+        raise NotImplementedError
+
+    def provenance(self, kernel: str) -> str:
+        raise NotImplementedError
+
+    def digest(self) -> str:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Conveniences shared by every provider
+    # ------------------------------------------------------------------ #
+    def series_kernel(self, traits: BackendTraits) -> str:
+        """The kernel pricing one series multiply-add on ``traits``."""
+        return traits.resolved_series_kernel()
+
+    def constant(self, kernel: str) -> tuple[str, float, str]:
+        """One ``(kernel, weight, provenance)`` record for plan artifacts."""
+        return (kernel, self.weight(kernel), self.provenance(kernel))
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-serialisable summary for ``explain()`` output."""
+        return {"source": self.source, "digest": self.digest()}
+
+
+class StaticCostModel(CostModel):
+    """The built-in fallback: the historical constants, all assumed."""
+
+    source = "static"
+
+    def weight(self, kernel: str) -> float:
+        return STATIC_WEIGHTS.get(kernel, 1.0)
+
+    def seconds_per_op(self, kernel: str) -> Optional[float]:
+        return None
+
+    def provenance(self, kernel: str) -> str:
+        return ASSUMED
+
+    def digest(self) -> str:
+        return "static"
+
+
+class ProfiledCostModel(CostModel):
+    """Weights and rates measured by a per-host calibration profile.
+
+    Weights are the profile's seconds-per-op normalised by its
+    ``sparse_matvec`` rate, keeping the planner's unit (one CSR
+    multiply-add) unchanged — so a measured model slots into exactly the
+    comparisons the static one made, just with honest numbers.  A profile
+    without the unit kernel can still supply wall-clock rates, but its
+    relative weights (and their provenance) fall back to the static
+    guesses: a ratio against an unmeasured unit would be fiction.
+    """
+
+    def __init__(self, profile: CostProfile, source: str = "profile") -> None:
+        self.profile = profile
+        self.source = source
+        self._unit = profile.seconds_per_op(_UNIT_KERNEL)
+        self._fallback = StaticCostModel()
+
+    def weight(self, kernel: str) -> float:
+        measured = self.profile.seconds_per_op(kernel)
+        if measured is None or self._unit is None:
+            return self._fallback.weight(kernel)
+        return measured / self._unit
+
+    def seconds_per_op(self, kernel: str) -> Optional[float]:
+        return self.profile.seconds_per_op(kernel)
+
+    def provenance(self, kernel: str) -> str:
+        if self._unit is None or self.profile.seconds_per_op(kernel) is None:
+            return ASSUMED
+        return MEASURED
+
+    def digest(self) -> str:
+        return self.profile.digest()
+
+
+def resolve_cost_model(config=None) -> CostModel:
+    """Resolve the active cost model for ``config`` (or ambient state).
+
+    Follows the layered order of
+    :func:`repro.calibrate.profile.resolve_profile`: the config's explicit
+    ``cost_profile`` path (errors raise), then ``REPRO_COST_PROFILE``, then
+    the per-user profile (both warn and fall back), then
+    :class:`StaticCostModel`.
+    """
+    explicit = getattr(config, "cost_profile", None)
+    profile, source = resolve_profile(explicit)
+    if profile is None:
+        return StaticCostModel()
+    return ProfiledCostModel(profile, source=source)
+
+
+def active_cost_profile_digest() -> str:
+    """The digest of the ambient cost profile, or ``"static"``.
+
+    Stamped into every :class:`~repro.bench.runner.ExperimentReport` so
+    benchmark trajectories say which host profile priced their plans.
+    """
+    try:
+        return resolve_cost_model().digest()
+    except Exception:  # never let report bookkeeping break an experiment
+        return "static"

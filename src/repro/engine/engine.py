@@ -55,6 +55,7 @@ from ..service.fingerprints import FingerprintIndex
 from ..service.index import build_index as _build_index
 from ..service.service import SimilarityService
 from .config import EngineConfig
+from .cost_model import CostModel, resolve_cost_model
 from .planner import ExecutionPlan, GraphStats, TaskPlan, plan_all, plan_task
 
 __all__ = ["ArtifactCounters", "Engine"]
@@ -74,6 +75,8 @@ class ArtifactCounters:
     index_builds: int = 0
     fingerprint_builds: int = 0
     plans: int = 0
+    plan_computes: int = 0
+    plan_cache_hits: int = 0
     catalog_opens: int = 0
 
     def as_dict(self) -> dict[str, int]:
@@ -83,6 +86,8 @@ class ArtifactCounters:
             "index_builds": self.index_builds,
             "fingerprint_builds": self.fingerprint_builds,
             "plans": self.plans,
+            "plan_computes": self.plan_computes,
+            "plan_cache_hits": self.plan_cache_hits,
             "catalog_opens": self.catalog_opens,
         }
 
@@ -121,6 +126,7 @@ class Engine:
                 f"None; got {type(config).__name__}"
             )
         self.config = config
+        self._config_digest = config.digest()
         self.counters = ArtifactCounters()
         self._graph = graph
         self._lock = threading.RLock()
@@ -135,6 +141,11 @@ class Engine:
         self._executor: Optional[ParallelExecutor] = None
         self._index: Optional[SimilarityStore] = None
         self._fingerprints: Optional[FingerprintIndex] = None
+        self._cost_model: Optional[CostModel] = None
+        # Resolved plans, keyed by (task, queries, config digest, model
+        # digest) — the GraphStats component is implicit: _invalidate()
+        # clears the cache whenever the stats can change.
+        self._plan_cache: dict[tuple, Union[TaskPlan, ExecutionPlan]] = {}
 
     # ------------------------------------------------------------------ #
     # Session state
@@ -195,8 +206,58 @@ class Engine:
     # ------------------------------------------------------------------ #
     # Planning
     # ------------------------------------------------------------------ #
+    def cost_model(self) -> CostModel:
+        """The session's cost model, resolved once and reused.
+
+        Resolution (config path > ``REPRO_COST_PROFILE`` > user profile >
+        static) happens on the first plan and is pinned for the session,
+        so every plan — and the plan cache keyed on the model's digest —
+        prices against the same constants.
+        """
+        with self._lock:
+            if self._cost_model is None:
+                self._cost_model = resolve_cost_model(self.config)
+            return self._cost_model
+
     def _plan(self, task: str, queries: int = 1) -> TaskPlan:
-        return plan_task(task, self.stats(), self.config, queries=queries)
+        """The (memoized) plan for one task shape at the current version.
+
+        Every dispatch path prices through here; the cache means a steady
+        session re-prices nothing (``counters.plan_computes`` stays flat
+        while ``plan_cache_hits`` grows) and a mutation re-prices
+        everything exactly once (``_invalidate`` clears the cache).
+        """
+        model = self.cost_model()
+        key = (task, queries, self._config_digest, model.digest())
+        with self._lock:
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                self.counters.plan_cache_hits += 1
+                return cached
+        plan = plan_task(
+            task, self.stats(), self.config, queries=queries, cost_model=model
+        )
+        with self._lock:
+            self.counters.plan_computes += 1
+            self._plan_cache[key] = plan
+        return plan
+
+    def _plan_full(self, queries: int = 1) -> ExecutionPlan:
+        """The memoized all-tasks plan (the ``explain()`` artifact)."""
+        model = self.cost_model()
+        key = ("__all__", queries, self._config_digest, model.digest())
+        with self._lock:
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                self.counters.plan_cache_hits += 1
+                return cached
+        plan = plan_all(
+            self.stats(), self.config, queries=queries, cost_model=model
+        )
+        with self._lock:
+            self.counters.plan_computes += 1
+            self._plan_cache[key] = plan
+        return plan
 
     def plan(self, task: str, queries: int = 1) -> TaskPlan:
         """The execution plan for one task shape (see :mod:`.planner`)."""
@@ -217,7 +278,7 @@ class Engine:
         self.counters.plans += 1
         if task is not None:
             return self._plan(task, queries=queries)
-        return plan_all(self.stats(), self.config, queries=queries)
+        return self._plan_full(queries=queries)
 
     # ------------------------------------------------------------------ #
     # Shared artifacts
@@ -657,6 +718,7 @@ class Engine:
         self._version += 1
         self._compute_graph = None
         self._stats = None
+        self._plan_cache.clear()
         self._transition = None
         self._transition_backend = None
         self._index = None

@@ -5,16 +5,17 @@ Given one :class:`GraphStats` snapshot and one
 task shape from :data:`~repro.engine.capabilities.ALL_TASKS` — the method,
 compute backend, worker count and (for serving) answer tier, together with
 estimated multiply-adds and resident bytes.  The decision procedure is a
-pure function of ``(stats, config)``: no wall-clock, no randomness, no
-global state — calling it twice always yields the same plan, which is what
-lets ``explain()`` output double as a reproducible experiment artifact.
+pure function of ``(stats, config, cost model)``: no wall-clock, no
+randomness, no global state — calling it twice always yields the same plan,
+which is what lets ``explain()`` output double as a reproducible experiment
+artifact.
 
 The cost model is the paper's own accounting:
 
 * matrix-form paths cost ``2 · K · nnz(W)`` multiply-adds per dense column
   (``nnz`` from the backend's :class:`~repro.engine.capabilities
-  .BackendTraits` — ``m`` for CSR, ``n²`` dense), with a constant-factor
-  discount for dense BLAS throughput;
+  .BackendTraits` — ``m`` for CSR, ``n²`` dense), weighted by the
+  backend's series kernel;
 * per-vertex paths are priced by the partial-sum model of Eq. 7
   (:mod:`repro.core.transition_cost`): the measured *sharing ratio* —
   mean ``TC_{I(a) → I(b)} / (|I(b)| − 1)`` over sampled in-neighbour sets —
@@ -25,8 +26,16 @@ The cost model is the paper's own accounting:
   ``memory_budget`` tightens (the approximate tier is only admitted when
   the configured fingerprints satisfy ``max_error``).
 
-Every choice is recorded in the plan's ``reasons`` so ``explain()`` shows
-*why*, not just *what*.
+Every *constant* in that accounting — the dense BLAS discount, the Python
+loop penalty, the per-kernel rates — is read from a pluggable
+:class:`~repro.engine.cost_model.CostModel` provider, not from module
+globals.  The default :class:`~repro.engine.cost_model.StaticCostModel`
+reproduces the historical hard-coded weights bit for bit; a measured
+per-host profile (``repro-simrank calibrate``) swaps honest numbers in and
+additionally turns op counts into wall-clock estimates.  Each plan records
+the constants it was priced with and their provenance (measured vs
+assumed), and every choice is recorded in the plan's ``reasons`` so
+``explain()`` shows *why*, not just *what*.
 """
 
 from __future__ import annotations
@@ -42,6 +51,12 @@ from ..exceptions import ConfigurationError
 from ..parallel import resolve_workers
 from .capabilities import ALL_TASKS, backend_traits
 from .config import AUTO_METHOD, EngineConfig
+from .cost_model import (
+    DENSE_BLAS_SPEEDUP,
+    PYTHON_LOOP_PENALTY,
+    CostModel,
+    resolve_cost_model,
+)
 
 __all__ = [
     "DENSE_BLAS_SPEEDUP",
@@ -52,17 +67,6 @@ __all__ = [
     "plan_task",
     "plan_all",
 ]
-
-DENSE_BLAS_SPEEDUP = 8.0
-"""Throughput advantage assumed for dense BLAS over CSR products, per
-multiply-add.  The auto backend rule picks dense only when
-``density > 1 / DENSE_BLAS_SPEEDUP`` — the regime where the operator is
-dense enough that BLAS wins despite touching every entry."""
-
-PYTHON_LOOP_PENALTY = 64.0
-"""Constant factor charged to per-vertex (Python-loop) solvers relative to
-vectorised matrix arithmetic.  It keeps the cost estimates of explicitly
-configured per-vertex methods comparable with the matrix family's."""
 
 SHARING_SAMPLE = 64
 """In-neighbour sets sampled when measuring the sharing ratio."""
@@ -103,17 +107,22 @@ class GraphStats:
     def from_graph(cls, graph, sample: int = SHARING_SAMPLE) -> "GraphStats":
         """Measure ``graph``; samples the sharing ratio when adjacency exists.
 
-        The sample walks up to ``sample`` evenly spaced vertices in id
-        order and prices deriving each in-neighbour set from the previous
-        one (Eq. 7) against recomputing it — deterministic for a given
-        graph, ``O(sample · d)`` work.
+        The sample walks at most ``sample`` evenly spaced vertices in id
+        order — exactly ``min(sample, n)`` probes, never more — and prices
+        deriving each in-neighbour set from the previous one (Eq. 7)
+        against recomputing it: deterministic for a given graph,
+        ``O(sample · d)`` work.
         """
         n = int(graph.num_vertices)
         m = int(graph.num_edges)
         sharing: Optional[float] = None
         if hasattr(graph, "in_neighbors") and n > 1 and m > 0:
-            step = max(n // max(sample, 1), 1)
-            vertices = range(0, n, step)
+            probes = min(max(sample, 1), n)
+            # ``(i · n) // probes`` is strictly increasing for probes <= n,
+            # so this visits exactly ``probes`` distinct vertices (the old
+            # ``range(0, n, n // sample)`` walk could visit nearly 2x
+            # ``sample`` when n was not a multiple of it).
+            vertices = [(index * n) // probes for index in range(probes)]
             shared_cost = 0
             scratch = 0
             previous: Optional[frozenset[int]] = None
@@ -144,7 +153,12 @@ class TaskPlan:
     ``estimated_ops`` prices the task itself (for ``serve``: the offline
     artifact build); ``estimated_query_ops`` prices one online query where
     that distinction matters.  ``estimated_bytes`` is the peak resident
-    working set, operator included.
+    working set, operator included.  ``estimated_seconds`` is the
+    wall-clock estimate when every kernel pricing the task carries a
+    measured rate (``None`` under the static model — assumed weights have
+    no time base).  ``constants`` records each cost-model constant the
+    plan was priced with as ``(kernel, weight, provenance)`` where
+    provenance is ``"measured"`` or ``"assumed"``.
     """
 
     task: str
@@ -156,22 +170,36 @@ class TaskPlan:
     estimated_ops: int = 0
     estimated_query_ops: int = 0
     estimated_bytes: int = 0
+    estimated_seconds: Optional[float] = None
+    constants: tuple[tuple[str, float, str], ...] = ()
     reasons: tuple[str, ...] = field(default_factory=tuple)
 
     def to_dict(self) -> dict[str, object]:
         """A plain, JSON-serialisable summary of the decision."""
         data = asdict(self)
         data["reasons"] = list(self.reasons)
+        data["constants"] = [
+            {"kernel": kernel, "weight": weight, "provenance": provenance}
+            for kernel, weight, provenance in self.constants
+        ]
         return data
 
 
 @dataclass(frozen=True)
 class ExecutionPlan:
-    """Plans for every task shape of one engine session, as one artifact."""
+    """Plans for every task shape of one engine session, as one artifact.
+
+    ``cost_source``/``cost_digest`` identify the cost model the plans were
+    priced with (``"static"`` for the built-in weights, the profile's
+    layer and content digest otherwise) — the same digest the engine's
+    plan cache keys on and experiment reports record.
+    """
 
     graph: GraphStats
     config: EngineConfig
     tasks: tuple[TaskPlan, ...]
+    cost_source: str = "static"
+    cost_digest: str = "static"
 
     def task(self, name: str) -> TaskPlan:
         """The plan for one task shape; unknown names raise."""
@@ -187,6 +215,10 @@ class ExecutionPlan:
         return {
             "graph": self.graph.to_dict(),
             "config": self.config.to_dict(),
+            "cost_model": {
+                "source": self.cost_source,
+                "digest": self.cost_digest,
+            },
             "tasks": [plan.to_dict() for plan in self.tasks],
         }
 
@@ -204,15 +236,35 @@ class ExecutionPlan:
             f"config: method={self.config.method} backend="
             f"{self.config.backend or 'auto'} damping={self.config.damping} "
             f"workers={self.config.workers}",
+            f"cost model: {self.cost_source}"
+            + (
+                " (built-in weights, all constants assumed)"
+                if self.cost_digest == "static"
+                else f" (measured profile {self.cost_digest})"
+            ),
         ]
         for plan in self.tasks:
             tier = f" tier={plan.tier}" if plan.tier else ""
+            seconds = (
+                f" secs~{plan.estimated_seconds:.2e}"
+                if plan.estimated_seconds is not None
+                else ""
+            )
             lines.append(
                 f"  {plan.task:>9}: method={plan.method} "
                 f"backend={plan.backend or '-'} workers={plan.workers} "
                 f"K={plan.iterations}{tier} "
                 f"ops~{plan.estimated_ops:.2e} bytes~{plan.estimated_bytes:.2e}"
+                f"{seconds}"
             )
+            if plan.constants:
+                lines.append(
+                    "             constants: "
+                    + ", ".join(
+                        f"{kernel}={weight:.4g} ({provenance})"
+                        for kernel, weight, provenance in plan.constants
+                    )
+                )
             for reason in plan.reasons:
                 lines.append(f"             - {reason}")
         return "\n".join(lines)
@@ -227,12 +279,12 @@ def _series_ops(traits, stats: GraphStats, iterations: int, columns: int) -> int
     return int(2 * iterations * nnz * columns)
 
 
-def _weighted_series_ops(traits, stats, iterations, columns) -> float:
-    """Series ops discounted by the backend's throughput constant."""
+def _weighted_series_ops(
+    traits, stats, iterations, columns, model: CostModel
+) -> float:
+    """Series ops weighted by the backend's series-kernel constant."""
     ops = _series_ops(traits, stats, iterations, columns)
-    if traits.dense_operator:
-        return ops / DENSE_BLAS_SPEEDUP
-    return float(ops)
+    return ops * model.weight(traits.resolved_series_kernel())
 
 
 def _per_vertex_ops(
@@ -252,14 +304,18 @@ def _per_vertex_ops(
 
 
 def _auto_backend(
-    stats: GraphStats, config: EngineConfig, iterations: int, columns: int
-) -> tuple[str, list[str]]:
+    stats: GraphStats,
+    config: EngineConfig,
+    iterations: int,
+    columns: int,
+    model: CostModel,
+) -> tuple[str, list[str], set[str]]:
     """Pick dense vs sparse for a matrix-form task by weighted cost."""
     reasons: list[str] = []
     sparse = backend_traits("sparse")
     dense = backend_traits("dense")
-    sparse_cost = _weighted_series_ops(sparse, stats, iterations, columns)
-    dense_cost = _weighted_series_ops(dense, stats, iterations, columns)
+    sparse_cost = _weighted_series_ops(sparse, stats, iterations, columns, model)
+    dense_cost = _weighted_series_ops(dense, stats, iterations, columns, model)
     choice = "dense" if dense_cost < sparse_cost else "sparse"
     if config.memory_budget is not None and choice == "dense":
         operator = dense.operator_bytes(stats.num_vertices, stats.num_edges)
@@ -270,32 +326,45 @@ def _auto_backend(
                 "falling back to sparse"
             )
             choice = "sparse"
+    dense_kernel = dense.resolved_series_kernel()
     reasons.append(
         f"auto backend: sparse ~{sparse_cost:.2e} weighted ops vs dense "
-        f"~{dense_cost:.2e} (BLAS discount {DENSE_BLAS_SPEEDUP:g}x, "
+        f"~{dense_cost:.2e} (dense weight {model.weight(dense_kernel):.4g}x "
+        f"[{model.provenance(dense_kernel)}], "
         f"density {stats.density:.2e}) -> {choice}"
     )
-    return choice, reasons
+    return (
+        choice,
+        reasons,
+        {sparse.resolved_series_kernel(), dense_kernel},
+    )
 
 
 def _resolve_method_and_backend(
-    task: str, stats: GraphStats, config: EngineConfig, iterations: int,
+    task: str,
+    stats: GraphStats,
+    config: EngineConfig,
+    iterations: int,
     columns: int,
-) -> tuple[str, Optional[str], list[str]]:
+    model: CostModel,
+) -> tuple[str, Optional[str], list[str], set[str]]:
     """Select (method, backend) for ``task``, honouring explicit config."""
     from ..api import METHODS, _resolve_backend, method_spec  # lazy: no cycle
 
     reasons: list[str] = []
+    consulted: set[str] = set()
     if task == "all_pairs":
         if config.method != AUTO_METHOD:
             spec = method_spec(config.method)
             reasons.append(f"method {spec.name!r} pinned by config")
         else:
             spec = METHODS["matrix"]
+            loop_kernel = "python_vertex_step"
+            consulted.add(loop_kernel)
             reasons.append(
                 "auto method: matrix-form series (vectorised; per-vertex "
-                f"solvers carry a ~{PYTHON_LOOP_PENALTY:g}x Python-loop "
-                "constant)"
+                f"solvers carry a ~{model.weight(loop_kernel):g}x "
+                f"Python-loop constant [{model.provenance(loop_kernel)}])"
             )
             if stats.sharing_ratio is not None and stats.sharing_ratio < 1.0:
                 reasons.append(
@@ -326,15 +395,18 @@ def _resolve_method_and_backend(
         backend = _resolve_backend(spec, config.backend)
         reasons.append(f"backend {backend!r} pinned by config")
     elif spec.capabilities.accepts_backend:
-        backend, auto_reasons = _auto_backend(stats, config, iterations, columns)
+        backend, auto_reasons, auto_consulted = _auto_backend(
+            stats, config, iterations, columns, model
+        )
         reasons.extend(auto_reasons)
+        consulted |= auto_consulted
     else:
         backend = spec.capabilities.default_backend
         if backend is None:
             reasons.append(
                 f"method {spec.name!r} is backend-agnostic (Python adjacency)"
             )
-    return spec.name, backend, reasons
+    return spec.name, backend, reasons, consulted
 
 
 def _resolve_workers_for(
@@ -370,16 +442,40 @@ def _resolve_workers_for(
     return resolved, reasons
 
 
+def _estimated_seconds(
+    breakdown: dict[str, float], model: CostModel
+) -> Optional[float]:
+    """Wall-clock estimate for a kernel-ops breakdown, if fully measured.
+
+    ``None`` when any pricing kernel lacks a measured rate — a partially
+    assumed sum would look like a measurement without being one.
+    """
+    if not breakdown:
+        return None
+    total = 0.0
+    for kernel, ops in breakdown.items():
+        rate = model.seconds_per_op(kernel)
+        if rate is None:
+            return None
+        total += ops * rate
+    return total
+
+
 def plan_task(
     task: str,
     stats: GraphStats,
     config: EngineConfig,
     queries: int = 1,
+    cost_model: Optional[CostModel] = None,
 ) -> TaskPlan:
-    """Plan one task shape — a pure function of ``(stats, config)``.
+    """Plan one task shape — a pure function of ``(stats, config, model)``.
 
     ``queries`` sizes the batch for ``top_k`` cost estimates (it never
     changes the selected method/backend, only the estimate).
+    ``cost_model`` defaults to the layered resolution of
+    :func:`~repro.engine.cost_model.resolve_cost_model` — pass one
+    explicitly to pin it (the engine passes its session model so cached
+    plans and their digests stay coherent).
     """
     if task not in ALL_TASKS:
         raise ConfigurationError(
@@ -387,11 +483,12 @@ def plan_task(
         )
     from ..api import METHODS  # lazy: no cycle
 
+    model = cost_model if cost_model is not None else resolve_cost_model(config)
     iterations = config.resolved_iterations()
     n = stats.num_vertices
     columns = {"all_pairs": n, "top_k": max(queries, 1), "pair": 1}.get(task, n)
-    method, backend, reasons = _resolve_method_and_backend(
-        task, stats, config, iterations, columns
+    method, backend, reasons, consulted = _resolve_method_and_backend(
+        task, stats, config, iterations, columns, model
     )
     workers, worker_reasons = _resolve_workers_for(task, method, config)
     reasons.extend(worker_reasons)
@@ -399,39 +496,49 @@ def plan_task(
 
     tier: Optional[str] = None
     query_ops = 0
+    breakdown: dict[str, float] = {}  # kernel -> raw ops priced by it
     if backend is not None:
         traits = backend_traits(backend)
         operator_bytes = traits.operator_bytes(n, stats.num_edges)
         nnz = traits.operator_nnz(n, stats.num_edges)
+        series_kernel = traits.resolved_series_kernel()
     else:
         traits = None
         operator_bytes = 0
         nnz = stats.num_edges
+        series_kernel = "sparse_matvec"
 
     if task == "all_pairs":
         if capabilities.shares_transition and traits is not None:
             ops = _series_ops(traits, stats, iterations, n)
+            breakdown[series_kernel] = ops
             peak = operator_bytes + 2 * n * n * 8
         else:
-            ops, sharing_reason = _per_vertex_ops(
+            raw_ops, sharing_reason = _per_vertex_ops(
                 capabilities, stats, iterations
             )
-            ops = int(ops * PYTHON_LOOP_PENALTY)
+            breakdown["python_vertex_step"] = raw_ops
+            ops = int(raw_ops * model.weight("python_vertex_step"))
             peak = n * n * 8 + n * 8
             if sharing_reason is not None:
                 reasons.append(sharing_reason)
     elif task == "top_k":
         ops = _series_ops(traits, stats, iterations, columns)
+        breakdown[series_kernel] = ops
         query_ops = _series_ops(traits, stats, iterations, 1)
         peak = operator_bytes + (iterations + 1) * n * columns * 8
     elif task == "pair":
         ops = _series_ops(traits, stats, iterations, 1)
+        breakdown[series_kernel] = ops
         query_ops = ops
         peak = operator_bytes + (iterations + 1) * n * 8
     else:  # serve
-        tier, ops, query_ops, peak, tier_reasons = _plan_serving_tier(
-            stats, config, iterations, nnz, operator_bytes
+        tier, ops, query_ops, peak, tier_reasons, tier_breakdown = (
+            _plan_serving_tier(
+                stats, config, iterations, nnz, operator_bytes, series_kernel
+            )
         )
+        breakdown.update(tier_breakdown)
         reasons.extend(tier_reasons)
         reasons.extend(_serving_slo_reasons(config))
         if config.catalog_path is not None:
@@ -441,6 +548,7 @@ def plan_task(
                 "matching committed catalog instead of rebuilding"
             )
 
+    priced = sorted(set(breakdown) | consulted)
     return TaskPlan(
         task=task,
         method=method,
@@ -451,6 +559,8 @@ def plan_task(
         estimated_ops=int(ops),
         estimated_query_ops=int(query_ops),
         estimated_bytes=int(peak),
+        estimated_seconds=_estimated_seconds(breakdown, model),
+        constants=tuple(model.constant(kernel) for kernel in priced),
         reasons=tuple(reasons),
     )
 
@@ -494,8 +604,14 @@ def _plan_serving_tier(
     iterations: int,
     nnz: int,
     operator_bytes: int,
-) -> tuple[str, int, int, int, list[str]]:
-    """Pick the serving tier the session should precompute toward."""
+    series_kernel: str,
+) -> tuple[str, int, int, int, list[str], dict[str, float]]:
+    """Pick the serving tier the session should precompute toward.
+
+    The returned breakdown maps cost-model kernels to the raw ops of the
+    tier's offline build, so the caller can price it in wall-clock under a
+    measured profile.
+    """
     n = stats.num_vertices
     reasons: list[str] = []
     # Exact truncated index: one batched series sweep offline, a CSR row
@@ -529,6 +645,7 @@ def _plan_serving_tier(
             2 * config.index_k,  # row lookup + (-score, id) truncation
             index_bytes + operator_bytes,
             reasons,
+            {series_kernel: index_build, "topk_truncate": 2 * config.index_k},
         )
     reasons.append(
         f"exact index ({index_bytes + operator_bytes:.2e} B) exceeds the "
@@ -550,6 +667,7 @@ def _plan_serving_tier(
             config.approx_walks * walk_length,
             fingerprint_bytes + operator_bytes,
             reasons,
+            {"fingerprint_sample": fingerprint_build},
         )
     if config.max_error is not None and standard_error > config.max_error:
         reasons.append(
@@ -563,18 +681,25 @@ def _plan_serving_tier(
         2 * iterations * nnz,
         operator_bytes + (iterations + 1) * n * config.max_batch * 8,
         reasons,
+        {},
     )
 
 
 def plan_all(
-    stats: GraphStats, config: EngineConfig, queries: int = 1
+    stats: GraphStats,
+    config: EngineConfig,
+    queries: int = 1,
+    cost_model: Optional[CostModel] = None,
 ) -> ExecutionPlan:
     """Plan every task shape of a session as one inspectable artifact."""
+    model = cost_model if cost_model is not None else resolve_cost_model(config)
     return ExecutionPlan(
         graph=stats,
         config=config,
         tasks=tuple(
-            plan_task(task, stats, config, queries=queries)
+            plan_task(task, stats, config, queries=queries, cost_model=model)
             for task in ALL_TASKS
         ),
+        cost_source=model.source,
+        cost_digest=model.digest(),
     )

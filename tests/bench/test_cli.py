@@ -202,7 +202,8 @@ class TestExplainSubcommand:
             ["explain", "--rmat-scale", "7", "--workers", "2", "--json", str(path)]
         ) == 0
         data = json.loads(path.read_text())
-        assert set(data) == {"graph", "config", "tasks"}
+        assert set(data) == {"graph", "config", "cost_model", "tasks"}
+        assert data["cost_model"] == {"source": "static", "digest": "static"}
         tasks = {entry["task"]: entry for entry in data["tasks"]}
         for shape in ("all_pairs", "top_k", "serve"):
             entry = tasks[shape]
@@ -243,6 +244,55 @@ class TestExplainSubcommand:
     def test_engine_parity_registered(self, capsys):
         args = build_parser().parse_args(["engine-parity", "--quick"])
         assert args.experiment == "engine-parity"
+
+    def test_explain_with_profile_reports_measured_provenance(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        profile_path = tmp_path / "profile.json"
+        assert main(
+            ["calibrate", "--quick", "--out", str(profile_path)]
+        ) == 0
+        capsys.readouterr()
+        plan_path = tmp_path / "plan.json"
+        assert main(
+            [
+                "explain", "--rmat-scale", "6",
+                "--cost-profile", str(profile_path),
+                "--json", str(plan_path),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "measured profile" in output
+        data = json.loads(plan_path.read_text())
+        assert data["cost_model"]["source"].startswith("explicit:")
+        assert data["cost_model"]["digest"] != "static"
+        for entry in data["tasks"]:
+            for constant in entry["constants"]:
+                assert constant["provenance"] == "measured"
+
+
+class TestCalibrateSubcommand:
+    def test_calibrate_writes_a_loadable_profile(self, tmp_path, capsys):
+        from repro.calibrate import PROBES, CostProfile
+
+        path = tmp_path / "profile.json"
+        assert main(["calibrate", "--quick", "--out", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "profile digest" in output
+        profile = CostProfile.load(path)
+        assert set(profile.kernels) == set(PROBES)
+        profile.validate()  # fresh, this host
+
+    def test_calibrate_defaults_to_user_profile_path(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.calibrate import default_profile_path
+
+        monkeypatch.setenv("XDG_CONFIG_HOME", str(tmp_path))
+        assert main(["calibrate", "--quick"]) == 0
+        assert default_profile_path().is_file()
 
     def test_engine_parity_runs_quick(self, capsys):
         assert main(["engine-parity", "--quick", "--scale", "0.5"]) == 0

@@ -108,6 +108,7 @@ class TestReportJson:
                 "title": "T",
                 "rows": [{"tier": "cold", "mean_ms": 1.5}],
                 "notes": ["a note"],
+                "cost_profile": "static",
             }
         ]
 

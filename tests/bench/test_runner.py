@@ -54,6 +54,26 @@ class TestExperimentReport:
         assert report.column("seconds", algorithm="b") == [2.0]
         assert report.notes == ["a note"]
 
+    def test_records_static_cost_profile_by_default(self):
+        report = ExperimentReport(experiment="x", title="t")
+        assert report.cost_profile == "static"
+        assert report.to_dict()["cost_profile"] == "static"
+
+    def test_records_active_profile_digest(self, tmp_path, monkeypatch):
+        from repro.calibrate import CostProfile, KernelMeasurement
+
+        profile = CostProfile(
+            kernels={
+                "sparse_matvec": KernelMeasurement(
+                    kernel="sparse_matvec", seconds_per_op=1e-9, ops=100
+                )
+            }
+        )
+        path = profile.save(tmp_path / "profile.json")
+        monkeypatch.setenv("REPRO_COST_PROFILE", str(path))
+        report = ExperimentReport(experiment="x", title="t")
+        assert report.cost_profile == profile.digest()
+
 
 class TestWorkersForwarding:
     def test_matrix_sr_honours_workers(self, paper_graph):

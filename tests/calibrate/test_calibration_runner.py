@@ -1,0 +1,70 @@
+"""Tests for the calibration probes and the timing runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibrate import PROBES, calibrate, time_probe
+from repro.engine.cost_model import STATIC_WEIGHTS
+from repro.exceptions import ConfigurationError
+
+
+class TestProbeRegistry:
+    def test_every_priced_kernel_has_a_probe(self):
+        # The planner can only swap a measured constant in for kernels the
+        # calibrator actually measures; a kernel priced by STATIC_WEIGHTS
+        # without a probe would be forever assumed.
+        assert set(STATIC_WEIGHTS) <= set(PROBES)
+
+    def test_probes_declare_positive_op_counts(self):
+        for name, probe in PROBES.items():
+            run, ops = probe.make(quick=True)
+            assert ops > 0, name
+            run()  # must execute without error
+
+    def test_probe_construction_is_deterministic(self):
+        # Same synthetic operands every time — a probe that re-randomised
+        # its inputs would measure different sparsity patterns per run.
+        import numpy as np
+
+        for name, probe in PROBES.items():
+            first, _ = probe.make(quick=True)
+            second, _ = probe.make(quick=True)
+            a, b = first(), second()
+            if isinstance(a, np.ndarray):
+                np.testing.assert_array_equal(a, b)
+            else:
+                assert a == b, name
+
+
+class TestTimeProbe:
+    def test_returns_positive_time_and_calls(self):
+        best, calls = time_probe(lambda: None, repeats=2, min_seconds=1e-4)
+        assert best > 0.0
+        assert calls >= 1
+
+    def test_autorange_batches_fast_kernels(self):
+        _, calls = time_probe(lambda: None, repeats=1, min_seconds=1e-3)
+        assert calls > 1  # a no-op cannot fill 1ms in a single call
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            time_probe(lambda: None, repeats=0)
+
+
+class TestCalibrate:
+    def test_quick_calibration_measures_every_kernel(self):
+        profile = calibrate(quick=True)
+        assert set(profile.kernels) == set(PROBES)
+        for measurement in profile.kernels.values():
+            assert measurement.seconds_per_op > 0.0
+            assert measurement.best_seconds > 0.0
+        profile.validate()  # fresh, this host: must pass
+
+    def test_kernel_subset(self):
+        profile = calibrate(quick=True, kernels=["sparse_matvec"])
+        assert set(profile.kernels) == {"sparse_matvec"}
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            calibrate(quick=True, kernels=["sparse_matvec", "warp_drive"])

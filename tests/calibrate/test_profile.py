@@ -1,0 +1,175 @@
+"""Tests for the cost-profile format and its layered resolution."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.calibrate import (
+    ENV_VAR,
+    STATIC_SENTINEL,
+    CostProfile,
+    KernelMeasurement,
+    current_host,
+    default_profile_path,
+    resolve_profile,
+)
+from repro.calibrate.profile import DEFAULT_MAX_AGE_DAYS, PROFILE_SCHEMA_VERSION
+from repro.exceptions import ConfigurationError
+
+
+def make_profile(**rates: float) -> CostProfile:
+    """A valid profile for this host with the given seconds-per-op rates."""
+    rates = rates or {"sparse_matvec": 1e-9, "dense_gemm": 1e-10}
+    return CostProfile(
+        kernels={
+            name: KernelMeasurement(
+                kernel=name, seconds_per_op=rate, ops=1000, calls=4, repeats=3
+            )
+            for name, rate in rates.items()
+        }
+    )
+
+
+class TestCostProfile:
+    def test_round_trips_through_json(self):
+        profile = make_profile()
+        restored = CostProfile.from_json(profile.to_json())
+        assert restored == profile
+        assert restored.digest() == profile.digest()
+
+    def test_digest_is_content_addressed(self):
+        def pinned(rate: float) -> CostProfile:
+            return CostProfile(
+                kernels={
+                    "sparse_matvec": KernelMeasurement(
+                        kernel="sparse_matvec", seconds_per_op=rate, ops=100
+                    )
+                },
+                host={"system": "Linux", "machine": "x86_64", "cpu_count": 4},
+                created_unix=1_700_000_000.0,
+            )
+
+        assert pinned(1e-9).digest() == pinned(1e-9).digest()
+        assert pinned(1e-9).digest() != pinned(2e-9).digest()
+
+    def test_save_load_round_trip(self, tmp_path):
+        profile = make_profile()
+        path = profile.save(tmp_path / "deep" / "profile.json")
+        assert CostProfile.load(path) == profile
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostProfile(kernels={})
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelMeasurement(kernel="sparse_matvec", seconds_per_op=0.0, ops=10)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostProfile.from_json("{not json")
+        with pytest.raises(ConfigurationError):
+            CostProfile.from_json('{"kernels": {}}')
+
+    def test_validate_accepts_fresh_local_profile(self):
+        make_profile().validate()
+
+    def test_validate_rejects_host_mismatch(self):
+        profile = make_profile()
+        other = dict(current_host())
+        other["machine"] = "imaginary-isa"
+        with pytest.raises(ConfigurationError, match="host"):
+            profile.validate(host=other)
+
+    def test_validate_rejects_stale_profile(self):
+        profile = make_profile()
+        future = time.time() + (DEFAULT_MAX_AGE_DAYS + 1) * 86400.0
+        with pytest.raises(ConfigurationError, match="days old"):
+            profile.validate(now=future)
+
+    def test_validate_rejects_future_timestamp(self):
+        profile = make_profile()
+        with pytest.raises(ConfigurationError):
+            profile.validate(now=profile.created_unix - 86400.0)
+
+    def test_validate_rejects_unknown_schema(self):
+        profile = CostProfile(
+            kernels=make_profile().kernels,
+            schema_version=PROFILE_SCHEMA_VERSION + 1,
+        )
+        with pytest.raises(ConfigurationError, match="schema"):
+            profile.validate()
+
+
+class TestLayeredResolution:
+    def test_explicit_path_wins(self, tmp_path, monkeypatch):
+        explicit = make_profile(sparse_matvec=1e-9).save(tmp_path / "a.json")
+        ambient = make_profile(sparse_matvec=5e-9).save(tmp_path / "b.json")
+        monkeypatch.setenv(ENV_VAR, str(ambient))
+        profile, source = resolve_profile(str(explicit))
+        assert profile.seconds_per_op("sparse_matvec") == 1e-9
+        assert source == f"explicit:{explicit}"
+
+    def test_explicit_static_sentinel_pins_static(self, tmp_path, monkeypatch):
+        ambient = make_profile().save(tmp_path / "ambient.json")
+        monkeypatch.setenv(ENV_VAR, str(ambient))
+        profile, source = resolve_profile(STATIC_SENTINEL)
+        assert profile is None
+        assert source == STATIC_SENTINEL
+
+    def test_explicit_bad_path_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            resolve_profile(str(tmp_path / "missing.json"))
+
+    def test_env_layer_used_when_no_explicit(self, tmp_path, monkeypatch):
+        path = make_profile().save(tmp_path / "env.json")
+        monkeypatch.setenv(ENV_VAR, str(path))
+        profile, source = resolve_profile()
+        assert profile is not None
+        assert source == f"env:{path}"
+
+    def test_env_static_sentinel(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, STATIC_SENTINEL)
+        assert resolve_profile() == (None, STATIC_SENTINEL)
+
+    def test_env_bad_profile_warns_and_falls_back(self, tmp_path, monkeypatch):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        monkeypatch.setenv(ENV_VAR, str(bad))
+        with pytest.warns(RuntimeWarning, match="ignoring"):
+            profile, source = resolve_profile()
+        assert profile is None
+        assert source == STATIC_SENTINEL
+
+    def test_user_profile_layer(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        monkeypatch.setenv("XDG_CONFIG_HOME", str(tmp_path))
+        expected = default_profile_path()
+        assert str(expected).startswith(str(tmp_path))
+        make_profile().save(expected)
+        profile, source = resolve_profile()
+        assert profile is not None
+        assert source == f"user:{expected}"
+
+    def test_stale_user_profile_warns_and_falls_back(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        monkeypatch.setenv("XDG_CONFIG_HOME", str(tmp_path))
+        stale = CostProfile(
+            kernels=make_profile().kernels,
+            created_unix=time.time() - (DEFAULT_MAX_AGE_DAYS + 2) * 86400.0,
+        )
+        stale.save(default_profile_path())
+        with pytest.warns(RuntimeWarning, match="ignoring"):
+            profile, source = resolve_profile()
+        assert (profile, source) == (None, STATIC_SENTINEL)
+
+    def test_static_fallback_when_nothing_configured(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        monkeypatch.setenv("XDG_CONFIG_HOME", str(tmp_path))  # empty dir
+        assert resolve_profile() == (None, STATIC_SENTINEL)

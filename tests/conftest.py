@@ -8,6 +8,18 @@ from repro.graph.builders import from_in_neighbor_sets
 from repro.graph.generators import citation_network, gnp_random, web_graph
 
 
+@pytest.fixture(autouse=True)
+def _static_cost_model(monkeypatch):
+    """Pin every test to the static cost model.
+
+    An ambient ``REPRO_COST_PROFILE`` or per-user calibration profile would
+    change planner weights (and therefore plans, reasons and digests) under
+    the whole suite; tests that exercise the layered resolution override
+    this with their own monkeypatching.
+    """
+    monkeypatch.setenv("REPRO_COST_PROFILE", "static")
+
+
 PAPER_IN_NEIGHBORS = {
     "a": ["b", "g"],
     "e": ["f", "g"],

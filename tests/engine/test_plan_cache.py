@@ -1,0 +1,96 @@
+"""Tests for the engine's plan cache and its version-stamp invalidation."""
+
+from __future__ import annotations
+
+from repro import Engine, EngineConfig
+
+
+def absent_edge(graph) -> tuple[int, int]:
+    """A directed edge not present in ``graph`` (to add in mutation tests)."""
+    existing = {(int(s), int(t)) for s, t in graph.edges()}
+    for target in range(1, graph.num_vertices):
+        if (0, target) not in existing:
+            return (0, target)
+    raise AssertionError("graph has a full out-neighbourhood at vertex 0")
+
+
+class TestPlanCache:
+    def test_repeated_plans_reprice_zero_times(self, small_web_graph):
+        engine = Engine(small_web_graph)
+        engine.plan("top_k")
+        computed = engine.counters.plan_computes
+        for _ in range(5):
+            engine.plan("top_k")
+        assert engine.counters.plan_computes == computed
+        assert engine.counters.plan_cache_hits == 5
+
+    def test_explain_is_cached_too(self, small_web_graph):
+        engine = Engine(small_web_graph)
+        first = engine.explain()
+        computed = engine.counters.plan_computes
+        assert engine.explain() is first
+        assert engine.counters.plan_computes == computed
+        assert engine.counters.plan_cache_hits == 1
+
+    def test_dispatch_paths_share_the_cache(self, small_web_graph):
+        # Task execution prices through the same memoized _plan as the
+        # public plan() surface: once a dispatch shape has been priced, a
+        # steady session re-prices zero times however often it runs.
+        engine = Engine(small_web_graph)
+        engine.top_k([0, 5], k=3)
+        engine.pair(0, 7)
+        computed = engine.counters.plan_computes
+        for _ in range(3):
+            engine.top_k([0, 5], k=3)
+            engine.pair(0, 7)
+        assert engine.counters.plan_computes == computed
+        assert engine.counters.plan_cache_hits > 0
+
+    def test_distinct_queries_are_distinct_cache_entries(
+        self, small_web_graph
+    ):
+        engine = Engine(small_web_graph)
+        engine.plan("top_k", queries=1)
+        engine.plan("top_k", queries=8)
+        assert engine.counters.plan_computes == 2
+        engine.plan("top_k", queries=8)
+        assert engine.counters.plan_computes == 2
+
+    def test_mutation_invalidates_cached_plans(self, small_web_graph):
+        engine = Engine(small_web_graph)
+        source, target = absent_edge(small_web_graph)
+        stale = engine.plan("top_k")
+        version = engine.version
+        assert engine.add_edge(source, target)
+        assert engine.version == version + 1
+        fresh = engine.plan("top_k")
+        # Re-priced, not served stale: the compute counter moved and the
+        # new plan reflects the mutated graph's statistics.
+        assert engine.counters.plan_computes == 2
+        assert fresh is not stale
+        engine.plan("top_k")
+        assert engine.counters.plan_computes == 2  # cached again post-mutation
+
+    def test_ineffective_mutation_keeps_cache(self, small_web_graph):
+        engine = Engine(small_web_graph)
+        source, target = absent_edge(small_web_graph)
+        engine.plan("top_k")
+        assert engine.add_edge(source, target)
+        engine.plan("top_k")
+        computed = engine.counters.plan_computes
+        assert not engine.add_edge(source, target)  # already present: no-op
+        engine.plan("top_k")
+        assert engine.counters.plan_computes == computed
+
+    def test_counters_expose_cache_metrics(self, small_web_graph):
+        engine = Engine(small_web_graph)
+        engine.plan("pair")
+        engine.plan("pair")
+        counters = engine.counters.as_dict()
+        assert counters["plan_computes"] == 1
+        assert counters["plan_cache_hits"] == 1
+
+    def test_cached_plan_digest_matches_session_model(self, small_web_graph):
+        engine = Engine(small_web_graph, EngineConfig(cost_profile="static"))
+        plan = engine.explain()
+        assert plan.cost_digest == engine.cost_model().digest() == "static"

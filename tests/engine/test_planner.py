@@ -8,7 +8,9 @@ from hypothesis import strategies as st
 
 from repro import EngineConfig
 from repro.api import METHODS
+from repro.calibrate import CostProfile, KernelMeasurement
 from repro.engine.capabilities import ALL_TASKS, backend_traits
+from repro.engine.cost_model import ProfiledCostModel, StaticCostModel
 from repro.engine.planner import GraphStats, plan_all, plan_task
 from repro.exceptions import ConfigurationError
 
@@ -225,6 +227,94 @@ class TestExecutionPlan:
             plan.task("everything")
 
 
+profile_strategy = st.dictionaries(
+    st.sampled_from(
+        [
+            "sparse_matvec",
+            "dense_gemm",
+            "series_step",
+            "topk_truncate",
+            "python_vertex_step",
+            "fingerprint_sample",
+        ]
+    ),
+    st.floats(min_value=1e-12, max_value=1e-3),
+    min_size=1,
+).map(
+    lambda rates: CostProfile(
+        kernels={
+            name: KernelMeasurement(kernel=name, seconds_per_op=rate, ops=100)
+            for name, rate in rates.items()
+        }
+    )
+)
+
+
+class TestPlannerUnderArbitraryProfiles:
+    """The planner's invariants hold for *any* valid measured profile —
+    calibration can change which plan wins, never whether the plan is
+    legal or reproducible."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        stats=stats_strategy, config=config_strategy, profile=profile_strategy
+    )
+    def test_plan_stays_deterministic(self, stats, config, profile):
+        model = ProfiledCostModel(profile)
+        for task in ALL_TASKS:
+            assert plan_task(
+                task, stats, config, cost_model=model
+            ) == plan_task(task, stats, config, cost_model=model)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        stats=stats_strategy, config=config_strategy, profile=profile_strategy
+    )
+    def test_selection_stays_capability_admissible(
+        self, stats, config, profile
+    ):
+        model = ProfiledCostModel(profile)
+        for task in ALL_TASKS:
+            plan = plan_task(task, stats, config, cost_model=model)
+            capabilities = METHODS[plan.method].capabilities
+            assert capabilities.admits(
+                task, backend=plan.backend, workers=plan.workers
+            )
+            assert plan.estimated_ops >= 0
+            if plan.estimated_seconds is not None:
+                assert plan.estimated_seconds >= 0.0
+            for kernel, weight, provenance in plan.constants:
+                assert weight > 0.0
+                assert provenance in ("measured", "assumed")
+                assert (
+                    model.provenance(kernel) == provenance
+                ), kernel
+
+    @settings(max_examples=60, deadline=None)
+    @given(stats=stats_strategy, config=config_strategy)
+    def test_no_profile_is_bit_identical_to_static_weights(
+        self, stats, config
+    ):
+        # Acceptance criterion of the seam: a session with no profile must
+        # produce exactly the plans the hard-coded constants produced.
+        assert plan_all(stats, config) == plan_all(
+            stats, config, cost_model=StaticCostModel()
+        )
+
+
+class _ProbeCountingGraph:
+    """A synthetic adjacency graph that counts in_neighbors() probes."""
+
+    def __init__(self, num_vertices: int):
+        self.num_vertices = num_vertices
+        self.num_edges = num_vertices  # a directed ring
+        self.calls = 0
+
+    def in_neighbors(self, vertex: int):
+        self.calls += 1
+        return [(vertex - 1) % self.num_vertices]
+
+
 class TestGraphStats:
     def test_from_graph_measures_counts(self, paper_graph):
         stats = GraphStats.from_graph(paper_graph)
@@ -244,3 +334,30 @@ class TestGraphStats:
         assert GraphStats.from_graph(small_web_graph) == GraphStats.from_graph(
             small_web_graph
         )
+
+    @pytest.mark.parametrize(
+        "num_vertices", [2, 63, 64, 65, 100, 127, 128, 129, 1000]
+    )
+    def test_sampling_never_exceeds_the_probe_budget(self, num_vertices):
+        # Regression: `range(0, n, n // sample)` visited up to ~2x `sample`
+        # vertices whenever n was not a multiple of it (n=100, sample=64
+        # gave step 1 -> 100 probes).  The walk must make exactly
+        # min(sample, n) probes.
+        graph = _ProbeCountingGraph(num_vertices)
+        stats = GraphStats.from_graph(graph, sample=64)
+        assert graph.calls == min(64, num_vertices)
+        assert stats.num_vertices == num_vertices
+        if num_vertices > 1:
+            assert stats.sharing_ratio is not None
+
+    def test_sampling_visits_distinct_vertices_in_order(self):
+        seen: list[int] = []
+
+        class Recorder(_ProbeCountingGraph):
+            def in_neighbors(self, vertex: int):
+                seen.append(vertex)
+                return super().in_neighbors(vertex)
+
+        GraphStats.from_graph(Recorder(1000), sample=64)
+        assert len(seen) == len(set(seen)) == 64
+        assert seen == sorted(seen)
