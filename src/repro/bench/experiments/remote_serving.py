@@ -34,7 +34,7 @@ import numpy as np
 from ...engine import EngineConfig
 from ...engine.engine import Engine
 from ...graph.generators.rmat import rmat_edge_list
-from ...serve import AsyncSimilarityClient, SimilarityServer
+from ...serve import AsyncSimilarityClient
 from ...service import ErrorCode, QueryRequest, ServeError
 from ...workloads import zipf_query_stream
 from ..results import latency_summary
@@ -92,6 +92,24 @@ def _slices(stream: tuple, clients: int) -> list[tuple]:
     return [stream[offset::clients] for offset in range(clients)]
 
 
+async def _traced_probe(
+    host: str, port: int, query, k: int
+) -> tuple[Optional[dict], dict]:
+    """Send one traced query over the real socket and pull the wire metrics.
+
+    Returns the span tree the server attached to the response plus the
+    full ``metrics`` payload (registry snapshot, slow-query log, plan
+    digest) so both land in the report verbatim.
+    """
+    client = await AsyncSimilarityClient.connect(host, port)
+    try:
+        response = await client.query(query, k=k, trace=True)
+        payload = await client.metrics()
+        return response.trace, payload
+    finally:
+        await client.close()
+
+
 def _phase_row(
     phase: str,
     clients: int,
@@ -100,8 +118,9 @@ def _phase_row(
     server_stats: dict,
     tier_stats: dict,
 ) -> dict[str, object]:
-    summary = latency_summary(result.latencies or [0.0])
+    summary = latency_summary(result.latencies)
     answered = len(result.responses)
+    slo = server_stats.get("slo") or {}
     return {
         "phase": phase,
         "clients": clients,
@@ -120,6 +139,10 @@ def _phase_row(
         "approx_hits": tier_stats["approx_hits"],
         "compute_hits": tier_stats["compute_hits"],
         "degraded_queries": server_stats["degraded_queries"],
+        "slo_mode": "degraded" if slo.get("degraded") else "nominal",
+        "slo_degrades": slo.get("degrades", 0),
+        "slo_recoveries": slo.get("recoveries", 0),
+        "slo_transitions": slo.get("transitions", 0),
     }
 
 
@@ -168,6 +191,7 @@ def run(
     clients: Optional[int] = None,
     slo_p99_ms: Optional[float] = None,
     host: str = "127.0.0.1",
+    trace: bool = False,
 ) -> ExperimentReport:
     """Benchmark the network serving tier over localhost.
 
@@ -175,7 +199,10 @@ def run(
     proportional fleet against much tighter admission bounds);
     ``slo_p99_ms`` optionally arms SLO-driven degradation during the
     steady phase too (the overload phase always runs with a deliberately
-    unmeetable target).
+    unmeetable target).  ``trace`` sends one traced query over the real
+    socket after the steady fleet drains — the load-driving clients stay
+    untraced, so the latency columns are unaffected — and attaches its
+    span tree plus the wire ``metrics`` payload to the report.
     """
     report = ExperimentReport(
         experiment="remote-serving",
@@ -215,8 +242,15 @@ def run(
         steady = asyncio.run(
             _drive(host, server.port, _slices(steady_stream, steady_clients), _K)
         )
+        traced_tree = None
+        wire_metrics = None
+        if trace:
+            traced_tree, wire_metrics = asyncio.run(
+                _traced_probe(host, server.port, steady_stream[0], _K)
+            )
         steady_server_stats = server.snapshot()
         steady_tier_stats = server.service.stats.snapshot()
+        steady_registry = server.registry.merged_snapshot(server.service.registry)
         steady_oracle = steady_engine.serve(k=_K)
         steady_checked = _verify_against_oracle(
             steady.responses, steady_oracle, _K
@@ -244,6 +278,25 @@ def run(
         f"{steady_checked} distinct answers verified against the in-process "
         "oracle"
     )
+    report.attach_metrics("steady", steady_registry)
+    if trace:
+        if traced_tree is None:
+            raise RuntimeError(
+                "traced probe returned no span tree despite trace=True"
+            )
+        report.attach_metrics("steady_trace", traced_tree)
+        report.attach_metrics(
+            "steady_wire", wire_metrics.get("metrics") if wire_metrics else None
+        )
+        report.attach_metrics(
+            "steady_slow_queries",
+            wire_metrics.get("slow_queries", []) if wire_metrics else [],
+        )
+        report.add_note(
+            "steady phase: one traced probe rode the real socket after the "
+            "fleet drained; its span tree and the wire metrics payload are "
+            "attached under report.metrics"
+        )
 
     # ---------------------------------------------------------------- #
     # Overload phase: no index, tiny bounds, unmeetable SLO — the server
@@ -270,6 +323,7 @@ def run(
         )
         overload_server_stats = server.snapshot()
         overload_tier_stats = server.service.stats.snapshot()
+        overload_registry = server.registry.merged_snapshot(server.service.registry)
         overload_oracle = overload_engine.serve(k=_K)
         overload_checked = _verify_against_oracle(
             overload.responses, overload_oracle, _K
@@ -305,7 +359,11 @@ def run(
         f"{overload.shed} shed ({overload.shed / len(overload_stream):.1%}), "
         f"{overload_server_stats['degraded_queries']} queries degraded to the "
         f"approx tier ({overload_tier_stats['approx_hits']} approx hits), "
-        f"{slo_snapshot['transitions']} SLO transitions; "
+        f"{slo_snapshot['transitions']} SLO transitions "
+        f"({slo_snapshot['degrades']} degrades, "
+        f"{slo_snapshot['recoveries']} recoveries, ending "
+        f"{'degraded' if slo_snapshot['degraded'] else 'nominal'}); "
         f"{overload_checked} distinct answers verified against the oracle"
     )
+    report.attach_metrics("overload", overload_registry)
     return report

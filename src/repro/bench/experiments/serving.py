@@ -202,6 +202,11 @@ def run(
             f"{len(overlap_sample)} queries"
         )
 
+    # Stamp the cached service's full registry snapshot into the report so
+    # BENCH_*.json carries the per-tier hit counters and latency series
+    # (count/mean/p50/p95/p99 per tier), not just the summary rows.
+    report.attach_metrics("cached_service", cached.registry.snapshot())
+
     cold_mean = float(np.mean(cold.stats.samples("compute")))
     indexed_mean = float(np.mean(indexed.stats.samples("index")))
     cached_mean = float(np.mean(cached.stats.samples("cache")))

@@ -16,6 +16,7 @@ from typing import Union
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..obs import percentile as _obs_percentile
 from .runner import ExperimentReport
 
 __all__ = [
@@ -91,16 +92,15 @@ def speedup(baseline: float, improved: float) -> float:
 def percentile(samples: Sequence[float], q: float) -> float:
     """Return the ``q``-th percentile of ``samples`` (linear interpolation).
 
-    ``q`` is on the 0–100 scale; an empty sample set raises — serving
-    benchmarks must not silently report a latency for a tier that was
-    never exercised.
+    ``q`` is on the 0–100 scale.  An empty sample set returns ``nan`` — a
+    tier that was never exercised shows up as a blank cell instead of
+    aborting the whole benchmark run.  The math is shared with the
+    observability histograms (:func:`repro.obs.percentile`), so quantiles
+    in benchmark tables and in wire ``metrics`` snapshots agree exactly.
     """
     if not 0 <= q <= 100:
         raise ConfigurationError(f"percentile must lie in [0, 100], got {q}")
-    data = np.asarray(list(samples), dtype=np.float64)
-    if data.size == 0:
-        raise ConfigurationError("cannot take a percentile of no samples")
-    return float(np.percentile(data, q))
+    return _obs_percentile(list(samples), q)
 
 
 def latency_summary(
@@ -111,14 +111,14 @@ def latency_summary(
     Returns a flat dict (``count``, ``mean`` and one ``pXX`` key per
     requested percentile, all in the samples' own unit) that drops
     straight into a benchmark-table row — the serving experiment's
-    replacement for ad-hoc percentile math.
+    replacement for ad-hoc percentile math.  An empty sample set yields
+    ``count == 0`` with ``nan`` for every statistic, consistent with
+    :func:`percentile`.
     """
     data = np.asarray(list(samples), dtype=np.float64)
-    if data.size == 0:
-        raise ConfigurationError("cannot summarise an empty latency sample set")
     summary: dict[str, float] = {
         "count": int(data.size),
-        "mean": float(data.mean()),
+        "mean": float(data.mean()) if data.size else float("nan"),
     }
     for q in percentiles:
         label = f"p{q:g}".replace(".", "_")

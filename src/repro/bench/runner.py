@@ -131,6 +131,12 @@ class ExperimentReport:
         created (``"static"`` for the built-in planner weights) — so a
         benchmark trajectory records which host calibration priced its
         plans.
+    metrics:
+        Named observability snapshots (:meth:`attach_metrics`): each key
+        is a label such as ``"service"`` and each value a
+        :meth:`~repro.obs.MetricsRegistry.snapshot` payload or span tree.
+        Serialised only when non-empty, so reports from experiments that
+        attach nothing keep their historical JSON shape.
     """
 
     experiment: str
@@ -138,6 +144,7 @@ class ExperimentReport:
     rows: list[dict[str, object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     cost_profile: str = field(default_factory=lambda: _active_profile_digest())
+    metrics: dict[str, object] = field(default_factory=dict)
 
     def add_row(self, row: dict[str, object]) -> None:
         """Append one measurement row."""
@@ -146,6 +153,12 @@ class ExperimentReport:
     def add_note(self, note: str) -> None:
         """Append one free-form note."""
         self.notes.append(note)
+
+    def attach_metrics(self, label: str, snapshot: object) -> None:
+        """Attach one named observability snapshot (registry dump, span
+        tree, slow-query log) so BENCH_*.json carries per-tier hit and
+        latency series alongside the measurement rows."""
+        self.metrics[label] = snapshot
 
     def filter(self, **criteria: object) -> list[dict[str, object]]:
         """Return the rows matching all ``key=value`` criteria."""
@@ -161,10 +174,13 @@ class ExperimentReport:
 
     def to_dict(self) -> dict[str, object]:
         """Return a JSON-serialisable payload of the whole report."""
-        return {
+        payload: dict[str, object] = {
             "experiment": self.experiment,
             "title": self.title,
             "rows": [dict(row) for row in self.rows],
             "notes": list(self.notes),
             "cost_profile": self.cost_profile,
         }
+        if self.metrics:
+            payload["metrics"] = dict(self.metrics)
+        return payload

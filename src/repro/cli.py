@@ -247,6 +247,26 @@ def _serving_flags() -> argparse.ArgumentParser:
         default=0,
         help="listening port for the serve subcommand (0 picks one)",
     )
+    parent.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "enable request tracing where supported: serve-bench --remote "
+            "sends traced queries and attaches a sample span tree to the "
+            "report (tracing stays off for the load-driving fleet, so "
+            "latency numbers are untraced)"
+        ),
+    )
+    parent.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=30.0,
+        metavar="SEC",
+        help=(
+            "seconds between metrics-snapshot log lines for the foreground "
+            "serve subcommand (0 disables the periodic emitter; default 30)"
+        ),
+    )
     return parent
 
 
@@ -269,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
             "compact",
             "explain",
             "index-build",
+            "metrics",
             "serve",
             "serve-bench",
         ],
@@ -278,7 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
             "durable catalog's delta segments into a new base, "
             "'serve-bench' runs "
             "the serving tier benchmark (--remote for the network tier), "
-            "'serve' runs a similarity server in the foreground, 'explain' "
+            "'serve' runs a similarity server in the foreground, 'metrics' "
+            "fetches a running server's registry snapshot over the wire, "
+            "'explain' "
             "prints the engine planner's execution plan without computing "
             "anything, 'calibrate' measures this host's kernel rates and "
             "persists a cost profile the planner prices plans with"
@@ -425,6 +448,8 @@ def _run_one(name: str, args: argparse.Namespace):
         kwargs["clients"] = args.clients
     if args.slo_p99_ms is not None:
         kwargs["slo_p99_ms"] = args.slo_p99_ms
+    if args.trace:
+        kwargs["trace"] = True
     kwargs["host"] = args.host
     # Experiments accept different option subsets (the ablations take no
     # damping override, several figures no backend); forward what each takes.
@@ -590,11 +615,51 @@ def _compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics(args: argparse.Namespace) -> int:
+    """Fetch and render a running server's metrics snapshot over the wire."""
+    import json
+
+    from .obs import render_snapshot
+    from .serve.client import SimilarityClient
+    from .service.requests import ServeError
+
+    if not args.port:
+        print("metrics requires --port PORT (the server's port)", file=sys.stderr)
+        return 2
+    try:
+        client = SimilarityClient(args.host, args.port)
+    except OSError as error:
+        print(
+            f"cannot connect to {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        payload = client.metrics()
+    except ServeError as error:
+        print(f"metrics request failed: {error}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    body = dict(payload.get("metrics", {}))
+    body["slow_queries"] = payload.get("slow_queries", [])
+    body["plan_digest"] = payload.get("plan_digest")
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics snapshot to {args.json}")
+    else:
+        print(render_snapshot(body))
+    return 0
+
+
 def _serve(args: argparse.Namespace) -> int:
     """Run a similarity server in the foreground until interrupted."""
     import asyncio
+    import logging
 
     from .engine.engine import Engine
+    from .obs import PeriodicEmitter
 
     config = _engine_config_from_args(args)
     graph = _fixture_graph(args)
@@ -616,6 +681,20 @@ def _serve(args: argparse.Namespace) -> int:
     engine.build_fingerprints()
     server = engine.server(host=args.host, port=args.port)
 
+    emitter = None
+    if args.metrics_interval and args.metrics_interval > 0:
+        # The emitter funnels through logging (the instrumentation policy:
+        # libraries never print); the foreground command wires a handler so
+        # the lines actually reach the terminal.
+        if not logging.getLogger().handlers:
+            logging.basicConfig(
+                level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+            )
+        emitter = PeriodicEmitter(
+            lambda: server.registry.merged_snapshot(server.service.registry),
+            interval=args.metrics_interval,
+        )
+
     async def main() -> None:
         await server.start()
         print(
@@ -625,12 +704,17 @@ def _serve(args: argparse.Namespace) -> int:
             f"shed_policy={config.shed_policy}); ctrl-c to stop",
             flush=True,
         )
+        if emitter is not None:
+            emitter.start()
         await server.serve_forever()
 
     try:
         asyncio.run(main())
     except KeyboardInterrupt:
         pass
+    finally:
+        if emitter is not None:
+            emitter.stop()
     return 0
 
 
@@ -666,6 +750,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _index_build(args)
     if args.experiment == "compact":
         return _compact(args)
+    if args.experiment == "metrics":
+        return _metrics(args)
     if args.experiment == "serve":
         return _serve(args)
 

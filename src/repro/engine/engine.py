@@ -37,7 +37,6 @@ from __future__ import annotations
 import inspect
 import threading
 import warnings
-from dataclasses import dataclass
 from typing import Hashable, Optional, Sequence, Union
 
 import numpy as np
@@ -50,6 +49,7 @@ from ..core.result import SimRankResult
 from ..core.similarity_store import SimilarityStore, ranked_entries
 from ..exceptions import ConfigurationError
 from ..graph.edgelist import edge_list_from_pairs
+from ..obs import MetricsRegistry
 from ..parallel import ParallelExecutor, resolve_workers
 from ..service.fingerprints import FingerprintIndex
 from ..service.index import build_index as _build_index
@@ -61,35 +61,64 @@ from .planner import ExecutionPlan, GraphStats, TaskPlan, plan_all, plan_task
 __all__ = ["ArtifactCounters", "Engine"]
 
 
-@dataclass
 class ArtifactCounters:
     """How many times each shared artifact was (re)built this session.
 
     The whole point of the session facade is that these stay at 1 until a
     mutation invalidates the artifacts — the parity suite asserts exactly
     that, so artifact reuse is enforced, not assumed.
+
+    Backed by a :class:`~repro.obs.MetricsRegistry` (one
+    ``engine_<field>`` counter per field, including the plan-cache
+    counters ``engine_plan_computes`` / ``engine_plan_cache_hits``); the
+    historical attributes stay readable and assignable with bit-identical
+    values, so the engine's ``+= 1`` sites work unchanged.
     """
 
-    transition_builds: int = 0
-    executor_builds: int = 0
-    index_builds: int = 0
-    fingerprint_builds: int = 0
-    plans: int = 0
-    plan_computes: int = 0
-    plan_cache_hits: int = 0
-    catalog_opens: int = 0
+    _FIELDS = (
+        "transition_builds",
+        "executor_builds",
+        "index_builds",
+        "fingerprint_builds",
+        "plans",
+        "plan_computes",
+        "plan_cache_hits",
+        "catalog_opens",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"engine_{name}") for name in self._FIELDS
+        }
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "transition_builds": self.transition_builds,
-            "executor_builds": self.executor_builds,
-            "index_builds": self.index_builds,
-            "fingerprint_builds": self.fingerprint_builds,
-            "plans": self.plans,
-            "plan_computes": self.plan_computes,
-            "plan_cache_hits": self.plan_cache_hits,
-            "catalog_opens": self.catalog_opens,
-        }
+        with self.registry.lock:  # one consistent read of all eight
+            return {name: int(self._counters[name].value) for name in self._FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArtifactCounters):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ArtifactCounters({inner})"
+
+
+def _artifact_counter_property(name: str) -> property:
+    def getter(self: ArtifactCounters) -> int:
+        return int(self._counters[name].value)
+
+    def setter(self: ArtifactCounters, value: int) -> None:
+        self._counters[name].set(int(value))
+
+    return property(getter, setter)
+
+
+for _field_name in ArtifactCounters._FIELDS:
+    setattr(ArtifactCounters, _field_name, _artifact_counter_property(_field_name))
+del _field_name
 
 
 class Engine:
@@ -618,6 +647,7 @@ class Engine:
                         fingerprints=self._fingerprints,
                         label_graph=self._graph,
                         catalog=catalog,
+                        plan_digest=self._config_digest,
                     )
         if warm:
             if plan.tier == "index" and self._index is None:
@@ -637,6 +667,7 @@ class Engine:
             fingerprints=self._fingerprints,
             transition=self.transition(),
             label_graph=self._graph,
+            plan_digest=self._config_digest,
         )
 
     def server(

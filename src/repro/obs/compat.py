@@ -1,0 +1,32 @@
+"""Warn-once helper for legacy stats attributes that moved into the registry.
+
+The deprecation shims around ``ServiceStats.tiers`` and friends must not
+spam a hot loop: each distinct ``key`` warns exactly once per process.
+The README "Observability" migration table documents every shimmed
+attribute and its registry replacement.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+__all__ = ["warn_once", "reset_warnings"]
+
+_seen: set[str] = set()
+_lock = threading.Lock()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` the first time it is seen."""
+    with _lock:
+        if key in _seen:
+            return
+        _seen.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warnings() -> None:
+    """Forget which keys have warned (test isolation helper)."""
+    with _lock:
+        _seen.clear()

@@ -1,0 +1,156 @@
+"""Exporters: periodic log emitter and human-readable snapshot rendering.
+
+Two consumers share this module: the foreground ``repro-simrank serve``
+command arms a :class:`PeriodicEmitter` that logs a compact snapshot line
+on an interval, and the ``repro-simrank metrics`` subcommand renders a
+fetched snapshot as tables for a terminal.  Per the instrumentation
+policy (CONTRIBUTING.md) subsystems never ``print`` — everything funnels
+through ``logging`` or an explicit CLI rendering call.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import threading
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["PeriodicEmitter", "format_snapshot_line", "render_snapshot"]
+
+logger = logging.getLogger("repro.obs")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_snapshot_line(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """One log line summarising a registry snapshot: counters + p99s."""
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+    parts: List[str] = []
+    for key in sorted(counters):
+        parts.append(f"{key}={_fmt(counters[key])}")
+    for key in sorted(histograms):
+        stats = histograms[key]
+        if isinstance(stats, dict):
+            parts.append(
+                f"{key}.count={_fmt(stats.get('count', 0))}"
+                f" {key}.p99={_fmt(stats.get('p99', float('nan')))}"
+            )
+    return "metrics " + " ".join(parts) if parts else "metrics (no instruments)"
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def render_snapshot(payload: Dict[str, object]) -> str:
+    """Render a ``metrics`` wire response (or raw registry snapshot) as text.
+
+    Accepts either a bare registry snapshot (``counters``/``gauges``/
+    ``histograms``) or the full wire payload that additionally carries
+    ``slow_queries`` and ``plan_digest``.
+    """
+    sections: List[str] = []
+    counters = dict(payload.get("counters", {}))
+    counters.update(payload.get("gauges", {}))
+    if counters:
+        rows = [[key, _fmt(counters[key])] for key in sorted(counters)]
+        sections.append("counters & gauges\n" + _table(["name", "value"], rows))
+    histograms = payload.get("histograms", {})
+    if histograms:
+        rows = []
+        for key in sorted(histograms):
+            stats = histograms[key]
+            if not isinstance(stats, dict):
+                continue
+            rows.append([
+                key,
+                _fmt(stats.get("count", 0)),
+                _fmt(stats.get("mean", float("nan"))),
+                _fmt(stats.get("p50", float("nan"))),
+                _fmt(stats.get("p95", float("nan"))),
+                _fmt(stats.get("p99", float("nan"))),
+            ])
+        sections.append("histograms\n" + _table(
+            ["name", "count", "mean", "p50", "p95", "p99"], rows))
+    slow = payload.get("slow_queries")
+    if slow:
+        rows = []
+        for entry in slow:
+            rows.append([
+                _fmt(entry.get("duration_ms", float("nan"))),
+                str(entry.get("query")),
+                str(entry.get("tier")),
+                str(entry.get("plan_digest") or "-"),
+                "yes" if entry.get("trace") else "no",
+            ])
+        sections.append("slow queries (slowest first)\n" + _table(
+            ["ms", "query", "tier", "plan", "traced"], rows))
+    if payload.get("plan_digest"):
+        sections.append(f"plan digest: {payload['plan_digest']}")
+    return "\n\n".join(sections) if sections else "(no metrics)"
+
+
+class PeriodicEmitter:
+    """Background thread that logs a snapshot line every ``interval`` seconds.
+
+    ``snapshot_fn`` is called on the emitter thread, so it must be
+    thread-safe — registry snapshots are.  The thread is a daemon and also
+    stops promptly via :meth:`stop`.
+    """
+
+    def __init__(self, snapshot_fn: Callable[[], Dict[str, Dict[str, object]]],
+                 interval: float = 30.0,
+                 emit: Optional[Callable[[str], None]] = None) -> None:
+        if interval <= 0:
+            raise ValueError("emitter interval must be positive")
+        self._snapshot_fn = snapshot_fn
+        self.interval = interval
+        self._emit = emit or logger.info
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.emitted = 0
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.emit_once()
+
+    def emit_once(self) -> None:
+        try:
+            line = format_snapshot_line(self._snapshot_fn())
+        except Exception:  # pragma: no cover - snapshot must never kill serving
+            logger.exception("metrics emitter failed to snapshot")
+            return
+        self._emit(line)
+        self.emitted += 1
+
+    def start(self) -> "PeriodicEmitter":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-metrics-emitter", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

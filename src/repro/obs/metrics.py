@@ -1,0 +1,348 @@
+"""Zero-dependency, thread-safe metrics primitives for the serving stack.
+
+Every long-lived subsystem (service, server, engine, spill accumulator)
+hangs its counters off a :class:`MetricsRegistry` instead of hand-rolling
+ad-hoc attributes.  The registry is deliberately tiny:
+
+* :class:`Counter` — monotonically increasing integer/float total.
+* :class:`Gauge` — a value that can go up and down (queue depth, mode).
+* :class:`Histogram` — fixed buckets for cheap aggregation plus a bounded
+  reservoir of the most recent raw samples for p50/p95/p99.
+
+Instruments may carry labels (``registry.counter("tier_hits", tier="cache")``)
+and the whole registry snapshots to a plain dict so it can travel over the
+length-prefixed wire protocol or into a ``BENCH_*.json`` artifact without
+any serialisation helpers.
+
+Registries are *per owner*, not process-global: a test process routinely
+hosts several services and engines at once, and merging their counts would
+destroy the bit-identical legacy views layered on top (``ServiceStats``,
+``ArtifactCounters``, ...).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_RESERVOIR",
+]
+
+Number = Union[int, float]
+
+#: Default latency buckets, in seconds — tuned for sub-millisecond kernel
+#: calls up to multi-second cold computes.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default bounded-reservoir size (most recent samples kept for quantiles).
+DEFAULT_RESERVOIR = 8192
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile of ``samples`` (linear interpolation).
+
+    ``q`` is on the 0–100 scale.  An empty sample set returns ``nan`` —
+    callers that must distinguish "no data" from a measured zero check
+    ``math.isnan`` (or the accompanying ``count``) rather than relying on
+    an exception.  This is the single percentile implementation shared by
+    :class:`Histogram` quantiles and ``repro.bench.results``.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must lie in [0, 100], got {q}")
+    data = sorted(float(value) for value in samples)
+    if not data:
+        return float("nan")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return data[int(rank)]
+    fraction = rank - lower
+    return data[lower] + (data[upper] - data[lower]) * fraction
+
+
+def _label_suffix(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared bookkeeping: name, labels, and the registry-wide lock."""
+
+    __slots__ = ("name", "labels", "_lock")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...],
+                 lock: threading.RLock) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+
+    @property
+    def key(self) -> str:
+        return self.name + _label_suffix(self.labels)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total.
+
+    ``set`` exists solely so legacy attribute views (``counters.plans = 0``
+    style resets in tests) keep working; new code should only ``inc``.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...],
+                 lock: threading.RLock) -> None:
+        super().__init__(name, labels, lock)
+        self._value: Number = 0
+
+    def inc(self, amount: Number = 1) -> Number:
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Instrument):
+    """A point-in-time value that can move in both directions."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...],
+                 lock: threading.RLock) -> None:
+        super().__init__(name, labels, lock)
+        self._value: Number = 0
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: Number = 1) -> Number:
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def dec(self, amount: Number = 1) -> Number:
+        return self.inc(-amount)
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram plus a bounded reservoir of recent samples.
+
+    The buckets give O(1) aggregation (``count == sum(bucket counts)`` is a
+    hard invariant — the final bucket is an implicit ``+inf`` overflow);
+    the reservoir is a sliding window of the most recent ``reservoir``
+    observations used for p50/p95/p99 via :func:`percentile`.  ``total``
+    accumulates in observation order so views that mirror a legacy
+    ``total += elapsed`` loop stay bit-identical.
+    """
+
+    __slots__ = ("bounds", "_bucket_counts", "_count", "_total", "_samples")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...],
+                 lock: threading.RLock,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 reservoir: int = DEFAULT_RESERVOIR) -> None:
+        super().__init__(name, labels, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if reservoir < 1:
+            raise ValueError("histogram reservoir must be positive")
+        self.bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._total = 0.0
+        self._samples: deque = deque(maxlen=reservoir)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += value
+            self._samples.append(value)
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._bucket_counts[index] += 1
+                    break
+            else:
+                self._bucket_counts[-1] += 1
+
+    def clear(self) -> None:
+        """Drop all state (the SLO controller resets its window on a
+        degrade/recover transition; totals reset with it)."""
+        with self._lock:
+            self._bucket_counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._total = 0.0
+            self._samples.clear()
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            if not self._count:
+                return float("nan")
+            return self._total / self._count
+
+    def samples(self) -> List[float]:
+        """Most recent raw observations (bounded by the reservoir size)."""
+        with self._lock:
+            return list(self._samples)
+
+    def quantile(self, q: float) -> float:
+        """Reservoir quantile on the 0–100 scale; ``nan`` when empty."""
+        return percentile(self.samples(), q)
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, count)`` pairs; the last bound is ``+inf``."""
+        with self._lock:
+            bounds = self.bounds + (float("inf"),)
+            return list(zip(bounds, self._bucket_counts))
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            samples = list(self._samples)
+            count = self._count
+            total = self._total
+            buckets = [
+                [bound, counted]
+                for bound, counted in zip(self.bounds + (float("inf"),),
+                                          self._bucket_counts)
+            ]
+        return {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else float("nan"),
+            "p50": percentile(samples, 50),
+            "p95": percentile(samples, 95),
+            "p99": percentile(samples, 99),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create home for labeled instruments.
+
+    One re-entrant lock guards every instrument in the registry, which
+    makes multi-instrument updates (increment a counter *and* observe a
+    latency) atomic with respect to :meth:`snapshot` — the stats-coherence
+    stress tests rely on that.
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Counter] = {}
+        self._gauges: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Gauge] = {}
+        self._histograms: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, object]):
+        if not name:
+            raise ValueError("instrument name must be non-empty")
+        return name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = self._key(name, labels)
+        with self.lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = Counter(key[0], key[1], self.lock)
+                self._counters[key] = instrument
+            return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = self._key(name, labels)
+        with self.lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = Gauge(key[0], key[1], self.lock)
+                self._gauges[key] = instrument
+            return instrument
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  reservoir: int = DEFAULT_RESERVOIR,
+                  **labels: object) -> Histogram:
+        key = self._key(name, labels)
+        with self.lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = Histogram(key[0], key[1], self.lock,
+                                       buckets=buckets, reservoir=reservoir)
+                self._histograms[key] = instrument
+            return instrument
+
+    def instruments(self) -> Iterable[_Instrument]:
+        with self.lock:
+            items: List[_Instrument] = []
+            items.extend(self._counters.values())
+            items.extend(self._gauges.values())
+            items.extend(self._histograms.values())
+        return items
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Atomic point-in-time view of every instrument, as plain dicts."""
+        with self.lock:
+            return {
+                "counters": {c.key: c.value for c in self._counters.values()},
+                "gauges": {g.key: g.value for g in self._gauges.values()},
+                "histograms": {h.key: h.snapshot() for h in self._histograms.values()},
+            }
+
+    def merged_snapshot(self, *others: "MetricsRegistry",
+                        prefix: Optional[str] = None) -> Dict[str, Dict[str, object]]:
+        """Snapshot this registry plus ``others`` into one payload.
+
+        Key collisions are resolved last-writer-wins; callers that need
+        disambiguation pass distinct instrument names (the convention is a
+        subsystem prefix, e.g. ``server_``, ``service_``, ``slo_``).
+        """
+        merged: Dict[str, Dict[str, object]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for registry in (self, *others):
+            snap = registry.snapshot()
+            for section in merged:
+                merged[section].update(snap.get(section, {}))
+        if prefix:
+            merged = {
+                section: {f"{prefix}{key}": value for key, value in entries.items()}
+                for section, entries in merged.items()
+            }
+        return merged

@@ -85,6 +85,7 @@ class AsyncSimilarityClient:
         approx: Optional[bool] = None,
         max_error: Optional[float] = None,
         graph_version: Optional[int] = None,
+        trace: bool = False,
     ) -> QueryResponse:
         """Ask one top-k question; raises :class:`ServeError` on failure."""
         return await self.request(
@@ -94,6 +95,7 @@ class AsyncSimilarityClient:
                 approx=approx,
                 max_error=max_error,
                 graph_version=graph_version,
+                trace=trace,
             )
         )
 
@@ -120,6 +122,10 @@ class AsyncSimilarityClient:
         """Fetch the server's counters and per-tier statistics."""
         reply = await self._control({"op": "stats", "v": PROTOCOL_VERSION})
         return reply
+
+    async def metrics(self) -> dict:
+        """Fetch the full registry snapshot (plus slow-query log)."""
+        return await self._control({"op": "metrics", "v": PROTOCOL_VERSION})
 
     async def close(self) -> None:
         """Close the connection; pending requests fail as ``UNAVAILABLE``."""
@@ -251,6 +257,7 @@ class SimilarityClient:
         approx: Optional[bool] = None,
         max_error: Optional[float] = None,
         graph_version: Optional[int] = None,
+        trace: bool = False,
     ) -> QueryResponse:
         """Ask one top-k question; raises :class:`ServeError` on failure."""
         request = QueryRequest(
@@ -260,6 +267,7 @@ class SimilarityClient:
             max_error=max_error,
             graph_version=graph_version,
             request_id=next(self._ids),
+            trace=trace,
         )
         reply = self._round_trip(request.to_wire())
         if reply.get("op") == "error":
@@ -275,6 +283,10 @@ class SimilarityClient:
     def stats(self) -> dict:
         """Fetch the server's counters and per-tier statistics."""
         return self._round_trip({"op": "stats", "v": PROTOCOL_VERSION})
+
+    def metrics(self) -> dict:
+        """Fetch the full registry snapshot (plus slow-query log)."""
+        return self._round_trip({"op": "metrics", "v": PROTOCOL_VERSION})
 
     def close(self) -> None:
         """Close the underlying socket (idempotent)."""

@@ -42,10 +42,12 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import threading
+import time
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..exceptions import ConfigurationError
+from ..obs import MetricsRegistry, Trace
 from ..service.requests import (
     PROTOCOL_VERSION,
     ErrorCode,
@@ -67,6 +69,11 @@ class _Admitted:
     future: asyncio.Future
     admitted_at: float
     degraded: bool = field(default=False)
+    # Tracing timestamps (``time.perf_counter``), set only for traced
+    # requests: message receipt and enqueue time, for the admission and
+    # queue-wait spans.
+    received_perf: Optional[float] = field(default=None)
+    enqueued_perf: Optional[float] = field(default=None)
 
 
 class SimilarityServer:
@@ -132,15 +139,21 @@ class SimilarityServer:
             raise ConfigurationError(
                 f"max_batch must be positive, got {self.max_batch}"
             )
-        self.slo = SLOController(slo_p99_ms)
+        self.registry = MetricsRegistry()
+        """Server-side metrics registry (admission counters plus the SLO
+        controller's instruments); merged with the service's registry for
+        the wire ``metrics`` op."""
+        self.slo = SLOController(slo_p99_ms, registry=self.registry)
 
-        # Counters (event-loop confined).
-        self.requests_received = 0
-        self.requests_admitted = 0
-        self.requests_answered = 0
-        self.requests_shed = 0
-        self.requests_failed = 0
-        self.degraded_queries = 0
+        # Counters (mutated on the event loop only; registry-backed so
+        # they export, with the historical attributes as read-only views).
+        self._received = self.registry.counter("server_requests_received")
+        self._admitted = self.registry.counter("server_requests_admitted")
+        self._answered = self.registry.counter("server_requests_answered")
+        self._shed = self.registry.counter("server_requests_shed")
+        self._failed = self.registry.counter("server_requests_failed")
+        self._degraded_queries = self.registry.counter("server_degraded_queries")
+        self._inflight_gauge = self.registry.gauge("server_inflight")
 
         self._inflight = 0
         self._queue: Optional[asyncio.Queue] = None
@@ -150,6 +163,33 @@ class SimilarityServer:
         self._writers: set[asyncio.StreamWriter] = set()
         self._stop_event: Optional[asyncio.Event] = None
         self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Counter views (historical attribute names)
+    # ------------------------------------------------------------------ #
+    @property
+    def requests_received(self) -> int:
+        return int(self._received.value)
+
+    @property
+    def requests_admitted(self) -> int:
+        return int(self._admitted.value)
+
+    @property
+    def requests_answered(self) -> int:
+        return int(self._answered.value)
+
+    @property
+    def requests_shed(self) -> int:
+        return int(self._shed.value)
+
+    @property
+    def requests_failed(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def degraded_queries(self) -> int:
+        return int(self._degraded_queries.value)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -299,7 +339,7 @@ class SimilarityServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
     ) -> None:
-        self.requests_received += 1
+        self._received.inc()
         op = payload.get("op")
         if op == "ping":
             await self._send(
@@ -316,6 +356,8 @@ class SimilarityServer:
                     "tiers": self.service.stats.snapshot(),
                 },
             )
+        elif op == "metrics":
+            await self._send(writer, write_lock, self.metrics_payload())
         elif op == "query":
             await self._handle_query(payload, writer, write_lock)
         else:
@@ -332,11 +374,12 @@ class SimilarityServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
     ) -> None:
+        received_perf = time.perf_counter() if payload.get("trace") else None
         try:
             request = QueryRequest.from_wire(payload)
             request = self.service.validate_request(request)
         except ServeError as error:
-            self.requests_failed += 1
+            self._failed.inc()
             await self._send(
                 writer,
                 write_lock,
@@ -346,7 +389,7 @@ class SimilarityServer:
 
         assert self._queue is not None and self._loop is not None
         if self._inflight >= self.max_inflight or self._queue.full():
-            self.requests_shed += 1
+            self._shed.inc()
             shed = ServeError(
                 ErrorCode.SHED,
                 "server over capacity "
@@ -357,25 +400,28 @@ class SimilarityServer:
             await self._send(writer, write_lock, shed.to_wire())
             return
 
-        self.requests_admitted += 1
+        self._admitted.inc()
         self._inflight += 1
         item = _Admitted(
             request=request,
             future=self._loop.create_future(),
             admitted_at=self._loop.time(),
+            received_perf=received_perf,
         )
+        if request.trace:
+            item.enqueued_perf = time.perf_counter()
         # Capacity was checked above and nothing awaited since; the queue
         # cannot be full here.
         self._queue.put_nowait(item)
         try:
             response = await item.future
         except ServeError as error:
-            self.requests_failed += 1
+            self._failed.inc()
             await self._send(writer, write_lock, error.to_wire())
             return
         finally:
             self._inflight -= 1
-        self.requests_answered += 1
+        self._answered.inc()
         await self._send(writer, write_lock, response.to_wire())
 
     async def _send(
@@ -419,8 +465,9 @@ class SimilarityServer:
                 # defaults, never overrides a caller's demand.
                 request = replace(request, approx=True)
                 item.degraded = True
-                self.degraded_queries += 1
+                self._degraded_queries.inc()
             requests.append(request)
+        dispatch_started = time.perf_counter()
         try:
             responses = await self._loop.run_in_executor(
                 None, self.service.query_many, requests
@@ -437,10 +484,64 @@ class SimilarityServer:
                     )
             return
         now = self._loop.time()
+        dispatch_ended = time.perf_counter()
         for item, response in zip(batch, responses):
             self.slo.observe(now - item.admitted_at)
+            if item.request.trace:
+                response = self._graft_trace(
+                    item, response, dispatch_started, dispatch_ended
+                )
             if not item.future.done():
                 item.future.set_result(response)
+
+    def _graft_trace(self, item, response, dispatch_started, dispatch_ended):
+        """Wrap the service's span tree in the server-side spans.
+
+        The result covers the full network path — admission (frame parse +
+        validation), dispatch-queue wait, and the dispatcher's
+        ``query_many`` call, with the service's own tree (tier probe →
+        batcher → kernel) nested under the dispatch span — and rides back
+        on the response's ``trace`` field.
+        """
+        service_tree = response.trace
+        origin = (
+            item.received_perf
+            if item.received_perf is not None
+            else item.enqueued_perf
+        )
+        enqueued = item.enqueued_perf
+        if origin is None or enqueued is None:
+            return response
+        trace = Trace(
+            "request",
+            trace_id=(service_tree or {}).get("trace_id"),
+            start=origin,
+            degraded=item.degraded,
+        )
+        trace.root.record("admission", origin, enqueued)
+        trace.root.record("queue", enqueued, dispatch_started)
+        trace.root.record("dispatch", dispatch_started, dispatch_ended)
+        trace.root.finish(dispatch_ended)
+        tree = trace.to_tree()
+        if service_tree is not None:
+            tree["children"][-1].setdefault("children", []).append(service_tree)
+        return replace(response, trace=tree)
+
+    def metrics_payload(self) -> dict[str, object]:
+        """The wire ``metrics`` response: full registry snapshot + extras.
+
+        Merges the server's registry (admission counters, SLO instruments)
+        with the service's (tier hits/latencies, batcher counters) and
+        attaches the slow-query log and the serving plan digest.
+        """
+        self._inflight_gauge.set(self._inflight)
+        return {
+            "op": "metrics",
+            "v": PROTOCOL_VERSION,
+            "metrics": self.registry.merged_snapshot(self.service.registry),
+            "slow_queries": self.service.slow_queries.snapshot(),
+            "plan_digest": self.service.plan_digest,
+        }
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -22,14 +22,22 @@ Two details keep the bit stable rather than flappy:
 The controller is deterministic and clock-free: callers feed it measured
 durations, so tests can drive every transition with synthetic latencies.
 It is not thread-safe — the server confines it to the dispatcher task.
+
+Since the observability refactor the latency window and counters live on
+a :class:`~repro.obs.MetricsRegistry` (instruments ``slo_latency_ms``,
+``slo_transitions``, ``slo_degrades``, ``slo_recoveries``, ``slo_observed``
+and the ``slo_degraded`` gauge); the historical attributes remain as views
+with bit-identical values, and the p99 estimator is unchanged
+(nearest-rank over the same bounded window).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Optional
 
 from ..exceptions import ConfigurationError
+from ..obs import MetricsRegistry
+from ..obs.compat import warn_once
 
 __all__ = ["SLOController"]
 
@@ -50,6 +58,11 @@ class SLOController:
     recover_ratio:
         Fraction of the target the p99 must drop to before a degraded
         controller recovers (the hysteresis gap).
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry` to register the
+        controller's instruments on (the server passes its own, so SLO
+        state rides the wire ``metrics`` snapshot).  A private registry is
+        created when omitted.
     """
 
     def __init__(
@@ -59,6 +72,7 @@ class SLOController:
         window: int = 256,
         min_samples: int = 20,
         recover_ratio: float = 0.8,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if slo_p99_ms is not None and slo_p99_ms <= 0:
             raise ConfigurationError(
@@ -77,10 +91,23 @@ class SLOController:
         self.slo_p99_ms = slo_p99_ms
         self.min_samples = int(min_samples)
         self.recover_ratio = float(recover_ratio)
-        self._samples_ms: deque[float] = deque(maxlen=int(window))
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # The window itself: a histogram whose bounded reservoir *is* the
+        # sliding window (same maxlen semantics as the old deque).  The
+        # bucket bounds are in milliseconds, unlike the default
+        # second-scale bounds.
+        self._window = self.registry.histogram(
+            "slo_latency_ms",
+            buckets=(1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                     500.0, 1000.0, 2500.0, 5000.0),
+            reservoir=int(window),
+        )
+        self._transitions = self.registry.counter("slo_transitions")
+        self._degrades = self.registry.counter("slo_degrades")
+        self._recoveries = self.registry.counter("slo_recoveries")
+        self._observed = self.registry.counter("slo_observed")
+        self._degraded_gauge = self.registry.gauge("slo_degraded")
         self._degraded = False
-        self.transitions = 0
-        self.observed = 0
 
     @property
     def enabled(self) -> bool:
@@ -92,11 +119,39 @@ class SLOController:
         """The current decision: route undecided queries to approx?"""
         return self._degraded
 
+    @property
+    def transitions(self) -> int:
+        """Total degrade + recover transitions."""
+        return int(self._transitions.value)
+
+    @property
+    def degrades(self) -> int:
+        """Transitions *into* degraded mode."""
+        return int(self._degrades.value)
+
+    @property
+    def recoveries(self) -> int:
+        """Transitions back *out of* degraded mode."""
+        return int(self._recoveries.value)
+
+    @property
+    def observed(self) -> int:
+        """Deprecated: read ``snapshot()["observed"]`` or the
+        ``slo_observed`` registry counter instead."""
+        warn_once(
+            "SLOController.observed",
+            "SLOController.observed is deprecated; read snapshot()['observed'] "
+            "or the slo_observed counter on SLOController.registry (see the "
+            "README observability migration table)",
+        )
+        return int(self._observed.value)
+
     def p99_ms(self) -> Optional[float]:
         """The windowed p99, or ``None`` before any observation."""
-        if not self._samples_ms:
+        samples = self._window.samples()
+        if not samples:
             return None
-        ordered = sorted(self._samples_ms)
+        ordered = sorted(samples)
         # Nearest-rank p99 (matches bench.results.latency_summary).
         rank = min(len(ordered) - 1, int(round(0.99 * (len(ordered) - 1))))
         return ordered[rank]
@@ -109,9 +164,9 @@ class SLOController:
         """
         if self.slo_p99_ms is None:
             return False
-        self.observed += 1
-        self._samples_ms.append(seconds * 1000.0)
-        if len(self._samples_ms) < self.min_samples:
+        self._observed.inc()
+        self._window.observe(seconds * 1000.0)
+        if self._window.count < self.min_samples:
             return self._degraded
         p99 = self.p99_ms()
         assert p99 is not None
@@ -123,8 +178,10 @@ class SLOController:
 
     def _transition(self, degraded: bool) -> None:
         self._degraded = degraded
-        self.transitions += 1
-        self._samples_ms.clear()
+        self._degraded_gauge.set(int(degraded))
+        self._transitions.inc()
+        (self._degrades if degraded else self._recoveries).inc()
+        self._window.clear()
 
     def snapshot(self) -> dict[str, object]:
         """Controller state for the ``stats`` op and benchmark reports."""
@@ -133,11 +190,13 @@ class SLOController:
             "degraded": self._degraded,
             "live_p99_ms": self.p99_ms(),
             "transitions": self.transitions,
-            "observed": self.observed,
+            "degrades": self.degrades,
+            "recoveries": self.recoveries,
+            "observed": int(self._observed.value),
         }
 
     def __repr__(self) -> str:
         return (
             f"<SLOController target={self.slo_p99_ms} "
-            f"degraded={self._degraded} observed={self.observed}>"
+            f"degraded={self._degraded} observed={int(self._observed.value)}>"
         )

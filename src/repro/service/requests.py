@@ -48,10 +48,14 @@ __all__ = [
     "ServeError",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 """Version of the request/response schema.  Bumped on any incompatible
 change; both sides of a connection must agree (a mismatch is a typed
-:data:`ErrorCode.UNSUPPORTED_VERSION` error, not a parse failure)."""
+:data:`ErrorCode.UNSUPPORTED_VERSION` error, not a parse failure).
+
+Version 2 added the ``trace`` request field (opt-in span-tree capture)
+and the matching ``trace`` response field carrying the serialised tree —
+a schema change, and the request schema is strict, hence the bump."""
 
 
 class ErrorCode(str, enum.Enum):
@@ -273,6 +277,11 @@ class QueryRequest:
     request_id:
         Caller-assigned correlation id; the network clients use it to match
         pipelined responses to requests.
+    trace:
+        Opt-in request tracing: when ``True`` the serving path records a
+        span tree (admission → tier probe → batcher → kernel) and attaches
+        it to the response.  Off by default — the untraced path must stay
+        overhead-free.
     version:
         Protocol schema version; requests from a different version are
         rejected with a typed error.
@@ -284,6 +293,7 @@ class QueryRequest:
     max_error: Optional[float] = None
     graph_version: Optional[int] = None
     request_id: Optional[int] = None
+    trace: bool = False
     version: int = PROTOCOL_VERSION
 
     # -------------------------------------------------------------- #
@@ -340,6 +350,12 @@ class QueryRequest:
                 f"graph_version must be a non-negative int, got {gv!r}",
                 request_id=rid,
             )
+        if not isinstance(self.trace, bool):
+            raise ServeError(
+                ErrorCode.BAD_REQUEST,
+                f"trace must be a bool, got {self.trace!r}",
+                request_id=rid,
+            )
         return self
 
     def with_request_id(self, request_id: int) -> "QueryRequest":
@@ -375,6 +391,8 @@ class QueryRequest:
             value = getattr(self, name)
             if value is not None:
                 payload[key] = value
+        if self.trace:
+            payload["trace"] = True
         return payload
 
     @classmethod
@@ -393,7 +411,7 @@ class QueryRequest:
                 else f"expected an object, got {type(payload).__name__}",
             )
         known = {"op", "v", "query", "k", "approx", "max_error",
-                 "graph_version", "id"}
+                 "graph_version", "id", "trace"}
         unknown = set(payload) - known
         if unknown:
             raise ServeError(
@@ -418,6 +436,7 @@ class QueryRequest:
             max_error=payload.get("max_error"),
             graph_version=payload.get("graph_version"),
             request_id=payload.get("id"),
+            trace=payload.get("trace", False),
             version=payload.get("v", -1),
         ).validated()
 
@@ -442,6 +461,9 @@ class QueryResponse:
         The service graph version the answer reflects.
     request_id:
         Correlation id, echoed from the request.
+    trace:
+        The serialised span tree for a traced request (``None`` otherwise);
+        see :mod:`repro.obs.tracing` for the tree schema.
     version:
         Protocol schema version.
     """
@@ -451,6 +473,7 @@ class QueryResponse:
     tier: str
     graph_version: int
     request_id: Optional[int] = None
+    trace: Optional[dict] = None
     version: int = PROTOCOL_VERSION
 
     def ranking(self) -> RankedList:
@@ -478,6 +501,8 @@ class QueryResponse:
         }
         if self.request_id is not None:
             payload["id"] = int(self.request_id)
+        if self.trace is not None:
+            payload["trace"] = self.trace
         return payload
 
     @classmethod
@@ -500,6 +525,7 @@ class QueryResponse:
                 tier=str(payload["tier"]),
                 graph_version=int(payload["graph_version"]),
                 request_id=payload.get("id"),
+                trace=payload.get("trace"),
                 version=int(payload.get("v", PROTOCOL_VERSION)),
             )
         except (KeyError, TypeError, ValueError) as error:

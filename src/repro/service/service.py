@@ -63,7 +63,7 @@ import warnings
 from collections import deque
 from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Hashable, Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import replace
 from typing import Optional, Union
 
 import numpy as np
@@ -75,6 +75,8 @@ from ..core.result import validate_damping, validate_iterations
 from ..core.similarity_store import SimilarityStore, ranked_entries, row_top_k
 from ..exceptions import ConfigurationError
 from ..graph.edgelist import EdgeListGraph, edge_list_from_pairs
+from ..obs import Counter, Histogram, MetricsRegistry, SlowQueryLog, Trace
+from ..obs.compat import warn_once
 from ..parallel import ParallelExecutor, resolve_workers
 from .batcher import MicroBatcher
 from .cache import LRUCache
@@ -99,18 +101,39 @@ totals stream exactly forever; the sample window bounds memory for a
 long-lived service (retaining every sample would grow without limit)."""
 
 
-@dataclass
 class TierStats:
-    """Hit count, streaming totals and recent latency samples for one tier."""
+    """Hit count, streaming totals and recent latency samples for one tier.
 
-    count: int = 0
-    total: float = 0.0
-    seconds: deque = field(default_factory=lambda: deque(maxlen=SAMPLE_WINDOW))
+    Since the observability refactor this is a thin view over two registry
+    instruments — a ``tier_hits`` counter and a ``tier_latency_seconds``
+    histogram — but it exposes the historical attributes (``count``,
+    ``total``, ``seconds``) with bit-identical values: the histogram's
+    total accumulates ``+= elapsed`` in the same order the old dataclass
+    field did, and the sample window has the same ``SAMPLE_WINDOW`` bound.
+    """
+
+    __slots__ = ("_hits", "_latency")
+
+    def __init__(self, hits: Counter, latency: Histogram) -> None:
+        self._hits = hits
+        self._latency = latency
 
     def record(self, elapsed: float) -> None:
-        self.count += 1
-        self.total += elapsed
-        self.seconds.append(elapsed)
+        self._hits.inc()
+        self._latency.observe(elapsed)
+
+    @property
+    def count(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def total(self) -> float:
+        return self._latency.total
+
+    @property
+    def seconds(self) -> deque:
+        """The bounded raw-sample window (read-only; do not mutate)."""
+        return self._latency._samples
 
     @property
     def total_seconds(self) -> float:
@@ -118,62 +141,98 @@ class TierStats:
 
     @property
     def mean_seconds(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        count = self.count
+        return self.total / count if count else 0.0
 
 
-@dataclass
 class ServiceStats:
     """Per-tier hit/latency statistics plus update counters.
 
-    All mutation goes through the ``record``/``note_*`` methods, which hold
-    an internal lock, so the invariant *sum of tier hits == queries* holds
-    at every instant even under concurrent recording — a
-    :meth:`snapshot` taken mid-traffic is internally consistent.
+    Backed by a :class:`~repro.obs.MetricsRegistry` (one counter per tier,
+    one latency histogram per tier, plus ``service_queries`` /
+    ``service_updates`` / ``service_refreshed_rows``).  All mutation goes
+    through the ``record``/``note_*`` methods, which hold the registry
+    lock, so the invariant *sum of tier hits == queries* holds at every
+    instant even under concurrent recording — a :meth:`snapshot` taken
+    mid-traffic is internally consistent.  The historical attributes
+    (``queries``, ``updates``, ``refreshed_rows``) remain as properties
+    with bit-identical values; ``tiers`` is kept as a deprecated view.
     """
 
-    tiers: dict[str, TierStats] = field(
-        default_factory=lambda: {tier: TierStats() for tier in TIERS}
-    )
-    queries: int = 0
-    updates: int = 0
-    refreshed_rows: int = 0
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = self.registry.lock
+        self._queries = self.registry.counter("service_queries")
+        self._updates = self.registry.counter("service_updates")
+        self._refreshed_rows = self.registry.counter("service_refreshed_rows")
+        self._tiers = {
+            tier: TierStats(
+                self.registry.counter("tier_hits", tier=tier),
+                self.registry.histogram(
+                    "tier_latency_seconds", reservoir=SAMPLE_WINDOW, tier=tier
+                ),
+            )
+            for tier in TIERS
+        }
 
-    def __post_init__(self) -> None:
-        self._lock = threading.Lock()
+    @property
+    def queries(self) -> int:
+        return int(self._queries.value)
+
+    @property
+    def updates(self) -> int:
+        return int(self._updates.value)
+
+    @property
+    def refreshed_rows(self) -> int:
+        return int(self._refreshed_rows.value)
+
+    @property
+    def tiers(self) -> dict[str, TierStats]:
+        """Deprecated: read :meth:`snapshot` / :meth:`samples` or the
+        ``registry`` instruments instead."""
+        warn_once(
+            "ServiceStats.tiers",
+            "ServiceStats.tiers is deprecated; read snapshot()/samples() or "
+            "the tier_hits / tier_latency_seconds instruments on "
+            "ServiceStats.registry (see the README observability migration "
+            "table)",
+        )
+        return self._tiers
 
     def record(self, tier: str, elapsed: float) -> None:
         with self._lock:
-            self.queries += 1
-            self.tiers[tier].record(elapsed)
+            self._queries.inc()
+            self._tiers[tier].record(elapsed)
 
     def note_update(self) -> None:
         """Count one effective graph mutation."""
         with self._lock:
-            self.updates += 1
+            self._updates.inc()
 
     def note_refreshed(self, rows: int) -> None:
         """Count ``rows`` eagerly refreshed index rows."""
         with self._lock:
-            self.refreshed_rows += rows
+            self._refreshed_rows.inc(rows)
 
     def samples(self, tier: str) -> list[float]:
         """Raw latency samples (seconds) for one tier."""
-        with self._lock:
-            return list(self.tiers[tier].seconds)
+        return self._tiers[tier]._latency.samples()
 
     def snapshot(self) -> dict[str, object]:
         """A flat summary dict (counts, hit shares, mean latencies)."""
         with self._lock:
+            queries = self.queries
             summary: dict[str, object] = {
-                "queries": self.queries,
+                "queries": queries,
                 "updates": self.updates,
                 "refreshed_rows": self.refreshed_rows,
             }
             for tier in TIERS:
-                stats = self.tiers[tier]
+                stats = self._tiers[tier]
                 summary[f"{tier}_hits"] = stats.count
                 summary[f"{tier}_share"] = (
-                    stats.count / self.queries if self.queries else 0.0
+                    stats.count / queries if queries else 0.0
                 )
                 summary[f"{tier}_mean_seconds"] = stats.mean_seconds
             return summary
@@ -272,6 +331,8 @@ class SimilarityService:
         transition=None,
         label_graph=None,
         catalog=None,
+        plan_digest: Optional[str] = None,
+        slow_query_capacity: int = 32,
     ) -> None:
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k}")
@@ -313,9 +374,20 @@ class SimilarityService:
         and computes serially — correct answers, no parallelism, no
         per-compute respawn storm."""
 
+        self.registry = MetricsRegistry()
+        """The service's metrics registry: tier hit counters, per-tier
+        latency histograms, batcher counters.  Snapshot with
+        ``registry.snapshot()``; exported whole over the wire ``metrics``
+        op."""
+        self.plan_digest = plan_digest
+        self.slow_queries = SlowQueryLog(capacity=slow_query_capacity)
+        self._kernel_spans = threading.local()
+
         self.cache = LRUCache(cache_size)
-        self.batcher = MicroBatcher(self._compute_rows, max_batch=max_batch)
-        self.stats = ServiceStats()
+        self.batcher = MicroBatcher(
+            self._compute_rows, max_batch=max_batch, registry=self.registry
+        )
+        self.stats = ServiceStats(registry=self.registry)
 
         self._index: Optional[SimilarityStore] = None
         self._row_version: Optional[np.ndarray] = None
@@ -711,7 +783,9 @@ class SimilarityService:
         tier is probed, so a defective request fails the call without
         recording partial statistics.
         """
+        validate_started = time.perf_counter()
         prepared: list[tuple[QueryRequest, int, int]] = []
+        traces: dict[int, Trace] = {}
         for request in requests:
             if not isinstance(request, QueryRequest):
                 raise ServeError(
@@ -723,9 +797,22 @@ class SimilarityService:
             self._check_freshness(request)
             k = self.k if request.k is None else request.k
             prepared.append((request, vertex, k))
+            if request.trace:
+                label = (
+                    request.query
+                    if isinstance(request.query, (str, int))
+                    else str(request.query)
+                )
+                traces[len(prepared) - 1] = Trace(
+                    "service.query", start=validate_started, query=label, k=k
+                )
+        if traces:
+            validate_ended = time.perf_counter()
+            for trace in traces.values():
+                trace.root.record("validate", validate_started, validate_ended)
 
         responses: list[Optional[QueryResponse]] = [None] * len(prepared)
-        misses: list[tuple[int, QueryRequest, int, int]] = []
+        misses: list[tuple[int, QueryRequest, int, int, float]] = []
         estimates: list[tuple[int, QueryRequest, int, int, float, int]] = []
         # Timing starts at the first miss's probe so backend work triggered
         # by the batcher's auto-flush (misses beyond max_batch) is
@@ -735,7 +822,7 @@ class SimilarityService:
         for position, (request, vertex, k) in enumerate(prepared):
             started = time.perf_counter()
             key = (vertex, k)
-            hit = False
+            hit_tier: Optional[str] = None
             approximate = False
             with self._lock:
                 cached = self.cache.get(key)
@@ -746,22 +833,33 @@ class SimilarityService:
                         "cache",
                         self._version,
                     )
-                    self.stats.record("cache", time.perf_counter() - started)
-                    hit = True
+                    ended = time.perf_counter()
+                    self.stats.record("cache", ended - started)
+                    hit_tier = "cache"
                 elif self._index_row_fresh(vertex) and k <= self.index_k:
                     ranking = self._rank_from_index(request.query, vertex, k)
                     responses[position] = self._respond(
                         request, ranking, "index", self._version
                     )
                     self.cache.put(key, ranking)
-                    self.stats.record("index", time.perf_counter() - started)
-                    hit = True
+                    ended = time.perf_counter()
+                    self.stats.record("index", ended - started)
+                    hit_tier = "index"
                 elif self._approx_admitted(request.approx, request.max_error):
                     approximate = True
                     approx_version = self._version
                 elif version_before is None:
                     version_before = self._version
-            if hit:
+            if hit_tier is not None:
+                tree = None
+                trace = traces.get(position)
+                if trace is not None:
+                    trace.root.record(f"tier:{hit_tier}", started, ended)
+                    trace.root.finish(ended)
+                    tree = trace.to_tree()
+                self._observe_answer(
+                    position, request, hit_tier, ended - started, responses, tree
+                )
                 continue
             if approximate:
                 estimates.append(
@@ -770,7 +868,7 @@ class SimilarityService:
                 continue
             if compute_started is None:
                 compute_started = started
-            misses.append((position, request, vertex, k))
+            misses.append((position, request, vertex, k, started))
 
         if estimates:
             # The fingerprint array is immutable, so estimation runs outside
@@ -784,8 +882,9 @@ class SimilarityService:
             )
             # One batched estimation served every admitted query; attribute
             # the elapsed wall-clock evenly (same accounting as compute).
-            share = (time.perf_counter() - estimates[0][4]) / len(estimates)
-            for (position, request, vertex, k, _, version), row in zip(
+            estimate_ended = time.perf_counter()
+            share = (estimate_ended - estimates[0][4]) / len(estimates)
+            for (position, request, vertex, k, started, version), row in zip(
                 estimates, rows
             ):
                 ranking = self._rank_row(row, request.query, vertex, k)
@@ -793,19 +892,40 @@ class SimilarityService:
                     request, ranking, "approx", version
                 )
                 self.stats.record("approx", share)
+                tree = None
+                trace = traces.get(position)
+                if trace is not None:
+                    trace.root.record(
+                        "tier:approx", started, estimate_ended,
+                        batched=len(estimates),
+                    )
+                    trace.root.finish(estimate_ended)
+                    tree = trace.to_tree()
+                self._observe_answer(
+                    position, request, "approx", share, responses, tree
+                )
 
         if misses:
             # Submitted outside the service lock: the batcher's compute
             # callback re-enters the service, and holding both locks here
             # would invert the batcher → service lock order.  One
             # submit_many call hands the whole miss set to the coalescer.
+            if traces:
+                self._kernel_spans.intervals = []
+            batch_started = time.perf_counter()
             handles = self.batcher.submit_many(
-                [vertex for _, _, vertex, _ in misses]
+                [vertex for _, _, vertex, _, _ in misses]
             )
             self.batcher.flush()
+            batch_ended = time.perf_counter()
+            kernel_intervals = (
+                getattr(self._kernel_spans, "intervals", None) or []
+            )
+            if traces:
+                self._kernel_spans.intervals = None
             fresh: dict[int, np.ndarray] = {}
             rankings: list[RankedList] = []
-            for (position, request, vertex, k), handle in zip(misses, handles):
+            for (position, request, vertex, k, _), handle in zip(misses, handles):
                 row = handle.result()
                 ranking = self._rank_row(row, request.query, vertex, k)
                 rankings.append(ranking)
@@ -818,7 +938,7 @@ class SimilarityService:
                 # Version gate: write computed answers back only when no
                 # mutation raced the computation (see class docstring).
                 if self._version == version_before:
-                    for (position, request, vertex, k), ranking in zip(
+                    for (position, request, vertex, k, _), ranking in zip(
                         misses, rankings
                     ):
                         self.cache.put((vertex, k), ranking)
@@ -830,6 +950,30 @@ class SimilarityService:
                 # elapsed wall-clock evenly so tiers stay per-query comparable.
                 for _ in misses:
                     self.stats.record("compute", share)
+            for position, request, vertex, k, started in misses:
+                tree = None
+                trace = traces.get(position)
+                if trace is not None:
+                    tier_span = trace.root.child("tier:compute", start=started)
+                    batch_span = tier_span.child(
+                        "batcher", start=batch_started,
+                        batch_size=len(misses), distinct_rows=len(fresh),
+                    )
+                    for kernel_started, kernel_ended, rows in kernel_intervals:
+                        batch_span.record(
+                            "kernel", kernel_started, kernel_ended, rows=rows
+                        )
+                    if not kernel_intervals:
+                        # Another thread's flush computed our rows before
+                        # ours ran; the kernel time lives in its trace.
+                        batch_span.tag(coalesced=True)
+                    batch_span.finish(batch_ended)
+                    tier_span.finish(batch_ended)
+                    trace.root.finish(batch_ended)
+                    tree = trace.to_tree()
+                self._observe_answer(
+                    position, request, "compute", share, responses, tree
+                )
         return [response for response in responses if response is not None]
 
     # ------------------------------------------------------------------ #
@@ -1053,7 +1197,18 @@ class SimilarityService:
         return rows, version
 
     def _compute_rows(self, indices: np.ndarray) -> np.ndarray:
-        return self._compute_rows_versioned(indices)[0]
+        # When a traced request is in flight on this thread, time the raw
+        # backend call: the batcher flush runs this callback synchronously
+        # in the caller's thread, so the interval lands in the right trace.
+        intervals = getattr(self._kernel_spans, "intervals", None)
+        if intervals is None:
+            return self._compute_rows_versioned(indices)[0]
+        kernel_started = time.perf_counter()
+        rows = self._compute_rows_versioned(indices)[0]
+        intervals.append(
+            (kernel_started, time.perf_counter(), int(indices.size))
+        )
+        return rows
 
     def _index_row_fresh(self, vertex: int) -> bool:
         # Caller holds the service lock.
@@ -1183,6 +1338,29 @@ class SimilarityService:
             tier=tier,
             graph_version=int(graph_version or 0),
             request_id=request.request_id,
+        )
+
+    def _observe_answer(
+        self,
+        position: int,
+        request: QueryRequest,
+        tier: str,
+        duration: float,
+        responses: list,
+        tree: Optional[dict],
+    ) -> None:
+        """Attach a finished span tree and feed the slow-query log."""
+        if tree is not None:
+            responses[position] = replace(responses[position], trace=tree)
+        response = responses[position]
+        self.slow_queries.offer(
+            duration,
+            response.query if isinstance(response.query, (str, int))
+            else str(response.query),
+            tier,
+            graph_version=response.graph_version,
+            plan_digest=self.plan_digest,
+            trace=tree,
         )
 
     # ------------------------------------------------------------------ #

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import shutil
 import tempfile
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
@@ -31,6 +30,7 @@ import numpy as np
 from scipy import sparse
 
 from ..exceptions import ConfigurationError
+from ..obs import MetricsRegistry
 
 __all__ = ["RowSpillAccumulator", "SpillStats"]
 
@@ -38,9 +38,15 @@ _ENTRY_BYTES = 16
 """Resident bytes per stored score: one float64 value + one int64 column."""
 
 
-@dataclass
 class SpillStats:
     """What the accumulator did, for benchmark reporting.
+
+    Backed by a :class:`~repro.obs.MetricsRegistry` (``spill_segments`` /
+    ``spill_spilled_entries`` / ``spill_spilled_bytes`` counters and the
+    ``spill_peak_resident_bytes`` gauge); the historical attributes remain
+    readable *and assignable* with bit-identical values, so both the
+    accumulator's ``+=`` updates and the benchmark hand-out pattern keep
+    working unchanged.
 
     Attributes
     ----------
@@ -54,10 +60,69 @@ class SpillStats:
         High-water mark of resident row data between flushes.
     """
 
-    segments: int = 0
-    spilled_entries: int = 0
-    spilled_bytes: int = 0
-    peak_resident_bytes: int = 0
+    _FIELDS = ("segments", "spilled_entries", "spilled_bytes",
+               "peak_resident_bytes")
+
+    def __init__(
+        self,
+        segments: int = 0,
+        spilled_entries: int = 0,
+        spilled_bytes: int = 0,
+        peak_resident_bytes: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._segments = self.registry.counter("spill_segments")
+        self._spilled_entries = self.registry.counter("spill_spilled_entries")
+        self._spilled_bytes = self.registry.counter("spill_spilled_bytes")
+        self._peak_resident_bytes = self.registry.gauge("spill_peak_resident_bytes")
+        self.segments = segments
+        self.spilled_entries = spilled_entries
+        self.spilled_bytes = spilled_bytes
+        self.peak_resident_bytes = peak_resident_bytes
+
+    @property
+    def segments(self) -> int:
+        return int(self._segments.value)
+
+    @segments.setter
+    def segments(self, value: int) -> None:
+        self._segments.set(int(value))
+
+    @property
+    def spilled_entries(self) -> int:
+        return int(self._spilled_entries.value)
+
+    @spilled_entries.setter
+    def spilled_entries(self, value: int) -> None:
+        self._spilled_entries.set(int(value))
+
+    @property
+    def spilled_bytes(self) -> int:
+        return int(self._spilled_bytes.value)
+
+    @spilled_bytes.setter
+    def spilled_bytes(self, value: int) -> None:
+        self._spilled_bytes.set(int(value))
+
+    @property
+    def peak_resident_bytes(self) -> int:
+        return int(self._peak_resident_bytes.value)
+
+    @peak_resident_bytes.setter
+    def peak_resident_bytes(self, value: int) -> None:
+        self._peak_resident_bytes.set(int(value))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpillStats):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self._FIELDS
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={getattr(self, name)}" for name in self._FIELDS)
+        return f"SpillStats({inner})"
 
     def copy_from(self, other: "SpillStats") -> None:
         """Copy every counter from ``other`` into this instance, in place.

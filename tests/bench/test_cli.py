@@ -299,3 +299,64 @@ class TestCalibrateSubcommand:
         output = capsys.readouterr().out
         assert "bit-identical" in output
         assert "built exactly once" in output
+
+
+class TestMetricsCli:
+    def test_metrics_and_trace_flags_parse(self):
+        args = build_parser().parse_args(["metrics", "--port", "4321"])
+        assert args.experiment == "metrics"
+        assert args.port == 4321
+        args = build_parser().parse_args(["serve-bench", "--remote", "--trace"])
+        assert args.trace
+        args = build_parser().parse_args(
+            ["serve", "--metrics-interval", "5"]
+        )
+        assert args.metrics_interval == 5.0
+
+    def test_metrics_requires_port(self, capsys):
+        assert main(["metrics"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_metrics_connection_refused_is_reported(self, capsys):
+        # An ephemeral port nothing listens on: bind-then-close to find one.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["metrics", "--port", str(port)]) == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_metrics_renders_live_server_snapshot(self, tmp_path, capsys):
+        import json
+
+        from repro.engine import Engine, EngineConfig
+        from repro.graph.generators.rmat import rmat_edge_list
+
+        graph = rmat_edge_list(6, 3 * 64, seed=7)
+        engine = Engine(
+            graph,
+            EngineConfig(method="matrix", damping=0.6, iterations=10),
+        )
+        engine.build_index()
+        server = engine.server()
+        server.start_in_thread()
+        try:
+            from repro.serve import SimilarityClient
+
+            with SimilarityClient("127.0.0.1", server.port) as client:
+                client.query(3, k=5)
+            assert main(["metrics", "--port", str(server.port)]) == 0
+            rendered = capsys.readouterr().out
+            assert "counters & gauges" in rendered
+            assert "service_queries" in rendered
+            path = tmp_path / "metrics.json"
+            assert main(
+                ["metrics", "--port", str(server.port), "--json", str(path)]
+            ) == 0
+            payload = json.loads(path.read_text())
+            assert payload["op"] == "metrics"
+            assert payload["metrics"]["counters"]["service_queries"] == 1
+        finally:
+            server.stop_in_thread()

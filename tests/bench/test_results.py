@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
@@ -16,6 +17,7 @@ from repro.bench.results import (
 )
 from repro.bench.runner import ExperimentReport
 from repro.exceptions import ConfigurationError
+from repro.obs import percentile as obs_percentile
 
 
 class TestFormatTable:
@@ -74,8 +76,14 @@ class TestPercentiles:
     def test_percentile_validation(self):
         with pytest.raises(ConfigurationError):
             percentile([1.0], 101)
-        with pytest.raises(ConfigurationError):
-            percentile([], 50)
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_percentile_matches_obs_implementation(self):
+        samples = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+        for q in (0, 25, 50, 90, 99, 100):
+            assert percentile(samples, q) == obs_percentile(samples, q)
 
     def test_latency_summary_fields(self):
         samples = list(range(1, 101))  # 1..100
@@ -90,9 +98,13 @@ class TestPercentiles:
         summary = latency_summary([1.0, 2.0], percentiles=(25, 99.9))
         assert set(summary) == {"count", "mean", "p25", "p99_9"}
 
-    def test_latency_summary_rejects_empty(self):
-        with pytest.raises(ConfigurationError):
-            latency_summary([])
+    def test_latency_summary_empty_is_nan(self):
+        summary = latency_summary([])
+        assert summary["count"] == 0
+        assert math.isnan(summary["mean"])
+        assert math.isnan(summary["p50"])
+        assert math.isnan(summary["p95"])
+        assert math.isnan(summary["p99"])
 
 
 class TestReportJson:
@@ -111,6 +123,17 @@ class TestReportJson:
                 "cost_profile": "static",
             }
         ]
+
+    def test_report_metrics_serialised_only_when_attached(self):
+        report = ExperimentReport(experiment="serving", title="T")
+        assert "metrics" not in report.to_dict()
+        report.attach_metrics(
+            "service", {"counters": {"tier_hits{tier=index}": 3}}
+        )
+        payload = report.to_dict()
+        assert payload["metrics"]["service"]["counters"] == {
+            "tier_hits{tier=index}": 3
+        }
 
     def test_write_many_reports(self, tmp_path):
         reports = [

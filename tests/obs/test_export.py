@@ -1,0 +1,97 @@
+"""Unit tests for the snapshot renderers and the periodic log emitter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    PeriodicEmitter,
+    format_snapshot_line,
+    render_snapshot,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("queries").inc(12)
+    registry.gauge("inflight").set(3)
+    hist = registry.histogram("latency")
+    for value in (0.001, 0.002, 0.01):
+        hist.observe(value)
+    return registry
+
+
+class TestFormatSnapshotLine:
+    def test_counters_and_histogram_summary(self):
+        line = format_snapshot_line(_populated_registry().snapshot())
+        assert line.startswith("metrics ")
+        assert "queries=12" in line
+        assert "latency.count=3" in line
+        assert "latency.p99=" in line
+
+    def test_empty_snapshot(self):
+        assert format_snapshot_line({}) == "metrics (no instruments)"
+
+
+class TestRenderSnapshot:
+    def test_tables_for_bare_registry_snapshot(self):
+        rendered = render_snapshot(_populated_registry().snapshot())
+        assert "counters & gauges" in rendered
+        assert "histograms" in rendered
+        assert "queries" in rendered and "12" in rendered
+        assert "p99" in rendered
+
+    def test_full_wire_payload_sections(self):
+        payload = dict(_populated_registry().snapshot())
+        payload["slow_queries"] = [
+            {"duration_ms": 12.5, "query": 7, "tier": "compute",
+             "plan_digest": "abc", "trace": {"name": "request"}},
+        ]
+        payload["plan_digest"] = "abc"
+        rendered = render_snapshot(payload)
+        assert "slow queries (slowest first)" in rendered
+        assert "plan digest: abc" in rendered
+        assert "yes" in rendered  # the traced column
+
+    def test_empty_payload(self):
+        assert render_snapshot({}) == "(no metrics)"
+
+
+class TestPeriodicEmitter:
+    def test_emit_once_formats_and_counts(self):
+        registry = _populated_registry()
+        lines = []
+        emitter = PeriodicEmitter(registry.snapshot, interval=60.0,
+                                  emit=lines.append)
+        emitter.emit_once()
+        assert emitter.emitted == 1
+        assert lines and lines[0].startswith("metrics ")
+
+    def test_snapshot_failure_never_raises(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        emitter = PeriodicEmitter(broken, interval=60.0, emit=lambda _: None)
+        emitter.emit_once()  # must swallow, not propagate
+        assert emitter.emitted == 0
+
+    def test_background_thread_emits_and_stops(self):
+        registry = _populated_registry()
+        lines = []
+        emitter = PeriodicEmitter(registry.snapshot, interval=0.01,
+                                  emit=lines.append)
+        emitter.start()
+        deadline = 200
+        while not lines and deadline:
+            deadline -= 1
+            import time
+
+            time.sleep(0.01)
+        emitter.stop()
+        assert lines
+        assert emitter._thread is None
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicEmitter(dict, interval=0.0)

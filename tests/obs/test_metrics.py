@@ -1,0 +1,191 @@
+"""Unit tests for the zero-dependency metrics primitives."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_single_sample(self):
+        assert percentile([3.5], 0) == 3.5
+        assert percentile([3.5], 100) == 3.5
+
+    def test_linear_interpolation(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 50) == 2.5
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 4.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(5)
+        samples = rng.exponential(size=257).tolist()
+        for q in (0, 1, 25, 50, 90, 95, 99, 99.9, 100):
+            assert percentile(samples, q) == pytest.approx(
+                float(np.percentile(np.asarray(samples), q)), abs=1e-12
+            )
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+
+class TestCounterAndGauge:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("inflight")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", tier="x") is registry.counter("a", tier="x")
+        assert registry.counter("a", tier="x") is not registry.counter("a", tier="y")
+
+    def test_labels_in_key_are_sorted(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits", b="2", a="1")
+        assert counter.key == "hits{a=1,b=2}"
+        assert counter is registry.counter("hits", a="1", b="2")
+
+    def test_empty_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("")
+
+
+class TestHistogram:
+    def test_count_equals_sum_of_bucket_counts(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for value in (0.00005, 0.002, 0.3, 50.0):  # incl. +inf overflow
+            hist.observe(value)
+        counts = [count for _, count in hist.bucket_counts()]
+        assert hist.count == sum(counts) == 4
+        assert counts[-1] == 1  # 50.0 lands in the +inf overflow bucket
+
+    def test_total_accumulates_in_observation_order(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        running = 0.0
+        for value in (0.1, 0.2, 0.30000000000000004, 1e-9):
+            hist.observe(value)
+            running += value
+        assert hist.total == running  # bit-identical to a += loop
+
+    def test_reservoir_is_bounded_sliding_window(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", reservoir=4)
+        for value in range(10):
+            hist.observe(float(value))
+        assert hist.samples() == [6.0, 7.0, 8.0, 9.0]
+        assert hist.count == 10  # count is exact even after eviction
+
+    def test_quantiles_match_shared_percentile(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        values = [3.0, 1.0, 4.0, 1.5, 9.0]
+        for value in values:
+            hist.observe(value)
+        assert hist.quantile(50) == percentile(values, 50)
+        assert math.isnan(registry.histogram("untouched").quantile(99))
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 2
+        assert snap["sum"] == 5.5
+        assert snap["mean"] == 2.75
+        assert snap["buckets"] == [[1.0, 1], [2.0, 0], [math.inf, 1]]
+
+    def test_clear_resets_everything(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        hist.observe(1.0)
+        hist.clear()
+        assert hist.count == 0
+        assert hist.total == 0.0
+        assert hist.samples() == []
+        assert all(count == 0 for _, count in hist.bucket_counts())
+
+    def test_rejects_bad_construction(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", reservoir=0)
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").inc(7)
+        registry.gauge("inflight").set(2)
+        registry.histogram("latency").observe(0.1)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"queries": 7}
+        assert snap["gauges"] == {"inflight": 2}
+        assert snap["histograms"]["latency"]["count"] == 1
+
+    def test_labeled_keys_render(self):
+        registry = MetricsRegistry()
+        registry.counter("tier_hits", tier="cache").inc()
+        assert registry.snapshot()["counters"] == {"tier_hits{tier=cache}": 1}
+
+    def test_merged_snapshot_last_writer_wins(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("shared").inc(1)
+        right.counter("shared").inc(5)
+        right.counter("only_right").inc(2)
+        merged = left.merged_snapshot(right)
+        assert merged["counters"] == {"shared": 5, "only_right": 2}
+
+    def test_merged_snapshot_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").inc()
+        merged = registry.merged_snapshot(prefix="svc_")
+        assert merged["counters"] == {"svc_queries": 1}
+
+    def test_instruments_enumeration(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        kinds = {type(i) for i in registry.instruments()}
+        assert kinds == {Counter, Gauge, Histogram}

@@ -1,0 +1,142 @@
+"""Concurrency stress tests: snapshots stay coherent under parallel traffic.
+
+The registry holds one lock for every instrument it owns, which makes a
+multi-instrument update (tier counter + tier latency + query counter)
+atomic with respect to a snapshot.  These tests hammer the stats surfaces
+from several threads while readers take snapshots mid-flight and assert
+the two invariants the observability subsystem guarantees:
+
+* the per-tier hit counters always sum to the query counter, and
+* a histogram's count always equals the sum of its bucket counts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import MetricsRegistry
+from repro.service.service import TIERS, ServiceStats
+
+WRITERS = 4
+ROUNDS = 500
+
+
+class TestServiceStatsCoherence:
+    def test_tier_hits_sum_to_queries_mid_flight(self):
+        stats = ServiceStats()
+        # Parties: the writers, the snapshot reader, and the main thread
+        # (which waits so the reader provably overlaps the writers).
+        start = threading.Barrier(WRITERS + 2)
+        done = threading.Event()
+
+        def writer(seed: int) -> None:
+            start.wait()
+            for round_number in range(ROUNDS):
+                tier = TIERS[(seed + round_number) % len(TIERS)]
+                stats.record(tier, 0.001 * (round_number % 7))
+                if round_number % 50 == 0:
+                    stats.note_update()
+                    stats.note_refreshed(3)
+
+        def reader(violations: list) -> None:
+            start.wait()
+            while not done.is_set():
+                snap = stats.snapshot()
+                hits = sum(snap[f"{tier}_hits"] for tier in TIERS)
+                if hits != snap["queries"]:
+                    violations.append(snap)
+
+        violations: list = []
+        threads = [
+            threading.Thread(target=writer, args=(seed,))
+            for seed in range(WRITERS)
+        ]
+        observer = threading.Thread(target=reader, args=(violations,))
+        observer.start()
+        for thread in threads:
+            thread.start()
+        start.wait()
+        for thread in threads:
+            thread.join()
+        done.set()
+        observer.join()
+        assert not violations, f"incoherent snapshot: {violations[0]}"
+        final = stats.snapshot()
+        assert final["queries"] == WRITERS * ROUNDS
+        assert sum(final[f"{tier}_hits"] for tier in TIERS) == WRITERS * ROUNDS
+        assert final["updates"] == WRITERS * (ROUNDS // 50)
+
+    def test_histogram_count_equals_bucket_sum_mid_flight(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "latency", buckets=(0.001, 0.01, 0.1), reservoir=64
+        )
+        start = threading.Barrier(WRITERS + 2)
+        done = threading.Event()
+
+        def writer(seed: int) -> None:
+            start.wait()
+            for round_number in range(ROUNDS):
+                hist.observe(0.0005 * ((seed + round_number) % 400))
+
+        def reader(violations: list) -> None:
+            start.wait()
+            while not done.is_set():
+                with registry.lock:  # one consistent multi-read
+                    count = hist.count
+                    buckets = hist.bucket_counts()
+                if count != sum(c for _, c in buckets):
+                    violations.append((count, buckets))
+
+        violations: list = []
+        threads = [
+            threading.Thread(target=writer, args=(seed,))
+            for seed in range(WRITERS)
+        ]
+        observer = threading.Thread(target=reader, args=(violations,))
+        observer.start()
+        for thread in threads:
+            thread.start()
+        start.wait()
+        for thread in threads:
+            thread.join()
+        done.set()
+        observer.join()
+        assert not violations, f"count/bucket mismatch: {violations[0]}"
+        assert hist.count == WRITERS * ROUNDS
+        # The snapshot method must agree with the piecewise reads.
+        snap = hist.snapshot()
+        assert snap["count"] == sum(count for _, count in snap["buckets"])
+
+    def test_registry_snapshot_never_tears_counter_pairs(self):
+        """Two counters bumped under one lock acquisition never diverge."""
+        registry = MetricsRegistry()
+        left = registry.counter("left")
+        right = registry.counter("right")
+        start = threading.Barrier(2)
+        done = threading.Event()
+
+        def writer() -> None:
+            start.wait()
+            for _ in range(WRITERS * ROUNDS):
+                with registry.lock:
+                    left.inc()
+                    right.inc()
+
+        violations: list = []
+
+        def reader() -> None:
+            start.wait()
+            while not done.is_set():
+                snap = registry.snapshot()
+                if snap["counters"]["left"] != snap["counters"]["right"]:
+                    violations.append(snap["counters"])
+
+        writer_thread = threading.Thread(target=writer)
+        observer = threading.Thread(target=reader)
+        observer.start()
+        writer_thread.start()
+        writer_thread.join()
+        done.set()
+        observer.join()
+        assert not violations, f"torn snapshot: {violations[0]}"

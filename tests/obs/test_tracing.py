@@ -1,0 +1,107 @@
+"""Unit tests for span trees and the bounded slow-query log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import SlowQueryLog, Trace, new_trace_id, span_names
+
+
+class TestTrace:
+    def test_tree_structure_and_ids(self):
+        trace = Trace("request", start=10.0, degraded=False)
+        child = trace.root.child("admission", start=10.0)
+        child.finish(10.001)
+        grandchild_parent = trace.root.child("dispatch", start=10.001)
+        grandchild_parent.record("kernel", 10.002, 10.004, rows=3)
+        grandchild_parent.finish(10.005)
+        trace.root.finish(10.005)
+        tree = trace.to_tree()
+        assert tree["name"] == "request"
+        assert tree["span_id"] == "1"
+        assert tree["trace_id"] == trace.trace_id
+        assert [c["span_id"] for c in tree["children"]] == ["1.1", "1.2"]
+        kernel = tree["children"][1]["children"][0]
+        assert kernel["span_id"] == "1.2.1"
+        assert kernel["parent_id"] == "1.2"
+        assert kernel["tags"] == {"rows": 3}
+
+    def test_offsets_relative_to_root(self):
+        trace = Trace("request", start=100.0)
+        trace.root.record("step", 100.25, 100.5)
+        trace.root.finish(101.0)
+        tree = trace.to_tree()
+        assert tree["start_ms"] == 0.0
+        assert tree["duration_ms"] == pytest.approx(1000.0)
+        step = tree["children"][0]
+        assert step["start_ms"] == pytest.approx(250.0)
+        assert step["duration_ms"] == pytest.approx(250.0)
+
+    def test_span_names_preorder(self):
+        trace = Trace("request", start=0.0)
+        a = trace.root.child("a", start=0.0)
+        a.child("a1", start=0.0).finish(0.0)
+        a.finish(0.0)
+        trace.root.child("b", start=0.0).finish(0.0)
+        assert span_names(trace.to_tree()) == ["request", "a", "a1", "b"]
+
+    def test_tree_is_json_serialisable(self):
+        trace = Trace("request", start=0.0, query=7, k=10)
+        trace.root.record("tier:compute", 0.0, 0.001, coalesced=True)
+        payload = json.dumps(trace.to_tree())
+        assert "tier:compute" in payload
+
+    def test_trace_ids_unique(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+
+    def test_finish_is_idempotent(self):
+        trace = Trace("request", start=1.0)
+        trace.root.finish(2.0)
+        trace.root.finish(3.0)  # second finish must not move the end
+        assert trace.to_tree()["duration_ms"] == pytest.approx(1000.0)
+
+
+class TestSlowQueryLog:
+    def test_keeps_top_n_by_duration(self):
+        log = SlowQueryLog(capacity=3)
+        for duration, query in [(0.1, "a"), (0.5, "b"), (0.2, "c"),
+                                (0.9, "d"), (0.05, "e")]:
+            log.offer(duration, query, tier="compute")
+        entries = log.snapshot()
+        assert [e["query"] for e in entries] == ["d", "b", "c"]
+        assert entries[0]["duration_ms"] == pytest.approx(900.0)
+        assert len(log) == 3
+
+    def test_entry_payload(self):
+        log = SlowQueryLog(capacity=2)
+        tree = {"name": "request", "trace_id": "t"}
+        log.offer(0.25, 42, tier="index", graph_version=3,
+                  plan_digest="abc123", trace=tree)
+        log.offer(0.01, 43, tier="cache")
+        slow, fast = log.snapshot()
+        assert slow["query"] == 42
+        assert slow["tier"] == "index"
+        assert slow["graph_version"] == 3
+        assert slow["plan_digest"] == "abc123"
+        assert slow["trace"] == tree
+        assert "trace" not in fast
+
+    def test_ties_prefer_most_recent(self):
+        log = SlowQueryLog(capacity=2)
+        log.offer(0.1, "first", tier="index")
+        log.offer(0.1, "second", tier="index")
+        log.offer(0.1, "third", tier="index")  # tie: evicts the oldest
+        assert [e["query"] for e in log.snapshot()] == ["third", "second"]
+
+    def test_clear(self):
+        log = SlowQueryLog(capacity=2)
+        log.offer(0.1, "a", tier="index")
+        log.clear()
+        assert len(log) == 0
+        assert log.snapshot() == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
